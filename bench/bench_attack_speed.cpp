@@ -1,0 +1,87 @@
+// §5.2 "Attack speed": PGD and DIVA run at nearly the same wall-clock
+// cost per step (paper: ~1 s/step each on their hardware; the claim is
+// the *ratio*, not the absolute number). Also microbenches the int8
+// engine against the float forward — the edge-deployment speedup that
+// motivates quantization in the first place.
+#include <benchmark/benchmark.h>
+
+#include "attack/attack.h"
+#include "core/experiment_defaults.h"
+#include "core/zoo.h"
+
+namespace diva {
+namespace {
+
+ModelZoo& zoo() {
+  static ModelZoo z = [] {
+    ZooConfig cfg;
+    cfg.verbose = false;
+    return ModelZoo(cfg);
+  }();
+  return z;
+}
+
+Tensor eval_batch(std::int64_t n) {
+  std::vector<int> idx;
+  for (std::int64_t i = 0; i < n; ++i) idx.push_back(static_cast<int>(i));
+  return gather_batch(zoo().val_set().images, idx);
+}
+
+std::vector<int> eval_labels(std::int64_t n) {
+  return {zoo().val_set().labels.begin(), zoo().val_set().labels.begin() + n};
+}
+
+void BM_PgdStep(benchmark::State& state) {
+  Sequential& qat = zoo().adapted_qat(Arch::kResNet);
+  AttackConfig cfg = ExperimentDefaults::attack();
+  cfg.steps = 1;  // one step per iteration -> per-step cost
+  const Tensor x = eval_batch(16);
+  const auto y = eval_labels(16);
+  PgdAttack pgd(qat, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pgd.perturb(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_PgdStep)->Unit(benchmark::kMillisecond);
+
+void BM_DivaStep(benchmark::State& state) {
+  Sequential& orig = zoo().original(Arch::kResNet);
+  Sequential& qat = zoo().adapted_qat(Arch::kResNet);
+  AttackConfig cfg = ExperimentDefaults::attack();
+  cfg.steps = 1;
+  const Tensor x = eval_batch(16);
+  const auto y = eval_labels(16);
+  DivaAttack diva(orig, qat, 1.0f, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diva.perturb(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_DivaStep)->Unit(benchmark::kMillisecond);
+
+void BM_FloatForward(benchmark::State& state) {
+  Sequential& orig = zoo().original(Arch::kResNet);
+  orig.set_training(false);
+  const Tensor x = eval_batch(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orig.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_FloatForward)->Unit(benchmark::kMillisecond);
+
+void BM_Int8Forward(benchmark::State& state) {
+  const QuantizedModel& q8 = zoo().quantized(Arch::kResNet);
+  const Tensor x = eval_batch(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q8.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Int8Forward)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace diva
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Figure 10 + §6: the face-recognition case study.
+//   10a  top-1 evasive success: DIVA ~98% vs PGD much lower.
+//   10b  top-5 evasive success: DIVA ahead, both lower than ImageNet
+//        because only 150 identities exist (30 here).
+//   10c  confidence delta: natural < PGD < DIVA.
+//   §6   targeted attack: steering the adapted model's misprediction
+//        onto a chosen identity (paper: hits a set of ~8.3 of 150).
+#include "bench_common.h"
+
+using namespace diva;
+using namespace diva::bench;
+
+int main() {
+  banner("Figure 10 / Sec 6 — face recognition case study");
+  ModelZoo zoo;
+  const AttackConfig cfg = ExperimentDefaults::attack();
+
+  Sequential& orig = zoo.face_original();
+  Sequential& qat = zoo.face_qat();
+  const auto orig_fn = ModelZoo::fn(orig);
+  const auto q8_fn = ModelZoo::fn(zoo.face_quantized());
+
+  std::printf("  face model: orig acc %.1f%%, int8 acc %.1f%% (paper: 99.4 /"
+              " 99.0)\n",
+              100.0 * accuracy(orig_fn, zoo.face_val()),
+              100.0 * accuracy(q8_fn, zoo.face_val()));
+
+  const Dataset eval =
+      make_eval_set(zoo, zoo.face_val(), {orig_fn, q8_fn}, /*per_class=*/5);
+
+  PgdAttack pgd(qat, cfg);
+  DivaAttack diva(orig, qat, ExperimentDefaults::kC, cfg);
+  const EvasionResult rp = run_attack(pgd, eval, orig_fn, q8_fn);
+  const EvasionResult rd = run_attack(diva, eval, orig_fn, q8_fn);
+
+  TablePrinter table({"Attack", "top1 evasive", "top5 evasive",
+                      "conf delta", "attack-only"});
+  table.add_row({"PGD", fmt(rp.top1_rate()) + "%", fmt(rp.top5_rate()) + "%",
+                 fmt(rp.conf_delta_adv) + "%",
+                 fmt(rp.attack_only_rate()) + "%"});
+  table.add_row({"DIVA", fmt(rd.top1_rate()) + "%", fmt(rd.top5_rate()) + "%",
+                 fmt(rd.conf_delta_adv) + "%",
+                 fmt(rd.attack_only_rate()) + "%"});
+  table.print();
+  std::printf("  natural conf delta: %.1f%%\n", rd.conf_delta_natural);
+  std::printf(
+      "\npaper: DIVA ~98%% top-1, DIVA > PGD on every metric; top-5 lower\n"
+      "than the ImageNet setting because the label space is small.\n");
+
+  // ------------------------------------------------------------------
+  // Targeted attack (§6): for a handful of target identities, try to
+  // steer the adapted model's misprediction onto the target.
+  // ------------------------------------------------------------------
+  banner("Sec 6 — targeted DIVA");
+  const int kTargets = 5;
+  int evaluated = 0, hit_target = 0, evasive_hit = 0;
+  for (int t = 0; t < kTargets; ++t) {
+    const int target = (t * 7 + 3) % zoo.config().face_identities;
+    // Victims: eval images whose label differs from the target.
+    std::vector<int> victims;
+    for (std::int64_t i = 0; i < eval.size() && victims.size() < 20; ++i) {
+      if (eval.labels[static_cast<std::size_t>(i)] != target) {
+        victims.push_back(static_cast<int>(i));
+      }
+    }
+    Dataset vic = eval.subset(victims);
+    TargetedDivaAttack attack(orig, qat, target, /*c=*/1.0f, /*k=*/2.0f, cfg);
+    const Tensor adv = attack.perturb(vic.images, vic.labels);
+    const auto pred_a = argmax_rows(q8_fn(adv));
+    const auto pred_o = argmax_rows(orig_fn(adv));
+    for (std::size_t i = 0; i < pred_a.size(); ++i) {
+      ++evaluated;
+      if (pred_a[i] == target) {
+        ++hit_target;
+        if (pred_o[i] == vic.labels[i]) ++evasive_hit;
+      }
+    }
+  }
+  std::printf(
+      "  targeted DIVA over %d targets x ~20 victims: adapted model driven\n"
+      "  to the chosen identity on %.1f%% of attempts (%.1f%% while the\n"
+      "  original model stayed correct).\n",
+      kTargets, 100.0 * hit_target / evaluated,
+      100.0 * evasive_hit / evaluated);
+  std::printf(
+      "\npaper: the targeted variant narrows the misprediction to a set of\n"
+      "~8.3 of 150 people on average — a coarse steering capability, which\n"
+      "is the behaviour to compare (nonzero but far from perfect).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 6a/6b/6c (+ §5.2 DSSIM): attacks on quantized models across
+// the three architectures.
+//
+//   6a  top-1 evasive success:  PGD 30.2-50.9%, blackbox DIVA
+//       30.3-77.2%, semi-blackbox DIVA 71.1-96.2%, whitebox DIVA
+//       92.3-97%.
+//   6b  top-5 evasive success:  whitebox DIVA 2.6-4.2x PGD.
+//   6c  confidence delta:       natural ~7.9%, PGD 18.6-25%,
+//       DIVA 56.6-72.4%.
+//   §5.2 DSSIM: all adversarial images imperceptible.
+#include "bench_common.h"
+
+using namespace diva;
+using namespace diva::bench;
+
+int main() {
+  banner("Figure 6 — attacks on quantized models (whitebox / semi-BB / BB)");
+  ModelZoo zoo;
+  const AttackConfig cfg = ExperimentDefaults::attack();
+
+  TablePrinter t6a({"Arch", "PGD top1", "BB DIVA top1", "semiBB top1",
+                    "DIVA top1"});
+  TablePrinter t6b({"Arch", "PGD top5", "BB DIVA top5", "semiBB top5",
+                    "DIVA top5"});
+  TablePrinter t6c({"Arch", "natural cd", "PGD cd", "DIVA cd"});
+  float max_dssim = 0.0f;
+
+  for (const Arch arch : kArches) {
+    std::printf("  -- %s --\n", arch_name(arch).c_str());
+    Sequential& orig = zoo.original(arch);
+    Sequential& qat = zoo.adapted_qat(arch);
+    const auto orig_fn = ModelZoo::fn(orig);
+    const auto q8_fn = ModelZoo::fn(zoo.quantized(arch));
+    const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+
+    // Whitebox PGD baseline against the adapted model.
+    PgdAttack pgd(qat, cfg);
+    const EvasionResult rp = run_attack(pgd, eval, orig_fn, q8_fn);
+
+    // Whitebox DIVA: both true models.
+    DivaAttack diva(orig, qat, ExperimentDefaults::kC, cfg);
+    const EvasionResult rd = run_attack(diva, eval, orig_fn, q8_fn);
+
+    // Semi-blackbox DIVA: surrogate original + true adapted (§4.3).
+    Sequential& surro_fp = zoo.surrogate_original(arch);
+    DivaAttack semi(surro_fp, qat, ExperimentDefaults::kC, cfg);
+    const EvasionResult rs = run_attack(semi, eval, orig_fn, q8_fn);
+
+    // Blackbox DIVA: surrogate original + surrogate adapted (§4.4).
+    Sequential& surro_qat = zoo.surrogate_adapted_qat(arch);
+    DivaAttack bb(surro_fp, surro_qat, ExperimentDefaults::kC, cfg);
+    const EvasionResult rb = run_attack(bb, eval, orig_fn, q8_fn);
+
+    t6a.add_row({arch_name(arch), fmt(rp.top1_rate()), fmt(rb.top1_rate()),
+                 fmt(rs.top1_rate()), fmt(rd.top1_rate())});
+    t6b.add_row({arch_name(arch), fmt(rp.top5_rate()), fmt(rb.top5_rate()),
+                 fmt(rs.top5_rate()), fmt(rd.top5_rate())});
+    t6c.add_row({arch_name(arch), fmt(rd.conf_delta_natural),
+                 fmt(rp.conf_delta_adv), fmt(rd.conf_delta_adv)});
+    max_dssim = std::max(max_dssim, std::max(rp.max_dssim, rd.max_dssim));
+  }
+
+  banner("Fig. 6a — top-1 evasive success (%)");
+  t6a.print();
+  std::printf("paper: PGD 30.2-50.9, BB 30.3-77.2, semiBB 71.1-96.2, "
+              "whitebox 92.3-97\n");
+
+  banner("Fig. 6b — top-5 evasive success (%)");
+  t6b.print();
+  std::printf("paper: whitebox DIVA 2.6-4.2x PGD. NOTE: top-5 over few\n"
+              "classes (vs 1000 in the paper) is a much stricter criterion\n"
+              "— 5 labels cover a third of our label space — so absolute\n"
+              "top-5 numbers are structurally lower here.\n");
+
+  banner("Fig. 6c — confidence delta on the correct class (%)");
+  t6c.print();
+  std::printf("paper: natural ~7.9, PGD 18.6-25, DIVA 56.6-72.4 — the\n"
+              "ordering natural < PGD < DIVA is the reproduced shape.\n");
+
+  std::printf("\nSec 5.2 DSSIM: max over all adversarial images = %.4f\n"
+              "(paper: < 0.0092 at 224x224; larger here because epsilon\n"
+              "is calibrated up for 32x32 inputs — see EXPERIMENTS.md).\n",
+              max_dssim);
+  return 0;
+}

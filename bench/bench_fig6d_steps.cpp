@@ -1,0 +1,51 @@
+// Figure 6d: top-1 evasive success on ResNet as attack steps increase.
+//
+// Paper: PGD plateaus at 40.8% by step 7; DIVA keeps climbing and
+// reaches 96.9% by step 11.
+#include "bench_common.h"
+
+using namespace diva;
+using namespace diva::bench;
+
+int main() {
+  banner("Figure 6d — top-1 evasive success vs attack steps (ResNet)");
+  ModelZoo zoo;
+  Sequential& orig = zoo.original(Arch::kResNet);
+  Sequential& qat = zoo.adapted_qat(Arch::kResNet);
+  const auto orig_fn = ModelZoo::fn(orig);
+  const auto q8_fn = ModelZoo::fn(zoo.quantized(Arch::kResNet));
+  const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+
+  AttackConfig cfg = ExperimentDefaults::attack();
+  std::vector<float> pgd_curve(static_cast<std::size_t>(cfg.steps));
+  std::vector<float> diva_curve(static_cast<std::size_t>(cfg.steps));
+
+  cfg.step_callback = [&](int step, const Tensor& x_adv) {
+    const EvasionResult r =
+        evaluate_evasion(orig_fn, q8_fn, eval.images, x_adv, eval.labels);
+    pgd_curve[static_cast<std::size_t>(step - 1)] = r.top1_rate();
+  };
+  PgdAttack pgd(qat, cfg);
+  (void)pgd.perturb(eval.images, eval.labels);
+
+  cfg.step_callback = [&](int step, const Tensor& x_adv) {
+    const EvasionResult r =
+        evaluate_evasion(orig_fn, q8_fn, eval.images, x_adv, eval.labels);
+    diva_curve[static_cast<std::size_t>(step - 1)] = r.top1_rate();
+  };
+  DivaAttack diva(orig, qat, ExperimentDefaults::kC, cfg);
+  (void)diva.perturb(eval.images, eval.labels);
+
+  TablePrinter table({"Step", "PGD top1 (%)", "DIVA top1 (%)"});
+  for (int s = 0; s < cfg.steps; ++s) {
+    table.add_row({std::to_string(s + 1),
+                   fmt(pgd_curve[static_cast<std::size_t>(s)]),
+                   fmt(diva_curve[static_cast<std::size_t>(s)])});
+  }
+  table.print();
+  std::printf(
+      "\npaper shape: PGD's evasive success plateaus after a few steps\n"
+      "(40.8%% at step 7) while DIVA keeps climbing (96.9%% at step 11)\n"
+      "and dominates from step 1 on.\n");
+  return 0;
+}

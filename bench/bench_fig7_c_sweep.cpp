@@ -1,0 +1,56 @@
+// Figure 7: whitebox DIVA top-1 evasive success as the balance
+// hyperparameter c varies, per architecture, with the PGD baseline as a
+// horizontal reference.
+//
+// Paper: success peaks in the mid-range of c (97.7% at c=0.1 for
+// MobileNet, 94.4% at c=1 for ResNet, 96.9% at c=10 for DenseNet in
+// their run); very small c never attacks, very large c behaves like
+// plain PGD on the adapted model and loses evasiveness.
+#include "bench_common.h"
+
+using namespace diva;
+using namespace diva::bench;
+
+int main() {
+  banner("Figure 7 — whitebox DIVA top-1 evasive success vs c");
+  ModelZoo zoo;
+  AttackConfig cfg = ExperimentDefaults::attack();
+  const float c_values[] = {0.0f, 0.01f, 0.1f, 0.5f, 1.0f, 5.0f, 10.0f};
+
+  TablePrinter table({"c", "ResNet", "MobileNet", "DenseNet"});
+  std::vector<std::vector<std::string>> rows(std::size(c_values));
+  std::vector<float> pgd_ref;
+
+  for (const Arch arch : kArches) {
+    std::printf("  -- %s --\n", arch_name(arch).c_str());
+    Sequential& orig = zoo.original(arch);
+    Sequential& qat = zoo.adapted_qat(arch);
+    const auto orig_fn = ModelZoo::fn(orig);
+    const auto q8_fn = ModelZoo::fn(zoo.quantized(arch));
+    const Dataset eval =
+        make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn}, /*per_class=*/3);
+
+    PgdAttack pgd(qat, cfg);
+    pgd_ref.push_back(run_attack(pgd, eval, orig_fn, q8_fn).top1_rate());
+
+    for (std::size_t i = 0; i < std::size(c_values); ++i) {
+      DivaAttack diva(orig, qat, c_values[i], cfg);
+      const EvasionResult r = run_attack(diva, eval, orig_fn, q8_fn);
+      rows[i].push_back(fmt(r.top1_rate()));
+    }
+  }
+
+  for (std::size_t i = 0; i < std::size(c_values); ++i) {
+    table.add_row({fmt(c_values[i], 3), rows[i][0], rows[i][1], rows[i][2]});
+  }
+  table.print();
+  std::printf("  PGD reference: ResNet %s, MobileNet %s, DenseNet %s\n",
+              fmt(pgd_ref[0]).c_str(), fmt(pgd_ref[1]).c_str(),
+              fmt(pgd_ref[2]).c_str());
+  std::printf(
+      "\npaper shape: an inverted-U in c — near-zero success for c -> 0\n"
+      "(no attack pressure), a peak in the mid-range, and decay toward\n"
+      "the PGD-like regime for large c (attack transfers to the original\n"
+      "model). DIVA above the PGD reference through the peak region.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 1: original vs quantized accuracy, per-direction deviation
+// counts, and instability, across the three architectures.
+//
+// Paper reference (ImageNet, 23,925 val images):
+//   ResNet50     72.1% / 70.1%, 1510 / 925, instability 8.1%
+//   MobileNet    69.1% / 67.4%, 1199 / 677, instability 6.3%
+//   DenseNet121  73.5% / 71.0%, 1567 / 816, instability 7.9%
+#include "bench_common.h"
+
+using namespace diva;
+using namespace diva::bench;
+
+int main() {
+  banner("Table 1 — accuracy and instability: original vs int8-quantized");
+  ModelZoo zoo;
+
+  TablePrinter table({"Architecture", "Orig acc", "Quant acc",
+                      "OrigOK+QuantWrong", "OrigWrong+QuantOK",
+                      "Instability"});
+  for (const Arch arch : kArches) {
+    const auto orig = ModelZoo::fn(zoo.original(arch));
+    const auto q8 = ModelZoo::fn(zoo.quantized(arch));
+    const InstabilityStats s = instability(orig, q8, zoo.val_set());
+    table.add_row({arch_name(arch), fmt(100.0 * s.orig_accuracy) + "%",
+                   fmt(100.0 * s.adapted_accuracy) + "%",
+                   std::to_string(s.orig_correct_adapted_wrong),
+                   std::to_string(s.orig_wrong_adapted_correct),
+                   fmt(100.0 * s.instability) + "%"});
+  }
+  table.print();
+  std::printf(
+      "\npaper: orig 69.1-73.5%%, quant within 96%% of orig, instability"
+      " 6.3-8.1%% (1000 classes, 224x224).\n"
+      "Expected shape: quantized accuracy close to original while a\n"
+      "nontrivial fraction of individual predictions deviate in both\n"
+      "directions. Absolute instability is higher at this scale: int8\n"
+      "grids on 8-32 channel layers move decision boundaries relatively\n"
+      "further than on ResNet50-width layers.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 2: the cost of evasion — success rate counting ONLY whether the
+// adapted model was fooled (ignoring the original model), PGD vs DIVA.
+//
+// Paper (quantization): PGD 98.4-98.7%, DIVA 95.1-97.0% — DIVA gives up
+// at most 3.6 points of raw attack power to gain evasiveness.
+// §5.3 also reports that raising c to 10 recovers most of the gap.
+#include "bench_common.h"
+
+using namespace diva;
+using namespace diva::bench;
+
+int main() {
+  banner("Table 2 — evasion cost: success against the adapted model only");
+  ModelZoo zoo;
+  const AttackConfig cfg = ExperimentDefaults::attack();
+
+  TablePrinter table({"Arch", "PGD attack-only", "DIVA attack-only (c=1)",
+                      "DIVA attack-only (c=10)"});
+  for (const Arch arch : kArches) {
+    std::printf("  -- %s --\n", arch_name(arch).c_str());
+    Sequential& orig = zoo.original(arch);
+    Sequential& qat = zoo.adapted_qat(arch);
+    const auto orig_fn = ModelZoo::fn(orig);
+    const auto q8_fn = ModelZoo::fn(zoo.quantized(arch));
+    const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+
+    PgdAttack pgd(qat, cfg);
+    const EvasionResult rp = run_attack(pgd, eval, orig_fn, q8_fn);
+    DivaAttack diva1(orig, qat, 1.0f, cfg);
+    const EvasionResult r1 = run_attack(diva1, eval, orig_fn, q8_fn);
+    DivaAttack diva10(orig, qat, 10.0f, cfg);
+    const EvasionResult r10 = run_attack(diva10, eval, orig_fn, q8_fn);
+
+    table.add_row({arch_name(arch), fmt(rp.attack_only_rate()) + "%",
+                   fmt(r1.attack_only_rate()) + "%",
+                   fmt(r10.attack_only_rate()) + "%"});
+  }
+  table.print();
+  std::printf(
+      "\npaper: PGD 98.4-98.7%%, DIVA(c=1) 95.1-97.0%% (1.7-3.6pp cheaper\n"
+      "than PGD); raising c toward 10 recovers the attack-only gap at the\n"
+      "price of evasiveness (§5.3). The reproduced shape: DIVA(c=10)\n"
+      "approaches PGD while DIVA(c=1) trades raw attack power for evasion.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// DIVA against a pruned edge model (paper §5.6).
+//
+// Pruning is the second edge-adaptation technique the paper attacks:
+// the model is magnitude-pruned to 60% sparsity and finetuned, shrinking
+// it to roughly a third of its effective size. This example walks the
+// pruning pipeline and shows the same evasive attack working against
+// the sparse model.
+//
+// Run from the repository root:  ./build/examples/example_pruning_attack
+#include <cstdio>
+
+#include "attack/attack.h"
+#include "core/evaluation.h"
+#include "core/zoo.h"
+#include "prune/prune.h"
+
+using namespace diva;
+
+int main() {
+  std::printf("== Attacking a pruned edge model (paper Sec. 5.6) ==\n\n");
+  ZooConfig cfg;
+  cfg.verbose = true;
+  ModelZoo zoo(cfg);
+
+  Sequential& original = zoo.original(Arch::kDenseNet);
+  Sequential& pruned = zoo.pruned(Arch::kDenseNet);
+
+  MagnitudePruner inspector = MagnitudePruner::from_existing_zeros(pruned);
+  std::printf("\npruned model sparsity: %.1f%% across %zu weight tensors\n",
+              100.0f * inspector.actual_sparsity(),
+              inspector.num_prunable_tensors());
+
+  const auto orig_fn = ModelZoo::fn(original);
+  const auto pruned_fn = ModelZoo::fn(pruned);
+  std::printf("original accuracy: %.1f%%   pruned accuracy: %.1f%%\n",
+              100.0 * accuracy(orig_fn, zoo.val_set()),
+              100.0 * accuracy(pruned_fn, zoo.val_set()));
+  const InstabilityStats s = instability(orig_fn, pruned_fn, zoo.val_set());
+  std::printf("instability between them: %.1f%% — pruning is a more\n"
+              "intrusive adaptation than quantization (paper: 17.1-33.5%%)\n",
+              100.0 * s.instability);
+
+  const auto idx = select_correct({orig_fn, pruned_fn}, zoo.val_set(), 6);
+  const Dataset eval = zoo.val_set().subset(idx);
+
+  AttackConfig acfg;
+  acfg.epsilon = 16.0f / 255.0f;
+  acfg.alpha = 2.0f / 255.0f;
+  acfg.steps = 20;
+
+  PgdAttack pgd(pruned, acfg);
+  DivaAttack diva(original, pruned, 1.0f, acfg);
+  const EvasionResult rp = evaluate_evasion(
+      orig_fn, pruned_fn, eval.images, pgd.perturb(eval.images, eval.labels),
+      eval.labels);
+  const EvasionResult rd = evaluate_evasion(
+      orig_fn, pruned_fn, eval.images, diva.perturb(eval.images, eval.labels),
+      eval.labels);
+
+  std::printf("\n%-6s evasive top-1 %.1f%%   attack-only %.1f%%\n", "PGD:",
+              rp.top1_rate(), rp.attack_only_rate());
+  std::printf("%-6s evasive top-1 %.1f%%   attack-only %.1f%%\n", "DIVA:",
+              rd.top1_rate(), rd.attack_only_rate());
+  std::printf(
+      "\nDIVA generalizes across adaptation techniques: the loss never\n"
+      "assumed quantization, only that an adapted twin diverges somewhere\n"
+      "from its original (paper Fig. 8).\n");
+  return 0;
+}

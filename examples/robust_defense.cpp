@@ -1,0 +1,69 @@
+// Robust training as a defense against DIVA (paper §5.5).
+//
+// Operators can adversarially train the original model before adapting
+// it. This example adversarially trains a model (Eq. 4 minimax),
+// quantizes it, and measures how much of DIVA's evasive success
+// survives — the paper finds both PGD and DIVA are strongly suppressed
+// because robust training shrinks the divergence wedge between the two
+// models, though DIVA keeps a small edge.
+//
+// Run from the repository root:  ./build/examples/example_robust_defense
+#include <cstdio>
+
+#include "attack/attack.h"
+#include "core/evaluation.h"
+#include "core/zoo.h"
+#include "robust/robust.h"
+
+using namespace diva;
+
+int main() {
+  std::printf("== Robust training as a defense (paper Sec. 5.5) ==\n\n");
+  ZooConfig cfg;
+  cfg.verbose = true;
+  ModelZoo zoo(cfg);
+
+  // Undefended pair for reference.
+  Sequential& orig = zoo.original(Arch::kResNet);
+  Sequential& qat = zoo.adapted_qat(Arch::kResNet);
+  // Robust pair.
+  Sequential& r_orig = zoo.robust_original();
+  Sequential& r_qat = zoo.robust_qat();
+
+  const auto orig_fn = ModelZoo::fn(orig);
+  const auto q8_fn = ModelZoo::fn(zoo.quantized(Arch::kResNet));
+  const auto r_orig_fn = ModelZoo::fn(r_orig);
+  const auto r_q8_fn = ModelZoo::fn(zoo.robust_quantized());
+
+  AttackConfig acfg;
+  acfg.epsilon = 16.0f / 255.0f;
+  acfg.alpha = 2.0f / 255.0f;
+  acfg.steps = 20;
+
+  std::printf("\nclean accuracy:  undefended %.1f%%, robust %.1f%%\n",
+              100.0 * accuracy(orig_fn, zoo.val_set()),
+              100.0 * accuracy(r_orig_fn, zoo.val_set()));
+  std::printf("robust accuracy under PGD: undefended %.1f%%, robust %.1f%%\n",
+              100.0 * robust_accuracy(orig, zoo.val_set(), acfg),
+              100.0 * robust_accuracy(r_orig, zoo.val_set(), acfg));
+
+  auto evasive = [&](Sequential& o, Sequential& a, const ModelFn& ofn,
+                     const ModelFn& afn) {
+    const auto idx = select_correct({ofn, afn}, zoo.val_set(), 6);
+    const Dataset eval = zoo.val_set().subset(idx);
+    DivaAttack diva(o, a, /*c=*/1.5f, acfg);
+    const Tensor adv = diva.perturb(eval.images, eval.labels);
+    return evaluate_evasion(ofn, afn, eval.images, adv, eval.labels);
+  };
+
+  const EvasionResult undefended = evasive(orig, qat, orig_fn, q8_fn);
+  const EvasionResult defended = evasive(r_orig, r_qat, r_orig_fn, r_q8_fn);
+  std::printf("\nDIVA evasive top-1: undefended %.1f%%  ->  robust %.1f%%\n",
+              undefended.top1_rate(), defended.top1_rate());
+  std::printf(
+      "\nRobust training pushes both models toward the same worst-case\n"
+      "boundaries, shrinking the non-overlap DIVA exploits (paper: success\n"
+      "drops to ~13%% on robust ResNet50). It is also the most expensive\n"
+      "defense — the minimax inner loop multiplies training cost.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Semi-blackbox attack walkthrough (paper §4.3 / Figure 5).
+//
+// The attacker extracts the int8 model from an edge device but has no
+// access to the original model or its training data. This example
+// reconstructs a full-precision surrogate by knowledge distillation
+// from the adapted model over a scraped (disjoint) image pool, then
+// runs DIVA against (surrogate, adapted) and shows the attack carries
+// over to the *true* original model.
+//
+// Run from the repository root:  ./build/examples/example_surrogate_attack
+#include <cstdio>
+
+#include "attack/attack.h"
+#include "core/evaluation.h"
+#include "core/zoo.h"
+#include "distill/distill.h"
+
+using namespace diva;
+
+int main() {
+  std::printf("== Semi-blackbox surrogate attack (paper Sec. 4.3) ==\n\n");
+  ZooConfig cfg;
+  cfg.verbose = true;
+  ModelZoo zoo(cfg);
+
+  // What the attacker has: the adapted (edge) model.
+  Sequential& adapted = zoo.adapted_qat(Arch::kMobileNet);
+  // What the attacker does NOT have: the original.
+  Sequential& original = zoo.original(Arch::kMobileNet);
+
+  // Step 1: distill a surrogate full-precision model from the adapted
+  // model over the attacker's own (disjoint) image pool.
+  Sequential& surrogate = zoo.surrogate_original(Arch::kMobileNet);
+  const float agree = agreement(surrogate, ModelZoo::fn(adapted),
+                                zoo.surrogate_set().images);
+  std::printf("\nsurrogate/adapted prediction agreement: %.1f%%\n",
+              100.0f * agree);
+
+  // Step 2: whitebox DIVA against (surrogate, adapted).
+  const auto orig_fn = ModelZoo::fn(original);
+  const auto q8_fn = ModelZoo::fn(zoo.quantized(Arch::kMobileNet));
+  const auto eval_idx = select_correct({orig_fn, q8_fn}, zoo.val_set(), 6);
+  const Dataset eval = zoo.val_set().subset(eval_idx);
+
+  AttackConfig acfg;
+  acfg.epsilon = 16.0f / 255.0f;
+  acfg.alpha = 2.0f / 255.0f;
+  acfg.steps = 20;
+  DivaAttack semi(surrogate, adapted, 1.0f, acfg);
+  const Tensor adv = semi.perturb(eval.images, eval.labels);
+
+  // Step 3: score against the TRUE original + deployed int8 model.
+  const EvasionResult r =
+      evaluate_evasion(orig_fn, q8_fn, eval.images, adv, eval.labels);
+  std::printf("\nsemi-blackbox DIVA on %d images:\n", r.total);
+  std::printf("  evasive top-1 success: %.1f%%\n", r.top1_rate());
+  std::printf("  adapted-model fooled:  %.1f%%\n", r.attack_only_rate());
+  std::printf("  original preserved:    %.1f%%\n",
+              100.0f * r.orig_preserved / r.total);
+  std::printf(
+      "\nThe attack never touched the original model, yet evades it: the\n"
+      "surrogate stood in for it during optimization (paper Fig. 5).\n");
+  return 0;
+}

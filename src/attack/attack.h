@@ -1,0 +1,147 @@
+// Adversarial attack interfaces and the gradient-based attack family.
+//
+// All attacks operate on batches of natural images in [0,1] (NCHW) and
+// produce adversarial batches constrained to the L-infinity ball of
+// radius epsilon around the natural input, intersected with [0,1]
+// (Eq. 3 of the paper). Models are attacked in eval mode with parameter
+// gradients disabled; only input gradients are computed.
+//
+// Default hyperparameters follow the paper's §5.1: epsilon = 8/255,
+// step size alpha = 1/255, t = 20 steps, natural-sample initialization
+// (no random start).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+struct AttackConfig {
+  float epsilon = 8.0f / 255.0f;
+  float alpha = 1.0f / 255.0f;
+  int steps = 20;
+  bool random_start = false;
+  std::uint64_t seed = 0;
+  /// Optional observer invoked after every iteration with (1-based step,
+  /// current adversarial batch) — used by the Fig. 6d step sweep.
+  std::function<void(int, const Tensor&)> step_callback;
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Perturbs a batch; returns adversarial images of the same shape.
+  virtual Tensor perturb(const Tensor& x, const std::vector<int>& labels) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Loss maximized by the single-model attacks.
+enum class AttackLoss {
+  kCrossEntropy,  // standard PGD objective
+  kCwMargin,      // max_{i != y} z_i - z_y   (L-inf CW, Madry setup)
+};
+
+/// Projected gradient descent (Madry et al.) against a single model.
+class PgdAttack : public Attack {
+ public:
+  PgdAttack(Module& model, AttackConfig cfg = {},
+            AttackLoss loss = AttackLoss::kCrossEntropy);
+
+  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  std::string name() const override {
+    return loss_ == AttackLoss::kCwMargin ? "CW" : "PGD";
+  }
+
+ private:
+  Module& model_;
+  AttackConfig cfg_;
+  AttackLoss loss_;
+};
+
+/// FGSM: single-step PGD with alpha = epsilon (Goodfellow et al.).
+class FgsmAttack : public Attack {
+ public:
+  explicit FgsmAttack(Module& model, float epsilon = 8.0f / 255.0f);
+  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  std::string name() const override { return "FGSM"; }
+
+ private:
+  PgdAttack pgd_;
+};
+
+/// Momentum PGD (Dong et al.): accumulates an L1-normalized gradient
+/// moving average before taking the sign step.
+class MomentumPgdAttack : public Attack {
+ public:
+  MomentumPgdAttack(Module& model, AttackConfig cfg = {}, float mu = 0.5f);
+  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  std::string name() const override { return "MomentumPGD"; }
+
+ private:
+  Module& model_;
+  AttackConfig cfg_;
+  float mu_;
+};
+
+/// DIVA (the paper's contribution, Eq. 5/6): jointly maximizes
+///   L = p_orig(y | x') - c * p_adapted(y | x')
+/// so the adapted model flips while the original model keeps its
+/// prediction. Solved with PGD-style iterations.
+class DivaAttack : public Attack {
+ public:
+  DivaAttack(Module& original, Module& adapted, float c = 1.0f,
+             AttackConfig cfg = {});
+
+  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  std::string name() const override { return "DIVA"; }
+
+  float c() const { return c_; }
+
+ private:
+  Module& original_;
+  Module& adapted_;
+  float c_;
+  AttackConfig cfg_;
+};
+
+/// Targeted DIVA (§6): adds a pull toward a chosen target class on the
+/// adapted model:  L = p_o[y] - c * p_a[y] - k * || p_a - onehot(t) ||^2.
+class TargetedDivaAttack : public Attack {
+ public:
+  TargetedDivaAttack(Module& original, Module& adapted, int target_class,
+                     float c = 1.0f, float k = 2.0f, AttackConfig cfg = {});
+
+  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  std::string name() const override { return "TargetedDIVA"; }
+
+ private:
+  Module& original_;
+  Module& adapted_;
+  int target_;
+  float c_, k_;
+  AttackConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+// Building blocks shared by the attack implementations (exposed for
+// tests and for composing new attacks).
+// ---------------------------------------------------------------------------
+
+/// d(p[y])/d(logits) rows: p[y] * (e_y - p). `probs` is [N, D].
+Tensor prob_grad_rows(const Tensor& probs, const std::vector<int>& labels);
+
+/// Projects x_adv into the epsilon ball around x and into [0,1].
+Tensor project(const Tensor& x_adv, const Tensor& x_natural, float epsilon);
+
+/// One ascent step: x + alpha * sign(grad), then projection.
+Tensor ascend_and_project(const Tensor& x_adv, const Tensor& grad,
+                          const Tensor& x_natural, float alpha, float epsilon);
+
+}  // namespace diva

@@ -1,0 +1,108 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+
+#include "metrics/dssim.h"
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+EvasionResult evaluate_evasion(const ModelFn& orig, const ModelFn& adapted,
+                               const Tensor& natural, const Tensor& adv,
+                               const std::vector<int>& labels) {
+  DIVA_CHECK(natural.shape() == adv.shape(), "natural/adv shape mismatch");
+  const std::int64_t n = natural.dim(0);
+  DIVA_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "labels size mismatch");
+
+  const Tensor logits_o = orig(adv);
+  const Tensor logits_a = adapted(adv);
+  const auto pred_o = argmax_rows(logits_o);
+  const auto pred_a = argmax_rows(logits_a);
+  const int k = static_cast<int>(std::min<std::int64_t>(5, logits_o.dim(1)));
+  const auto top5_o = topk_rows(logits_o, k);
+
+  EvasionResult r;
+  r.total = static_cast<int>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    const bool orig_ok = pred_o[static_cast<std::size_t>(i)] == y;
+    const bool adapted_fooled = pred_a[static_cast<std::size_t>(i)] != y;
+    r.orig_preserved += orig_ok;
+    r.adapted_fooled += adapted_fooled;
+    if (orig_ok && adapted_fooled) ++r.top1_success;
+    if (orig_ok) {
+      const auto& t5 = top5_o[static_cast<std::size_t>(i)];
+      const bool in_top5 =
+          std::find(t5.begin(), t5.end(),
+                    pred_a[static_cast<std::size_t>(i)]) != t5.end();
+      if (!in_top5) ++r.top5_success;
+    }
+  }
+
+  r.conf_delta_natural = confidence_delta(orig, adapted, natural, labels);
+  r.conf_delta_adv = confidence_delta(orig, adapted, adv, labels);
+
+  // DSSIM over each image pair.
+  const std::int64_t per = natural.numel() / n;
+  double total_dssim = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor a(Shape{natural.dim(1), natural.dim(2), natural.dim(3)});
+    Tensor b(a.shape());
+    std::copy_n(natural.raw() + i * per, per, a.raw());
+    std::copy_n(adv.raw() + i * per, per, b.raw());
+    const float d = dssim(a, b);
+    r.max_dssim = std::max(r.max_dssim, d);
+    total_dssim += d;
+  }
+  r.mean_dssim = static_cast<float>(total_dssim / n);
+  return r;
+}
+
+OutcomeBreakdown outcome_breakdown(const ModelFn& orig, const ModelFn& adapted,
+                                   const Tensor& images,
+                                   const std::vector<int>& labels) {
+  const auto pred_o = argmax_rows(orig(images));
+  const auto pred_a = argmax_rows(adapted(images));
+  OutcomeBreakdown b;
+  b.total = static_cast<int>(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const bool oc = pred_o[i] == labels[i];
+    const bool ac = pred_a[i] == labels[i];
+    if (oc && ac) ++b.both_correct;
+    if (oc && !ac) ++b.orig_correct_adapted_wrong;
+    if (!oc && !ac) ++b.both_wrong;
+    if (!oc && ac) ++b.orig_wrong_adapted_correct;
+  }
+  return b;
+}
+
+std::vector<int> select_correct(const std::vector<ModelFn>& models,
+                                const Dataset& pool, int per_class) {
+  DIVA_CHECK(!models.empty(), "select_correct: no models");
+  std::vector<std::vector<int>> preds;
+  preds.reserve(models.size());
+  for (const auto& m : models) preds.push_back(predict(m, pool));
+
+  std::vector<int> per_class_count(static_cast<std::size_t>(pool.num_classes),
+                                   0);
+  std::vector<int> out;
+  for (std::int64_t i = 0; i < pool.size(); ++i) {
+    const int y = pool.labels[static_cast<std::size_t>(i)];
+    if (per_class_count[static_cast<std::size_t>(y)] >= per_class) continue;
+    bool all_ok = true;
+    for (const auto& p : preds) {
+      if (p[static_cast<std::size_t>(i)] != y) {
+        all_ok = false;
+        break;
+      }
+    }
+    if (all_ok) {
+      out.push_back(static_cast<int>(i));
+      ++per_class_count[static_cast<std::size_t>(y)];
+    }
+  }
+  return out;
+}
+
+}  // namespace diva

@@ -1,0 +1,71 @@
+// Evasive-attack evaluation implementing the paper's success criteria
+// (§5.1):
+//   A successful evasive attack requires BOTH
+//     (a) the original model still classifies the perturbed image
+//         correctly, and
+//     (b) the adapted model, which classified the natural image
+//         correctly, misclassifies the perturbed one.
+//   top-1 success: (a) && (b).
+//   top-5 success: original correct AND the adapted model's top-1
+//     prediction does not even appear in the original model's top-5.
+//   attack-only success (Table 2's evasion-cost metric): (b) alone.
+//
+// Evaluation sets are drawn from samples classified correctly by every
+// relevant model, matching the paper's dataset construction.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+
+namespace diva {
+
+struct EvasionResult {
+  int total = 0;
+  int top1_success = 0;
+  int top5_success = 0;
+  int adapted_fooled = 0;   // (b) alone — Table 2 metric
+  int orig_preserved = 0;   // (a) alone
+  float conf_delta_natural = 0.0f;  // % on natural images
+  float conf_delta_adv = 0.0f;      // % on adversarial images (Fig. 6c)
+  float max_dssim = 0.0f;
+  float mean_dssim = 0.0f;
+
+  float top1_rate() const {
+    return total ? 100.0f * static_cast<float>(top1_success) / total : 0.0f;
+  }
+  float top5_rate() const {
+    return total ? 100.0f * static_cast<float>(top5_success) / total : 0.0f;
+  }
+  float attack_only_rate() const {
+    return total ? 100.0f * static_cast<float>(adapted_fooled) / total : 0.0f;
+  }
+};
+
+/// Scores an attack given natural and adversarial image batches. All
+/// samples are assumed correctly classified by both models on the
+/// natural images (use select_correct to build such sets).
+EvasionResult evaluate_evasion(const ModelFn& orig, const ModelFn& adapted,
+                               const Tensor& natural, const Tensor& adv,
+                               const std::vector<int>& labels);
+
+/// Outcome categories of Figure 1.
+struct OutcomeBreakdown {
+  int both_correct = 0;
+  int orig_correct_adapted_wrong = 0;  // the evasive-success cell
+  int both_wrong = 0;
+  int orig_wrong_adapted_correct = 0;
+  int total = 0;
+};
+
+OutcomeBreakdown outcome_breakdown(const ModelFn& orig, const ModelFn& adapted,
+                                   const Tensor& images,
+                                   const std::vector<int>& labels);
+
+/// Indices of pool samples that every model classifies correctly,
+/// capped at `per_class` samples per class (paper: three per class).
+std::vector<int> select_correct(const std::vector<ModelFn>& models,
+                                const Dataset& pool, int per_class);
+
+}  // namespace diva

@@ -1,0 +1,41 @@
+// Shared experiment parameters for the bench harnesses.
+//
+// The perturbation budget is calibrated to the paper's *operating
+// point* rather than its raw epsilon: on 224x224 ImageNet models,
+// epsilon = 8/255 puts the baseline PGD attack at ~98% success against
+// the adapted model; on this library's 32x32 low-capacity models the
+// same raw epsilon leaves PGD below 70%, so the benches use
+// epsilon = 16/255 / alpha = 2/255 / t = 20, which restores PGD
+// attack-only success to the paper's ~90%+ regime (see EXPERIMENTS.md
+// for the calibration sweep).
+#pragma once
+
+#include "attack/attack.h"
+#include "core/zoo.h"
+
+namespace diva {
+
+struct ExperimentDefaults {
+  /// Attack budget used by every table/figure bench unless the paper
+  /// varies it (Fig. 6d varies steps; Fig. 7 varies c).
+  static AttackConfig attack() {
+    AttackConfig cfg;
+    cfg.epsilon = 16.0f / 255.0f;
+    cfg.alpha = 2.0f / 255.0f;
+    cfg.steps = 20;
+    cfg.random_start = false;  // paper: natural-sample initialization
+    return cfg;
+  }
+
+  /// Default DIVA balance (paper default, §4.2).
+  static constexpr float kC = 1.0f;
+
+  /// Eval-set size: per-class cap on correctly-classified samples
+  /// (paper uses 3 per class over 1000 classes; we use more per class
+  /// over fewer classes to keep the sample count meaningful).
+  static constexpr int kEvalPerClass = 6;
+
+  static ZooConfig zoo() { return ZooConfig{}; }
+};
+
+}  // namespace diva

@@ -1,0 +1,55 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "runtime/check.h"
+
+namespace diva {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  DIVA_CHECK(cells.size() == headers_.size(),
+             "row has " << cells.size() << " cells, expected "
+                        << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 2;
+  for (const auto w : widths) total += w + 2;
+  std::string rule(total, '-');
+  std::printf("  %s\n", rule.c_str() + 2);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string with_paper(double measured, const std::string& paper_note,
+                       int decimals) {
+  return fmt(measured, decimals) + " (paper: " + paper_note + ")";
+}
+
+}  // namespace diva

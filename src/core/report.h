@@ -1,0 +1,36 @@
+// Plain-text table printer for the bench harnesses: aligned columns,
+// a title banner, and a "paper=" annotation convention so every bench
+// prints the measured value next to the paper's reported range.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace diva {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row (cells are stringified by the caller).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the aligned table to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner:  === title ===
+void banner(const std::string& title);
+
+/// Formats a float with fixed precision, e.g. fmt(97.25, 1) -> "97.2".
+std::string fmt(double value, int decimals = 1);
+
+/// Formats "measured (paper: X)" annotations.
+std::string with_paper(double measured, const std::string& paper_note,
+                       int decimals = 1);
+
+}  // namespace diva

@@ -1,0 +1,45 @@
+#include "core/trainer.h"
+
+#include <cstdio>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace diva {
+
+float train_classifier(Sequential& model, const Dataset& train,
+                       const TrainConfig& cfg) {
+  DIVA_CHECK(train.size() > 0, "empty training set");
+  Sgd opt(model.named_parameters(), cfg.lr, cfg.momentum, cfg.weight_decay);
+  DataLoader loader(train, cfg.batch_size, cfg.seed);
+  const std::int64_t steps = loader.batches_per_epoch();
+
+  float last_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (cfg.lr_decay_epochs > 0 && epoch > 0 &&
+        epoch % cfg.lr_decay_epochs == 0) {
+      opt.set_lr(opt.lr() * cfg.lr_decay);
+    }
+    model.set_training(true);
+    double epoch_loss = 0.0;
+    for (std::int64_t step = 0; step < steps; ++step) {
+      const Batch batch = loader.next();
+      opt.zero_grad();
+      const Tensor logits = model.forward(batch.images);
+      LossGrad lg = softmax_cross_entropy(logits, batch.labels);
+      model.backward(lg.dlogits);
+      opt.step();
+      if (cfg.post_step) cfg.post_step();
+      epoch_loss += lg.loss;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / steps);
+    if (cfg.verbose) {
+      std::printf("  epoch %2d/%d  loss %.4f\n", epoch + 1, cfg.epochs,
+                  last_epoch_loss);
+    }
+  }
+  model.set_training(false);
+  return last_epoch_loss;
+}
+
+}  // namespace diva

@@ -1,0 +1,32 @@
+// Generic supervised training loop used by the model zoo, QAT
+// finetuning, pruning finetuning and robust training.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace diva {
+
+struct TrainConfig {
+  int epochs = 10;
+  std::int64_t batch_size = 32;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  /// Multiply lr by lr_decay every lr_decay_epochs (0 disables).
+  float lr_decay = 0.1f;
+  int lr_decay_epochs = 0;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+  /// Invoked after every optimizer step (e.g. pruning mask re-apply).
+  std::function<void()> post_step;
+};
+
+/// Trains with SGD + momentum on softmax cross-entropy; returns the
+/// final-epoch mean training loss. The model is left in eval mode.
+float train_classifier(Sequential& model, const Dataset& train,
+                       const TrainConfig& cfg);
+
+}  // namespace diva

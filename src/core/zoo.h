@@ -1,0 +1,133 @@
+// ModelZoo — the experiment context: datasets plus every trained model
+// the paper's evaluation needs, built on demand and cached on disk so
+// repeated bench runs skip training.
+//
+// Model inventory per ImageNet-track architecture (ResNet / MobileNet /
+// DenseNet), mirroring §5.1 "Models":
+//   original            float model (Conv+BN), trained on the train split
+//   adapted_qat         QAT twin (fold -> calibrate -> QAT finetune);
+//                       differentiable stand-in for the int8 model and
+//                       the gradient source for attacks (paper §6 uses
+//                       QAT gradients the same way)
+//   quantized           integer-only deployed model compiled from the QAT
+//                       twin (the "TFLite" artifact)
+//   surrogate_original  semi-blackbox surrogate of the original model,
+//                       distilled from the adapted model on a disjoint
+//                       split (§4.3)
+//   surrogate_adapted_* blackbox surrogate pair (§4.4)
+//   pruned              magnitude-pruned + finetuned float model (§5.6)
+//   pruned_qat/quantized  pruned-then-quantized track (§5.6)
+// plus the digit track (Fig. 4), face track (§6) and robust track (§5.5).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+#include "models/factory.h"
+#include "quant/quantized_model.h"
+
+namespace diva {
+
+struct ZooConfig {
+  std::string cache_dir = ".cache/models";
+  int num_classes = 16;
+  int train_per_class = 50;
+  int val_per_class = 12;
+  int surrogate_per_class = 25;
+  std::uint64_t data_seed = 0xD1AF00D;
+  int float_epochs = 10;
+  int qat_epochs = 2;
+  /// QAT finetune learning rate. Calibrated so the adapted model drifts
+  /// from the original about as much (relative to the attack budget) as
+  /// the paper's 2-epoch tfmot QAT drifts ResNet50 — see EXPERIMENTS.md.
+  float qat_lr = 0.002f;
+  int distill_epochs = 8;
+  float prune_sparsity = 0.6f;
+  // Face track (§6).
+  int face_identities = 30;
+  int face_train_per_class = 20;
+  int face_val_per_class = 8;
+  // Robust track (§5.5) — adversarial training is expensive; short run.
+  int robust_epochs = 4;
+  bool verbose = true;
+};
+
+class ModelZoo {
+ public:
+  explicit ModelZoo(ZooConfig cfg = {});
+  ~ModelZoo();
+
+  const ZooConfig& config() const { return cfg_; }
+
+  // Datasets (lazily generated, deterministic in data_seed).
+  const Dataset& train_set();
+  const Dataset& val_set();
+  const Dataset& surrogate_set();
+  const Dataset& digit_train();
+  const Dataset& digit_val();
+  const Dataset& face_train();
+  const Dataset& face_val();
+
+  // ImageNet track.
+  Sequential& original(Arch arch);
+  Sequential& adapted_qat(Arch arch);
+  const QuantizedModel& quantized(Arch arch);
+  Sequential& surrogate_original(Arch arch);
+  Sequential& surrogate_adapted_qat(Arch arch);
+  Sequential& pruned(Arch arch);
+  Sequential& pruned_qat(Arch arch);
+  const QuantizedModel& pruned_quantized(Arch arch);
+
+  // Digit track.
+  Sequential& digit_original();
+  Sequential& digit_qat();
+  const QuantizedModel& digit_quantized();
+
+  // Face track.
+  Sequential& face_original();
+  Sequential& face_qat();
+  const QuantizedModel& face_quantized();
+
+  // Robust track (ResNet, as in the paper).
+  Sequential& robust_original();
+  Sequential& robust_qat();
+  const QuantizedModel& robust_quantized();
+
+  /// Eval-mode forward closure for metrics/evaluation.
+  static ModelFn fn(Sequential& m);
+  static ModelFn fn(const QuantizedModel& m);
+
+ private:
+  using Factory = std::function<std::unique_ptr<Sequential>(NetMode)>;
+
+  std::string cache_path(const std::string& key) const;
+  bool try_load(const std::string& key, Sequential& model) const;
+  void store(const std::string& key, Sequential& model) const;
+  void log(const std::string& msg) const;
+
+  /// Generic get-or-build with disk cache.
+  Sequential& cached(const std::string& key, NetMode mode,
+                     const Factory& factory,
+                     const std::function<void(Sequential&)>& build);
+
+  Sequential& adapted_qat_for(const std::string& prefix,
+                              const Factory& factory, Sequential& source,
+                              const Dataset& data, bool preserve_zeros,
+                              float lr_override = 0.0f);
+  const QuantizedModel& compiled(const std::string& key, Sequential& qat,
+                                 const Shape& image_shape);
+
+  ZooConfig cfg_;
+  std::optional<Dataset> train_, val_, surrogate_;
+  std::optional<Dataset> digit_train_, digit_val_;
+  std::optional<Dataset> face_train_, face_val_;
+  std::map<std::string, std::unique_ptr<Sequential>> models_;
+  std::map<std::string, QuantizedModel> quantized_;
+};
+
+}  // namespace diva

@@ -1,0 +1,85 @@
+// In-memory labeled image dataset plus a shuffling batch loader.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "runtime/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+struct Dataset {
+  Tensor images;            // [N, C, H, W], values in [0, 1]
+  std::vector<int> labels;  // size N
+  int num_classes = 0;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+
+  /// Subset by indices (deep copy).
+  Dataset subset(const std::vector<int>& indices) const {
+    Dataset out;
+    out.images = gather_batch(images, indices);
+    out.labels.reserve(indices.size());
+    for (int i : indices) out.labels.push_back(labels[static_cast<std::size_t>(i)]);
+    out.num_classes = num_classes;
+    return out;
+  }
+};
+
+struct Batch {
+  Tensor images;
+  std::vector<int> labels;
+};
+
+/// Iterates a dataset in shuffled mini-batches; reshuffles every epoch.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& data, std::int64_t batch_size, std::uint64_t seed)
+      : data_(&data), batch_size_(batch_size), rng_(seed) {
+    DIVA_CHECK(batch_size > 0, "batch_size must be positive");
+    order_.resize(static_cast<std::size_t>(data.size()));
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      order_[i] = static_cast<int>(i);
+    }
+    reshuffle();
+  }
+
+  /// Number of batches per epoch (last partial batch included).
+  std::int64_t batches_per_epoch() const {
+    return (data_->size() + batch_size_ - 1) / batch_size_;
+  }
+
+  /// Next batch; wraps around epochs automatically (reshuffling).
+  Batch next() {
+    const std::int64_t n = data_->size();
+    DIVA_CHECK(n > 0, "empty dataset");
+    if (cursor_ >= n) {
+      cursor_ = 0;
+      reshuffle();
+    }
+    const std::int64_t take = std::min(batch_size_, n - cursor_);
+    std::vector<int> idx(order_.begin() + cursor_,
+                         order_.begin() + cursor_ + take);
+    cursor_ += take;
+    Batch b;
+    b.images = gather_batch(data_->images, idx);
+    b.labels.reserve(idx.size());
+    for (int i : idx) {
+      b.labels.push_back(data_->labels[static_cast<std::size_t>(i)]);
+    }
+    return b;
+  }
+
+ private:
+  void reshuffle() { rng_.shuffle(std::span<int>(order_)); }
+
+  const Dataset* data_;
+  std::int64_t batch_size_;
+  Rng rng_;
+  std::vector<int> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace diva

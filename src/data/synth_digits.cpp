@@ -1,0 +1,127 @@
+#include "data/synth_digits.h"
+
+#include <array>
+#include <algorithm>
+#include <cmath>
+
+namespace diva {
+
+namespace {
+
+// Seven-segment layout:      0: top, 1: top-left, 2: top-right,
+//   _0_                      3: middle, 4: bottom-left, 5: bottom-right,
+//  1| |2                     6: bottom
+//   -3-
+//  4| |5
+//   _6_
+constexpr std::array<std::array<bool, 7>, 10> kSegments{{
+    {true, true, true, false, true, true, true},     // 0
+    {false, false, true, false, false, true, false}, // 1
+    {true, false, true, true, true, false, true},    // 2
+    {true, false, true, true, false, true, true},    // 3
+    {false, true, true, true, false, true, false},   // 4
+    {true, true, false, true, false, true, true},    // 5
+    {true, true, false, true, true, true, true},     // 6
+    {true, false, true, false, false, true, false},  // 7
+    {true, true, true, true, true, true, true},      // 8
+    {true, true, true, true, false, true, true},     // 9
+}};
+
+struct Segment {
+  float x0, y0, x1, y1;  // normalized endpoints within the glyph box
+};
+
+constexpr std::array<Segment, 7> kSegmentGeometry{{
+    {0.15f, 0.05f, 0.85f, 0.05f},  // top
+    {0.15f, 0.05f, 0.15f, 0.50f},  // top-left
+    {0.85f, 0.05f, 0.85f, 0.50f},  // top-right
+    {0.15f, 0.50f, 0.85f, 0.50f},  // middle
+    {0.15f, 0.50f, 0.15f, 0.95f},  // bottom-left
+    {0.85f, 0.50f, 0.85f, 0.95f},  // bottom-right
+    {0.15f, 0.95f, 0.85f, 0.95f},  // bottom
+}};
+
+float dist_to_segment(float px, float py, const Segment& s) {
+  const float dx = s.x1 - s.x0, dy = s.y1 - s.y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0.0f ? ((px - s.x0) * dx + (py - s.y0) * dy) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = s.x0 + t * dx, cy = s.y0 + t * dy;
+  return std::sqrt((px - cx) * (px - cx) + (py - cy) * (py - cy));
+}
+
+}  // namespace
+
+SynthDigits::SynthDigits(std::uint64_t seed) : seed_(seed) {}
+
+Tensor SynthDigits::render(int digit, std::int64_t index) const {
+  DIVA_CHECK(digit >= 0 && digit < 10, "digit out of range");
+  Rng rng(hash_combine(hash_combine(seed_, static_cast<std::uint64_t>(digit)),
+                       static_cast<std::uint64_t>(index) * 40503 + 11));
+
+  // Glyph placement jitter.
+  const float ox = rng.uniform(-0.08f, 0.08f);
+  const float oy = rng.uniform(-0.06f, 0.06f);
+  const float scale = rng.uniform(0.85f, 1.05f);
+  const float thickness = rng.uniform(0.055f, 0.095f);
+  const float slant = rng.uniform(-0.12f, 0.12f);
+  const float noise_sd = rng.uniform(0.02f, 0.08f);
+  const float ink = rng.uniform(0.8f, 1.0f);
+
+  // Per-segment endpoint jitter.
+  std::array<Segment, 7> segs = kSegmentGeometry;
+  for (auto& s : segs) {
+    s.x0 += rng.uniform(-0.03f, 0.03f);
+    s.y0 += rng.uniform(-0.03f, 0.03f);
+    s.x1 += rng.uniform(-0.03f, 0.03f);
+    s.y1 += rng.uniform(-0.03f, 0.03f);
+  }
+
+  Tensor img(Shape{1, kChannels, kHeight, kWidth});
+  for (std::int64_t y = 0; y < kHeight; ++y) {
+    for (std::int64_t x = 0; x < kWidth; ++x) {
+      // Map pixel into glyph space with slant + scale + offset.
+      const float gy = ((static_cast<float>(y) + 0.5f) / kHeight - 0.5f) /
+                           scale + 0.5f - oy;
+      const float gx = ((static_cast<float>(x) + 0.5f) / kWidth - 0.5f) /
+                           scale + 0.5f - ox + slant * (gy - 0.5f);
+
+      float best = 1e9f;
+      for (int s = 0; s < 7; ++s) {
+        if (!kSegments[static_cast<std::size_t>(digit)]
+                      [static_cast<std::size_t>(s)]) {
+          continue;
+        }
+        best = std::min(best, dist_to_segment(gx, gy, segs[static_cast<std::size_t>(s)]));
+      }
+      // Soft stroke profile (anti-aliased edge).
+      const float v =
+          ink / (1.0f + std::exp((best - thickness) * 60.0f));
+      const float noisy = v + rng.normal(0.0f, noise_sd);
+      img.at(0, 0, y, x) = std::clamp(noisy, 0.0f, 1.0f);
+    }
+  }
+  return img.reshaped(Shape{kChannels, kHeight, kWidth});
+}
+
+Dataset SynthDigits::generate(int per_class, std::int64_t index_offset) const {
+  DIVA_CHECK(per_class > 0, "per_class must be positive");
+  const std::int64_t total = static_cast<std::int64_t>(per_class) * 10;
+  Dataset out;
+  out.images = Tensor(Shape{total, kChannels, kHeight, kWidth});
+  out.labels.resize(static_cast<std::size_t>(total));
+  out.num_classes = 10;
+
+  const std::int64_t per_image = kChannels * kHeight * kWidth;
+  std::int64_t n = 0;
+  for (int digit = 0; digit < 10; ++digit) {
+    for (int i = 0; i < per_class; ++i, ++n) {
+      const Tensor img = render(digit, index_offset + i);
+      std::copy_n(img.raw(), per_image, out.images.raw() + n * per_image);
+      out.labels[static_cast<std::size_t>(n)] = digit;
+    }
+  }
+  return out;
+}
+
+}  // namespace diva

@@ -1,0 +1,156 @@
+#include "data/synth_faces.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diva {
+
+namespace {
+
+struct FaceGenome {
+  float face_w, face_h;        // face ellipse half-axes
+  float skin_r, skin_g, skin_b;
+  float eye_dx, eye_y, eye_r;  // eye spacing / height / radius
+  float brow_angle, brow_len;
+  float mouth_w, mouth_curve, mouth_y;
+  float hair_r, hair_g, hair_b, hairline;
+  float bg_r, bg_g, bg_b;
+  float nose_len;
+};
+
+FaceGenome face_genome(std::uint64_t seed, int id) {
+  Rng rng(hash_combine(seed, static_cast<std::uint64_t>(id) * 104729 + 31));
+  FaceGenome g;
+  g.face_w = rng.uniform(0.26f, 0.36f);
+  g.face_h = rng.uniform(0.33f, 0.43f);
+  const float tone = rng.uniform(0.35f, 0.9f);
+  g.skin_r = tone;
+  g.skin_g = tone * rng.uniform(0.72f, 0.85f);
+  g.skin_b = tone * rng.uniform(0.55f, 0.72f);
+  g.eye_dx = rng.uniform(0.10f, 0.16f);
+  g.eye_y = rng.uniform(-0.12f, -0.05f);
+  g.eye_r = rng.uniform(0.025f, 0.05f);
+  g.brow_angle = rng.uniform(-0.35f, 0.35f);
+  g.brow_len = rng.uniform(0.06f, 0.11f);
+  g.mouth_w = rng.uniform(0.08f, 0.16f);
+  g.mouth_curve = rng.uniform(-0.06f, 0.08f);
+  g.mouth_y = rng.uniform(0.14f, 0.22f);
+  g.hair_r = rng.uniform(0.05f, 0.6f);
+  g.hair_g = rng.uniform(0.03f, 0.45f);
+  g.hair_b = rng.uniform(0.02f, 0.35f);
+  g.hairline = rng.uniform(-0.30f, -0.20f);
+  g.bg_r = rng.uniform(0.1f, 0.9f);
+  g.bg_g = rng.uniform(0.1f, 0.9f);
+  g.bg_b = rng.uniform(0.1f, 0.9f);
+  g.nose_len = rng.uniform(0.05f, 0.10f);
+  return g;
+}
+
+}  // namespace
+
+SynthFaces::SynthFaces(int num_identities, std::uint64_t seed)
+    : num_identities_(num_identities), seed_(seed) {
+  DIVA_CHECK(num_identities > 0, "num_identities must be positive");
+}
+
+Tensor SynthFaces::render(int id, std::int64_t index) const {
+  DIVA_CHECK(id >= 0 && id < num_identities_, "identity out of range");
+  const FaceGenome g = face_genome(seed_, id);
+  Rng rng(hash_combine(hash_combine(seed_, static_cast<std::uint64_t>(id)),
+                       static_cast<std::uint64_t>(index) * 193939 + 5));
+
+  // Pose / lighting / expression jitter.
+  const float ox = rng.uniform(-0.05f, 0.05f);
+  const float oy = rng.uniform(-0.05f, 0.05f);
+  const float light = rng.uniform(0.8f, 1.2f);
+  const float noise_sd = rng.uniform(0.02f, 0.06f);
+  const float smile = g.mouth_curve + rng.uniform(-0.02f, 0.02f);
+  const float eye_squint = rng.uniform(0.8f, 1.1f);
+
+  Tensor img(Shape{1, kChannels, kHeight, kWidth});
+  for (std::int64_t y = 0; y < kHeight; ++y) {
+    for (std::int64_t x = 0; x < kWidth; ++x) {
+      const float u = (static_cast<float>(x) + 0.5f) / kWidth - 0.5f - ox;
+      const float v = (static_cast<float>(y) + 0.5f) / kHeight - 0.5f - oy;
+
+      float r = g.bg_r, gg = g.bg_g, b = g.bg_b;
+
+      const float fe = (u * u) / (g.face_w * g.face_w) +
+                       (v * v) / (g.face_h * g.face_h);
+      if (fe < 1.0f) {
+        r = g.skin_r;
+        gg = g.skin_g;
+        b = g.skin_b;
+
+        // Hair: region above the hairline inside the face ellipse.
+        if (v < g.hairline) {
+          r = g.hair_r;
+          gg = g.hair_g;
+          b = g.hair_b;
+        }
+
+        // Eyes.
+        for (int side = -1; side <= 1; side += 2) {
+          const float du = u - side * g.eye_dx;
+          const float dv = (v - g.eye_y) / eye_squint;
+          if (du * du + dv * dv < g.eye_r * g.eye_r) {
+            r = gg = b = 0.08f;
+          }
+          // Brows: short line above each eye.
+          const float bu = du;
+          const float bv = v - (g.eye_y - 0.055f) -
+                           g.brow_angle * side * du;
+          if (std::fabs(bu) < g.brow_len && std::fabs(bv) < 0.014f) {
+            r = gg = b = 0.15f;
+          }
+        }
+
+        // Nose: vertical stroke.
+        if (std::fabs(u) < 0.012f && v > -0.02f && v < g.nose_len) {
+          r *= 0.8f;
+          gg *= 0.8f;
+          b *= 0.8f;
+        }
+
+        // Mouth: curved horizontal stroke.
+        const float mv = v - (g.mouth_y + smile * (u * u) / (g.mouth_w * g.mouth_w + 1e-6f));
+        if (std::fabs(u) < g.mouth_w && std::fabs(mv) < 0.02f) {
+          r = 0.55f;
+          gg = 0.15f;
+          b = 0.18f;
+        }
+      }
+
+      r = r * light + rng.normal(0.0f, noise_sd);
+      gg = gg * light + rng.normal(0.0f, noise_sd);
+      b = b * light + rng.normal(0.0f, noise_sd);
+      img.at(0, 0, y, x) = std::clamp(r, 0.0f, 1.0f);
+      img.at(0, 1, y, x) = std::clamp(gg, 0.0f, 1.0f);
+      img.at(0, 2, y, x) = std::clamp(b, 0.0f, 1.0f);
+    }
+  }
+  return img.reshaped(Shape{kChannels, kHeight, kWidth});
+}
+
+Dataset SynthFaces::generate(int per_class, std::int64_t index_offset) const {
+  DIVA_CHECK(per_class > 0, "per_class must be positive");
+  const std::int64_t total =
+      static_cast<std::int64_t>(per_class) * num_identities_;
+  Dataset out;
+  out.images = Tensor(Shape{total, kChannels, kHeight, kWidth});
+  out.labels.resize(static_cast<std::size_t>(total));
+  out.num_classes = num_identities_;
+
+  const std::int64_t per_image = kChannels * kHeight * kWidth;
+  std::int64_t n = 0;
+  for (int id = 0; id < num_identities_; ++id) {
+    for (int i = 0; i < per_class; ++i, ++n) {
+      const Tensor img = render(id, index_offset + i);
+      std::copy_n(img.raw(), per_image, out.images.raw() + n * per_image);
+      out.labels[static_cast<std::size_t>(n)] = id;
+    }
+  }
+  return out;
+}
+
+}  // namespace diva

@@ -1,0 +1,193 @@
+#include "data/synth_imagenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diva {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/// Deterministic class genome.
+struct ClassGenome {
+  int texture_family;   // 0..5
+  float frequency;      // cycles across the image
+  float orientation;    // radians
+  float hue_a, hue_b;   // palette endpoints in [0,1)
+  int shape;            // 0..3 foreground shape
+  float shape_size;     // radius fraction
+};
+
+/// HSV-ish hue to RGB (S=V=1 simplified).
+void hue_to_rgb(float h, float* r, float* g, float* b) {
+  const float x = h * 6.0f;
+  const int i = static_cast<int>(x) % 6;
+  const float f = x - std::floor(x);
+  switch (i) {
+    case 0: *r = 1; *g = f; *b = 0; break;
+    case 1: *r = 1 - f; *g = 1; *b = 0; break;
+    case 2: *r = 0; *g = 1; *b = f; break;
+    case 3: *r = 0; *g = 1 - f; *b = 1; break;
+    case 4: *r = f; *g = 0; *b = 1; break;
+    default: *r = 1; *g = 0; *b = 1 - f; break;
+  }
+}
+
+ClassGenome class_genome(std::uint64_t seed, int cls) {
+  Rng rng(hash_combine(seed, static_cast<std::uint64_t>(cls) * 7919 + 13));
+  ClassGenome g;
+  // Classes are grouped into families of four. The family fixes every
+  // "easy" cue (texture type, palette, foreground shape); the variant
+  // within the family only shifts frequency and orientation by an
+  // amount comparable to the per-instance jitter. Intra-family
+  // discrimination is therefore genuinely hard: trained models end up
+  // with boundary-adjacent samples, which is where quantization
+  // instability (paper Table 1) and DIVA's attack surface live.
+  const int family = cls / 4;
+  const int variant = cls % 4;
+  g.texture_family = family % 6;
+  g.frequency = 3.0f * std::pow(1.22f, static_cast<float>(variant)) *
+                (1.0f + rng.uniform(-0.02f, 0.02f));
+  g.orientation = static_cast<float>(family) * 0.19f +
+                  static_cast<float>(variant) * 0.35f +
+                  rng.uniform(-0.03f, 0.03f);
+  g.hue_a = std::fmod(static_cast<float>(family) * 0.23f +
+                          rng.uniform(-0.015f, 0.015f) + 1.0f,
+                      1.0f);
+  g.hue_b = std::fmod(g.hue_a + 0.33f, 1.0f);
+  g.shape = family % 4;
+  g.shape_size = 0.30f + rng.uniform(-0.02f, 0.02f);
+  return g;
+}
+
+/// Scalar texture field in [0, 1] at normalized coordinates (u, v).
+float texture_value(const ClassGenome& g, float u, float v, float phase,
+                    float orient_jitter, float freq_jitter) {
+  const float theta = g.orientation + orient_jitter;
+  const float freq = g.frequency * (1.0f + freq_jitter);
+  const float ur = u * std::cos(theta) + v * std::sin(theta);
+  const float vr = -u * std::sin(theta) + v * std::cos(theta);
+  switch (g.texture_family) {
+    case 0:  // stripes
+      return 0.5f + 0.5f * std::sin(2.0f * kPi * freq * ur + phase);
+    case 1:  // checker
+      return (std::sin(2.0f * kPi * freq * ur + phase) *
+                  std::sin(2.0f * kPi * freq * vr + phase) >
+              0.0f)
+                 ? 1.0f
+                 : 0.0f;
+    case 2: {  // dots
+      const float du = std::fmod(std::fabs(ur * freq + phase * 0.2f), 1.0f) - 0.5f;
+      const float dv = std::fmod(std::fabs(vr * freq + phase * 0.2f), 1.0f) - 0.5f;
+      return (du * du + dv * dv < 0.09f) ? 1.0f : 0.0f;
+    }
+    case 3: {  // rings
+      const float r = std::sqrt(ur * ur + vr * vr);
+      return 0.5f + 0.5f * std::sin(2.0f * kPi * freq * r + phase);
+    }
+    case 4:  // diagonal gradient waves
+      return 0.5f + 0.5f * std::sin(2.0f * kPi * freq * (ur + vr) * 0.7f + phase);
+    default: {  // soft blobs
+      const float s1 = std::sin(2.0f * kPi * freq * ur * 0.8f + phase);
+      const float s2 = std::sin(2.0f * kPi * freq * vr * 0.8f - phase);
+      return 0.25f * (s1 + 1.0f) * (s2 + 1.0f);
+    }
+  }
+}
+
+/// Signed distance-ish membership of the foreground shape.
+bool inside_shape(int shape, float du, float dv, float size) {
+  switch (shape) {
+    case 0:  // circle
+      return du * du + dv * dv < size * size;
+    case 1:  // square
+      return std::fabs(du) < size && std::fabs(dv) < size;
+    case 2:  // diamond
+      return std::fabs(du) + std::fabs(dv) < size * 1.3f;
+    default:  // triangle (upward)
+      return dv > -size && std::fabs(du) < (size - dv) * 0.6f;
+  }
+}
+
+}  // namespace
+
+SynthImageNet::SynthImageNet(int num_classes, std::uint64_t seed)
+    : num_classes_(num_classes), seed_(seed) {
+  DIVA_CHECK(num_classes > 0, "num_classes must be positive");
+}
+
+Tensor SynthImageNet::render(int cls, std::int64_t index) const {
+  DIVA_CHECK(cls >= 0 && cls < num_classes_, "class out of range");
+  const ClassGenome g = class_genome(seed_, cls);
+  Rng rng(hash_combine(hash_combine(seed_, static_cast<std::uint64_t>(cls)),
+                       static_cast<std::uint64_t>(index) * 2654435761ULL + 7));
+
+  // Instance jitter — deliberately sized against the inter-variant
+  // genome gaps (orientation gap 0.35 rad vs jitter +-0.16; frequency
+  // ratio 1.22 vs jitter +-10%) so adjacent classes overlap in their
+  // tails.
+  const float phase = rng.uniform(0.0f, 2.0f * kPi);
+  const float orient_jitter = rng.uniform(-0.16f, 0.16f);
+  const float freq_jitter = rng.uniform(-0.10f, 0.10f);
+  const float cx = rng.uniform(-0.18f, 0.18f);
+  const float cy = rng.uniform(-0.18f, 0.18f);
+  const float brightness = rng.uniform(0.8f, 1.2f);
+  const float noise_sd = rng.uniform(0.02f, 0.07f);
+  const float hue_jitter = rng.uniform(-0.05f, 0.05f);
+
+  float ra, ga, ba, rb, gb, bb;
+  hue_to_rgb(std::fmod(g.hue_a + hue_jitter + 1.0f, 1.0f), &ra, &ga, &ba);
+  hue_to_rgb(std::fmod(g.hue_b + hue_jitter + 1.0f, 1.0f), &rb, &gb, &bb);
+
+  Tensor img(Shape{1, kChannels, kHeight, kWidth});
+  for (std::int64_t y = 0; y < kHeight; ++y) {
+    for (std::int64_t x = 0; x < kWidth; ++x) {
+      const float u = (static_cast<float>(x) / kWidth) - 0.5f;
+      const float v = (static_cast<float>(y) / kHeight) - 0.5f;
+      float t = texture_value(g, u, v, phase, orient_jitter, freq_jitter);
+
+      // Foreground shape flips the palette blend locally.
+      if (inside_shape(g.shape, u - cx, v - cy, g.shape_size)) {
+        t = 1.0f - 0.8f * t;
+      }
+
+      float r = ra * t + rb * (1.0f - t);
+      float gg = ga * t + gb * (1.0f - t);
+      float b = ba * t + bb * (1.0f - t);
+
+      r = r * brightness + rng.normal(0.0f, noise_sd);
+      gg = gg * brightness + rng.normal(0.0f, noise_sd);
+      b = b * brightness + rng.normal(0.0f, noise_sd);
+
+      img.at(0, 0, y, x) = std::clamp(r, 0.0f, 1.0f);
+      img.at(0, 1, y, x) = std::clamp(gg, 0.0f, 1.0f);
+      img.at(0, 2, y, x) = std::clamp(b, 0.0f, 1.0f);
+    }
+  }
+  return img.reshaped(Shape{kChannels, kHeight, kWidth});
+}
+
+Dataset SynthImageNet::generate(int per_class,
+                                std::int64_t index_offset) const {
+  DIVA_CHECK(per_class > 0, "per_class must be positive");
+  const std::int64_t total =
+      static_cast<std::int64_t>(per_class) * num_classes_;
+  Dataset out;
+  out.images = Tensor(Shape{total, kChannels, kHeight, kWidth});
+  out.labels.resize(static_cast<std::size_t>(total));
+  out.num_classes = num_classes_;
+
+  const std::int64_t per_image = kChannels * kHeight * kWidth;
+  std::int64_t n = 0;
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    for (int i = 0; i < per_class; ++i, ++n) {
+      const Tensor img = render(cls, index_offset + i);
+      std::copy_n(img.raw(), per_image, out.images.raw() + n * per_image);
+      out.labels[static_cast<std::size_t>(n)] = cls;
+    }
+  }
+  return out;
+}
+
+}  // namespace diva

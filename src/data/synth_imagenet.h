@@ -1,0 +1,46 @@
+// SynthImageNet — procedural stand-in for the paper's ImageNet subset.
+//
+// Each class has a deterministic "genome" (texture family, spatial
+// frequency, orientation, palette, foreground shape) derived from the
+// dataset seed; each instance applies jitter (phase, orientation,
+// color, noise, brightness) on top. Classes within the same texture
+// family differ only in frequency/orientation, which deliberately
+// creates boundary-adjacent samples: trained models reach high accuracy
+// yet the float and quantized twins disagree on a few percent of
+// inputs — the instability the paper's Table 1 measures and DIVA
+// exploits.
+//
+// Every image is a pure function of (dataset seed, class, instance
+// index), so train / validation / surrogate splits built from disjoint
+// index ranges are disjoint by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace diva {
+
+class SynthImageNet {
+ public:
+  static constexpr std::int64_t kChannels = 3;
+  static constexpr std::int64_t kHeight = 32;
+  static constexpr std::int64_t kWidth = 32;
+
+  explicit SynthImageNet(int num_classes = 24, std::uint64_t seed = 0xD1AF00D);
+
+  int num_classes() const { return num_classes_; }
+
+  /// Renders instance `index` of class `cls` as a CHW tensor in [0,1].
+  Tensor render(int cls, std::int64_t index) const;
+
+  /// Generates `per_class` instances per class with instance indices
+  /// [index_offset, index_offset + per_class).
+  Dataset generate(int per_class, std::int64_t index_offset = 0) const;
+
+ private:
+  int num_classes_;
+  std::uint64_t seed_;
+};
+
+}  // namespace diva

@@ -1,0 +1,72 @@
+#include "distill/distill.h"
+
+#include <cstdio>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "runtime/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+float distill(Sequential& student, const TeacherFn& teacher,
+              const Tensor& images, const DistillConfig& cfg) {
+  DIVA_CHECK(images.rank() == 4 && images.dim(0) > 0, "empty distill pool");
+  const std::int64_t n = images.dim(0);
+  Sgd opt(student.named_parameters(), cfg.lr, cfg.momentum);
+  Rng rng(cfg.seed);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(std::span<int>(order));
+    student.set_training(true);
+    double epoch_loss = 0.0;
+    std::int64_t steps = 0;
+    for (std::int64_t at = 0; at < n; at += cfg.batch_size, ++steps) {
+      const std::int64_t take = std::min(cfg.batch_size, n - at);
+      std::vector<int> idx(order.begin() + at, order.begin() + at + take);
+      const Tensor batch = gather_batch(images, idx);
+
+      const Tensor teacher_logits = teacher(batch);
+      const auto hard = argmax_rows(teacher_logits);
+
+      opt.zero_grad();
+      const Tensor student_logits = student.forward(batch);
+      LossGrad lg = distillation_loss(student_logits, teacher_logits, hard,
+                                      cfg.temperature, cfg.alpha);
+      student.backward(lg.dlogits);
+      opt.step();
+      epoch_loss += lg.loss;
+    }
+    last_loss = static_cast<float>(epoch_loss / static_cast<double>(steps));
+    if (cfg.verbose) {
+      std::printf("  distill epoch %d/%d loss %.4f\n", epoch + 1, cfg.epochs,
+                  last_loss);
+    }
+  }
+  student.set_training(false);
+  return last_loss;
+}
+
+float agreement(Sequential& student, const TeacherFn& teacher,
+                const Tensor& images, std::int64_t batch_size) {
+  student.set_training(false);
+  const std::int64_t n = images.dim(0);
+  std::int64_t agree = 0;
+  for (std::int64_t at = 0; at < n; at += batch_size) {
+    const std::int64_t take = std::min(batch_size, n - at);
+    std::vector<int> idx(static_cast<std::size_t>(take));
+    for (std::int64_t i = 0; i < take; ++i) {
+      idx[static_cast<std::size_t>(i)] = static_cast<int>(at + i);
+    }
+    const Tensor batch = gather_batch(images, idx);
+    const auto ps = argmax_rows(student.forward(batch));
+    const auto pt = argmax_rows(teacher(batch));
+    for (std::size_t i = 0; i < ps.size(); ++i) agree += ps[i] == pt[i];
+  }
+  return static_cast<float>(agree) / static_cast<float>(n);
+}
+
+}  // namespace diva

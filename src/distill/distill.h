@@ -1,0 +1,43 @@
+// Knowledge distillation (Hinton et al.), used by the paper to
+// reconstruct surrogate models for the semi-blackbox and blackbox
+// attacks (§4.3, §4.4): the adapted model is the *teacher* and the
+// surrogate full-precision model is the *student*; the student is
+// trained to match the teacher's predicted labels and its temperature-
+// softened output distribution. The teacher is queried through a plain
+// forward function, so prediction-only (blackbox) access suffices.
+#pragma once
+
+#include <functional>
+
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace diva {
+
+/// Teacher interface: NCHW batch -> [N, classes] float logits.
+using TeacherFn = std::function<Tensor(const Tensor&)>;
+
+struct DistillConfig {
+  float temperature = 4.0f;
+  /// Weight of the hard-label cross-entropy term (vs the soft KL term).
+  float alpha = 0.5f;
+  int epochs = 4;
+  std::int64_t batch_size = 32;
+  float lr = 0.04f;
+  float momentum = 0.9f;
+  std::uint64_t seed = 11;
+  bool verbose = false;
+};
+
+/// Distills the teacher into the student over an unlabeled image pool
+/// (hard labels are the teacher's argmax, per the paper). Returns the
+/// final-epoch mean distillation loss. Student left in eval mode.
+float distill(Sequential& student, const TeacherFn& teacher,
+              const Tensor& images, const DistillConfig& cfg);
+
+/// Mean agreement (same argmax) between student and teacher on a pool —
+/// the fidelity metric for surrogate reconstruction.
+float agreement(Sequential& student, const TeacherFn& teacher,
+                const Tensor& images, std::int64_t batch_size = 64);
+
+}  // namespace diva

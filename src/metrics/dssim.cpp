@@ -1,0 +1,77 @@
+#include "metrics/dssim.h"
+
+#include <cmath>
+
+#include "runtime/check.h"
+
+namespace diva {
+
+namespace {
+
+constexpr float kC1 = 0.01f * 0.01f;  // (K1 * L)^2 with L = 1
+constexpr float kC2 = 0.03f * 0.03f;
+constexpr std::int64_t kWindow = 8;
+
+/// SSIM of one window pair.
+float window_ssim(const float* a, const float* b, std::int64_t stride,
+                  std::int64_t wh, std::int64_t ww) {
+  double ma = 0, mb = 0;
+  const double n = static_cast<double>(wh * ww);
+  for (std::int64_t y = 0; y < wh; ++y) {
+    for (std::int64_t x = 0; x < ww; ++x) {
+      ma += a[y * stride + x];
+      mb += b[y * stride + x];
+    }
+  }
+  ma /= n;
+  mb /= n;
+  double va = 0, vb = 0, cov = 0;
+  for (std::int64_t y = 0; y < wh; ++y) {
+    for (std::int64_t x = 0; x < ww; ++x) {
+      const double da = a[y * stride + x] - ma;
+      const double db = b[y * stride + x] - mb;
+      va += da * da;
+      vb += db * db;
+      cov += da * db;
+    }
+  }
+  va /= n - 1;
+  vb /= n - 1;
+  cov /= n - 1;
+  const double num = (2 * ma * mb + kC1) * (2 * cov + kC2);
+  const double den = (ma * ma + mb * mb + kC1) * (va + vb + kC2);
+  return static_cast<float>(num / den);
+}
+
+}  // namespace
+
+float ssim(const Tensor& a, const Tensor& b) {
+  DIVA_CHECK(a.shape() == b.shape(), "ssim: shape mismatch");
+  DIVA_CHECK(a.rank() == 3 || a.rank() == 4, "ssim: need CHW or NCHW");
+
+  const std::int64_t channels = a.rank() == 4 ? a.dim(0) * a.dim(1) : a.dim(0);
+  const std::int64_t h = a.dim(a.rank() - 2);
+  const std::int64_t w = a.dim(a.rank() - 1);
+  DIVA_CHECK(h >= kWindow && w >= kWindow, "ssim: image smaller than window");
+
+  double total = 0;
+  std::int64_t count = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* pa = a.raw() + c * h * w;
+    const float* pb = b.raw() + c * h * w;
+    for (std::int64_t y = 0; y + kWindow <= h; y += kWindow / 2) {
+      for (std::int64_t x = 0; x + kWindow <= w; x += kWindow / 2) {
+        total += window_ssim(pa + y * w + x, pb + y * w + x, w, kWindow,
+                             kWindow);
+        ++count;
+      }
+    }
+  }
+  return static_cast<float>(total / count);
+}
+
+float dssim(const Tensor& a, const Tensor& b) {
+  return (1.0f - ssim(a, b)) / 2.0f;
+}
+
+}  // namespace diva

@@ -1,0 +1,20 @@
+// Structural dissimilarity (DSSIM) between images — the perceptual
+// similarity check the paper applies to all adversarial samples
+// (reported max 0.0092; "imperceptible to humans").
+//
+// SSIM is computed per 8x8 window per channel with the standard
+// constants (K1 = 0.01, K2 = 0.03, dynamic range L = 1.0) and averaged;
+// DSSIM = (1 - SSIM) / 2.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace diva {
+
+/// Mean SSIM between two CHW or NCHW image tensors in [0,1].
+float ssim(const Tensor& a, const Tensor& b);
+
+/// DSSIM = (1 - SSIM) / 2; 0 for identical images, up to 0.5.
+float dssim(const Tensor& a, const Tensor& b);
+
+}  // namespace diva

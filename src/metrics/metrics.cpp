@@ -1,0 +1,102 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+namespace {
+
+/// Applies fn to dataset batches, collecting logits into one tensor.
+Tensor batched_logits(const ModelFn& model, const Tensor& images,
+                      std::int64_t batch_size) {
+  const std::int64_t n = images.dim(0);
+  Tensor all;
+  std::int64_t done = 0;
+  while (done < n) {
+    const std::int64_t take = std::min(batch_size, n - done);
+    std::vector<int> idx(static_cast<std::size_t>(take));
+    for (std::int64_t i = 0; i < take; ++i) {
+      idx[static_cast<std::size_t>(i)] = static_cast<int>(done + i);
+    }
+    const Tensor logits = model(gather_batch(images, idx));
+    if (all.empty()) {
+      all = Tensor(Shape{n, logits.dim(1)});
+    }
+    std::copy_n(logits.raw(), logits.numel(), all.raw() + done * all.dim(1));
+    done += take;
+  }
+  return all;
+}
+
+}  // namespace
+
+std::vector<int> predict(const ModelFn& model, const Dataset& data,
+                         std::int64_t batch_size) {
+  return argmax_rows(batched_logits(model, data.images, batch_size));
+}
+
+float accuracy(const ModelFn& model, const Dataset& data,
+               std::int64_t batch_size) {
+  const auto preds = predict(model, data, batch_size);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == data.labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(preds.size());
+}
+
+float topk_accuracy(const ModelFn& model, const Dataset& data, int k,
+                    std::int64_t batch_size) {
+  const Tensor logits = batched_logits(model, data.images, batch_size);
+  const auto topk = topk_rows(logits, k);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < topk.size(); ++i) {
+    if (std::find(topk[i].begin(), topk[i].end(), data.labels[i]) !=
+        topk[i].end()) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(topk.size());
+}
+
+InstabilityStats instability(const ModelFn& orig, const ModelFn& adapted,
+                             const Dataset& data, std::int64_t batch_size) {
+  const auto po = predict(orig, data, batch_size);
+  const auto pa = predict(adapted, data, batch_size);
+  InstabilityStats s;
+  s.total = static_cast<int>(po.size());
+  int oc = 0, ac = 0;
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    const int y = data.labels[i];
+    if (po[i] == y) ++oc;
+    if (pa[i] == y) ++ac;
+    if (po[i] == y && pa[i] != y) ++s.orig_correct_adapted_wrong;
+    if (po[i] != y && pa[i] == y) ++s.orig_wrong_adapted_correct;
+    if (po[i] != pa[i]) ++s.disagreements;
+  }
+  s.orig_accuracy = static_cast<float>(oc) / static_cast<float>(s.total);
+  s.adapted_accuracy = static_cast<float>(ac) / static_cast<float>(s.total);
+  s.instability =
+      static_cast<float>(s.disagreements) / static_cast<float>(s.total);
+  return s;
+}
+
+float confidence_delta(const ModelFn& orig, const ModelFn& adapted,
+                       const Tensor& images, const std::vector<int>& labels,
+                       std::int64_t batch_size) {
+  const Tensor po =
+      softmax_rows(batched_logits(orig, images, batch_size));
+  const Tensor pa =
+      softmax_rows(batched_logits(adapted, images, batch_size));
+  double total = 0.0;
+  const std::int64_t n = images.dim(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    total += static_cast<double>(po.at(i, y)) - pa.at(i, y);
+  }
+  return static_cast<float>(total / n * 100.0);
+}
+
+}  // namespace diva

@@ -1,0 +1,53 @@
+// Evaluation metrics used throughout the paper's tables and figures.
+//
+// Models are passed as forward closures (float logits from NCHW batches)
+// so the same metrics apply to float Modules, QAT Modules, and int8
+// QuantizedModels.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace diva {
+
+/// Any classifier: NCHW batch in, [N, classes] float logits out.
+using ModelFn = std::function<Tensor(const Tensor&)>;
+
+/// Runs the model over the dataset in batches; returns predicted top-1
+/// labels.
+std::vector<int> predict(const ModelFn& model, const Dataset& data,
+                         std::int64_t batch_size = 64);
+
+/// Top-1 accuracy over a dataset.
+float accuracy(const ModelFn& model, const Dataset& data,
+               std::int64_t batch_size = 64);
+
+/// Top-k accuracy.
+float topk_accuracy(const ModelFn& model, const Dataset& data, int k,
+                    std::int64_t batch_size = 64);
+
+/// Paper Table 1 statistics between an original and adapted model.
+struct InstabilityStats {
+  float orig_accuracy = 0.0f;
+  float adapted_accuracy = 0.0f;
+  int orig_correct_adapted_wrong = 0;  // deviations hurting the edge model
+  int orig_wrong_adapted_correct = 0;  // deviations "helping" the edge model
+  int disagreements = 0;               // predictions differ (any labels)
+  float instability = 0.0f;            // disagreements / total
+  int total = 0;
+};
+
+InstabilityStats instability(const ModelFn& orig, const ModelFn& adapted,
+                             const Dataset& data,
+                             std::int64_t batch_size = 64);
+
+/// Mean confidence delta (paper §5.1): average over samples of
+/// p_orig(y | x) - p_adapted(y | x), in percent [0, 100].
+float confidence_delta(const ModelFn& orig, const ModelFn& adapted,
+                       const Tensor& images, const std::vector<int>& labels,
+                       std::int64_t batch_size = 64);
+
+}  // namespace diva

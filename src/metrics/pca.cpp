@@ -1,0 +1,148 @@
+#include "metrics/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "runtime/check.h"
+
+namespace diva {
+
+namespace {
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix (in place).
+/// Returns eigenvalues; fills eigenvectors as columns of v.
+std::vector<double> jacobi_eigen(std::vector<double>& m, std::int64_t d,
+                                 std::vector<double>& v) {
+  v.assign(static_cast<std::size_t>(d * d), 0.0);
+  for (std::int64_t i = 0; i < d; ++i) v[static_cast<std::size_t>(i * d + i)] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (std::int64_t p = 0; p < d; ++p) {
+      for (std::int64_t q = p + 1; q < d; ++q) {
+        off += m[static_cast<std::size_t>(p * d + q)] *
+               m[static_cast<std::size_t>(p * d + q)];
+      }
+    }
+    if (off < 1e-18) break;
+
+    for (std::int64_t p = 0; p < d; ++p) {
+      for (std::int64_t q = p + 1; q < d; ++q) {
+        const double apq = m[static_cast<std::size_t>(p * d + q)];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m[static_cast<std::size_t>(p * d + p)];
+        const double aqq = m[static_cast<std::size_t>(q * d + q)];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::int64_t i = 0; i < d; ++i) {
+          const double mip = m[static_cast<std::size_t>(i * d + p)];
+          const double miq = m[static_cast<std::size_t>(i * d + q)];
+          m[static_cast<std::size_t>(i * d + p)] = c * mip - s * miq;
+          m[static_cast<std::size_t>(i * d + q)] = s * mip + c * miq;
+        }
+        for (std::int64_t i = 0; i < d; ++i) {
+          const double mpi = m[static_cast<std::size_t>(p * d + i)];
+          const double mqi = m[static_cast<std::size_t>(q * d + i)];
+          m[static_cast<std::size_t>(p * d + i)] = c * mpi - s * mqi;
+          m[static_cast<std::size_t>(q * d + i)] = s * mpi + c * mqi;
+        }
+        for (std::int64_t i = 0; i < d; ++i) {
+          const double vip = v[static_cast<std::size_t>(i * d + p)];
+          const double viq = v[static_cast<std::size_t>(i * d + q)];
+          v[static_cast<std::size_t>(i * d + p)] = c * vip - s * viq;
+          v[static_cast<std::size_t>(i * d + q)] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eig(static_cast<std::size_t>(d));
+  for (std::int64_t i = 0; i < d; ++i) {
+    eig[static_cast<std::size_t>(i)] = m[static_cast<std::size_t>(i * d + i)];
+  }
+  return eig;
+}
+
+}  // namespace
+
+PcaResult pca_fit(const Tensor& x, int k) {
+  DIVA_CHECK(x.rank() == 2, "pca_fit needs [N, D]");
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  DIVA_CHECK(n >= 2, "pca_fit needs at least two observations");
+  DIVA_CHECK(k >= 1 && k <= d, "pca k out of range");
+
+  PcaResult out;
+  out.mean.assign(static_cast<std::size_t>(d), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      out.mean[static_cast<std::size_t>(j)] += x.at(i, j);
+    }
+  }
+  for (auto& m : out.mean) m /= static_cast<float>(n);
+
+  // Covariance (D x D) in double.
+  std::vector<double> cov(static_cast<std::size_t>(d * d), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t a = 0; a < d; ++a) {
+      const double da = x.at(i, a) - out.mean[static_cast<std::size_t>(a)];
+      for (std::int64_t b = a; b < d; ++b) {
+        cov[static_cast<std::size_t>(a * d + b)] +=
+            da * (x.at(i, b) - out.mean[static_cast<std::size_t>(b)]);
+      }
+    }
+  }
+  for (std::int64_t a = 0; a < d; ++a) {
+    for (std::int64_t b = a; b < d; ++b) {
+      const double val = cov[static_cast<std::size_t>(a * d + b)] / (n - 1);
+      cov[static_cast<std::size_t>(a * d + b)] = val;
+      cov[static_cast<std::size_t>(b * d + a)] = val;
+    }
+  }
+
+  std::vector<double> vecs;
+  const auto eig = jacobi_eigen(cov, d, vecs);
+
+  // Sort eigenpairs descending.
+  std::vector<int> order(static_cast<std::size_t>(d));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return eig[static_cast<std::size_t>(a)] > eig[static_cast<std::size_t>(b)]; });
+
+  out.components = Tensor(Shape{k, d});
+  out.explained_variance.resize(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    const int src = order[static_cast<std::size_t>(c)];
+    out.explained_variance[static_cast<std::size_t>(c)] =
+        static_cast<float>(std::max(0.0, eig[static_cast<std::size_t>(src)]));
+    for (std::int64_t j = 0; j < d; ++j) {
+      out.components.at(c, j) =
+          static_cast<float>(vecs[static_cast<std::size_t>(j * d + src)]);
+    }
+  }
+  return out;
+}
+
+Tensor pca_transform(const PcaResult& pca, const Tensor& x) {
+  DIVA_CHECK(x.rank() == 2 && x.dim(1) == pca.components.dim(1),
+             "pca_transform dimension mismatch");
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  const std::int64_t k = pca.components.dim(0);
+  Tensor out(Shape{n, k});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < k; ++c) {
+      double acc = 0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        acc += (x.at(i, j) - pca.mean[static_cast<std::size_t>(j)]) *
+               pca.components.at(c, j);
+      }
+      out.at(i, c) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace diva

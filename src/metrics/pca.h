@@ -1,0 +1,24 @@
+// Principal component analysis for the paper's Figure 4 representation
+// study. Covariance eigendecomposition via cyclic Jacobi rotations
+// (exact for the small penultimate-feature dimensions used here).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diva {
+
+struct PcaResult {
+  Tensor components;           // [k, D] principal axes (rows, unit norm)
+  std::vector<float> explained_variance;  // eigenvalues, descending
+  std::vector<float> mean;     // [D] feature means
+};
+
+/// Fits k principal components of row-observations X [N, D].
+PcaResult pca_fit(const Tensor& x, int k);
+
+/// Projects observations [N, D] onto the fitted components -> [N, k].
+Tensor pca_transform(const PcaResult& pca, const Tensor& x);
+
+}  // namespace diva

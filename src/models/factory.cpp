@@ -1,0 +1,248 @@
+#include "models/factory.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/composite.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+#include "quant/qat_layers.h"
+
+namespace diva {
+
+namespace {
+
+enum class Act { kNone, kRelu, kRelu6 };
+
+/// Emits layers into a Sequential according to the construction mode.
+class NetBuilder {
+ public:
+  NetBuilder(NetMode mode) : mode_(mode) {}
+
+  /// Conv "unit": conv (+BN in float mode) (+activation) (+FQ in QAT).
+  void conv(Sequential& seq, const std::string& name, std::int64_t in_c,
+            std::int64_t out_c, std::int64_t k, std::int64_t stride,
+            std::int64_t pad, Act act) {
+    if (mode_ == NetMode::kQat) {
+      seq.add(std::make_unique<QatConv2d>(name, in_c, out_c, k, stride, pad,
+                                          /*bias=*/true));
+    } else {
+      // Float mode trains bias-free convs (BN provides the shift);
+      // folded mode needs the bias slot for the fused offset.
+      seq.add(std::make_unique<Conv2d>(name, in_c, out_c, k, stride, pad,
+                                       /*bias=*/mode_ != NetMode::kFloat));
+    }
+    if (mode_ == NetMode::kFloat) {
+      seq.add(std::make_unique<BatchNorm2d>(name + "_bn", out_c));
+    }
+    add_act(seq, name, act);
+    add_fq(seq, name);
+  }
+
+  void depthwise(Sequential& seq, const std::string& name,
+                 std::int64_t channels, std::int64_t k, std::int64_t stride,
+                 std::int64_t pad, Act act) {
+    if (mode_ == NetMode::kQat) {
+      seq.add(std::make_unique<QatDepthwiseConv2d>(name, channels, k, stride,
+                                                   pad, /*bias=*/true));
+    } else {
+      seq.add(std::make_unique<DepthwiseConv2d>(
+          name, channels, k, stride, pad, /*bias=*/mode_ != NetMode::kFloat));
+    }
+    if (mode_ == NetMode::kFloat) {
+      seq.add(std::make_unique<BatchNorm2d>(name + "_bn", channels));
+    }
+    add_act(seq, name, act);
+    add_fq(seq, name);
+  }
+
+  void dense(Sequential& seq, const std::string& name, std::int64_t in_f,
+             std::int64_t out_f) {
+    if (mode_ == NetMode::kQat) {
+      seq.add(std::make_unique<QatDense>(name, in_f, out_f));
+    } else {
+      seq.add(std::make_unique<Dense>(name, in_f, out_f));
+    }
+    add_fq(seq, name);
+  }
+
+  /// Residual block: main = conv(act) + conv(no act); optional
+  /// projection shortcut; post-add activation in the parent.
+  void residual(Sequential& seq, const std::string& name, std::int64_t in_c,
+                std::int64_t out_c, std::int64_t stride, Act act) {
+    auto main = std::make_unique<Sequential>("main");
+    conv(*main, name + "_c1", in_c, out_c, 3, stride, 1, act);
+    conv(*main, name + "_c2", out_c, out_c, 3, 1, 1, Act::kNone);
+
+    std::unique_ptr<Sequential> shortcut;
+    if (in_c != out_c || stride != 1) {
+      shortcut = std::make_unique<Sequential>("shortcut");
+      conv(*shortcut, name + "_proj", in_c, out_c, 1, stride, 0, Act::kNone);
+    }
+    seq.add(std::make_unique<Residual>(name, std::move(main),
+                                       std::move(shortcut)));
+    add_act(seq, name + "_post", act);
+    add_fq(seq, name + "_post");
+  }
+
+  /// DenseNet growth layer: concat(x, conv(x)).
+  void dense_branch(Sequential& seq, const std::string& name,
+                    std::int64_t in_c, std::int64_t growth, Act act) {
+    auto body = std::make_unique<Sequential>("body");
+    conv(*body, name + "_grow", in_c, growth, 3, 1, 1, act);
+    seq.add(std::make_unique<DenseBranch>(name, std::move(body)));
+    add_fq(seq, name + "_cat");
+  }
+
+  void input_stub(Sequential& seq) {
+    if (mode_ == NetMode::kQat) {
+      seq.add(std::make_unique<ActFakeQuant>("input_fq"));
+    }
+  }
+
+ private:
+  void add_act(Sequential& seq, const std::string& name, Act act) {
+    if (act == Act::kRelu) {
+      seq.add(std::make_unique<Relu>(name + "_relu"));
+    } else if (act == Act::kRelu6) {
+      seq.add(std::make_unique<Relu6>(name + "_relu6"));
+    }
+  }
+
+  void add_fq(Sequential& seq, const std::string& name) {
+    if (mode_ == NetMode::kQat) {
+      seq.add(std::make_unique<ActFakeQuant>(name + "_fq"));
+    }
+  }
+
+  NetMode mode_;
+};
+
+std::unique_ptr<Sequential> make_mini_resnet(const std::string& model_name,
+                                             int num_classes, NetMode mode,
+                                             std::int64_t in_c,
+                                             std::int64_t width) {
+  NetBuilder b(mode);
+  auto net = std::make_unique<Sequential>(model_name);
+  b.input_stub(*net);
+  b.conv(*net, "stem", in_c, width, 3, 1, 1, Act::kRelu);
+  b.residual(*net, "s1b0", width, width, 1, Act::kRelu);
+  b.residual(*net, "s2b0", width, width * 2, 2, Act::kRelu);
+  b.residual(*net, "s2b1", width * 2, width * 2, 1, Act::kRelu);
+  b.residual(*net, "s3b0", width * 2, width * 4, 2, Act::kRelu);
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  b.dense(*net, "fc", width * 4, num_classes);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mini_mobilenet(int num_classes,
+                                                NetMode mode) {
+  NetBuilder b(mode);
+  auto net = std::make_unique<Sequential>("mobilenet");
+  b.input_stub(*net);
+  b.conv(*net, "stem", 3, 8, 3, 1, 1, Act::kRelu6);
+
+  struct Block { std::int64_t in, out, stride; };
+  const Block blocks[] = {
+      {8, 16, 1}, {16, 32, 2}, {32, 32, 1}, {32, 64, 2}, {64, 64, 1}};
+  int idx = 0;
+  for (const Block& blk : blocks) {
+    const std::string name = "b" + std::to_string(idx++);
+    b.depthwise(*net, name + "_dw", blk.in, 3, blk.stride, 1, Act::kRelu6);
+    b.conv(*net, name + "_pw", blk.in, blk.out, 1, 1, 0, Act::kRelu6);
+  }
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  b.dense(*net, "fc", 64, num_classes);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mini_densenet(int num_classes,
+                                               NetMode mode) {
+  NetBuilder b(mode);
+  constexpr std::int64_t growth = 8;
+  auto net = std::make_unique<Sequential>("densenet");
+  b.input_stub(*net);
+  b.conv(*net, "stem", 3, 12, 3, 1, 1, Act::kRelu);
+  net->add(std::make_unique<AvgPool2d>("stem_pool", 2));
+
+  std::int64_t channels = 12;
+  for (int layer = 0; layer < 2; ++layer) {
+    b.dense_branch(*net, "d1l" + std::to_string(layer), channels, growth,
+                   Act::kRelu);
+    channels += growth;
+  }
+  b.conv(*net, "t1", channels, 24, 1, 1, 0, Act::kRelu);
+  net->add(std::make_unique<AvgPool2d>("t1_pool", 2));
+  channels = 24;
+  for (int layer = 0; layer < 2; ++layer) {
+    b.dense_branch(*net, "d2l" + std::to_string(layer), channels, growth,
+                   Act::kRelu);
+    channels += growth;
+  }
+  b.conv(*net, "t2", channels, 48, 1, 1, 0, Act::kRelu);
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  b.dense(*net, "fc", 48, num_classes);
+  return net;
+}
+
+}  // namespace
+
+std::string arch_name(Arch arch) {
+  switch (arch) {
+    case Arch::kResNet: return "ResNet";
+    case Arch::kMobileNet: return "MobileNet";
+    case Arch::kDenseNet: return "DenseNet";
+  }
+  return "?";
+}
+
+std::unique_ptr<Sequential> make_model(Arch arch, int num_classes,
+                                       NetMode mode) {
+  DIVA_CHECK(num_classes > 1, "need at least two classes");
+  switch (arch) {
+    case Arch::kResNet:
+      return make_mini_resnet("resnet", num_classes, mode, 3, 8);
+    case Arch::kMobileNet:
+      return make_mini_mobilenet(num_classes, mode);
+    case Arch::kDenseNet:
+      return make_mini_densenet(num_classes, mode);
+  }
+  DIVA_FAIL("unknown arch");
+}
+
+std::unique_ptr<Sequential> make_digit_net(NetMode mode) {
+  NetBuilder b(mode);
+  auto net = std::make_unique<Sequential>("digitnet");
+  b.input_stub(*net);
+  b.conv(*net, "c1", 1, 16, 3, 1, 1, Act::kRelu);
+  net->add(std::make_unique<MaxPool2d>("p1", 2));
+  b.conv(*net, "c2", 16, 32, 3, 1, 1, Act::kRelu);
+  net->add(std::make_unique<MaxPool2d>("p2", 2));
+  b.conv(*net, "c3", 32, 32, 3, 1, 1, Act::kRelu);
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  b.dense(*net, "fc", 32, 10);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_face_net(int num_identities, NetMode mode) {
+  // VGGFace internally employs the ResNet topology (paper §6); the face
+  // model is therefore the ResNet factory with its own head.
+  return make_mini_resnet("facenet", num_identities, mode, 3, 8);
+}
+
+Tensor penultimate_features(Sequential& model, const Tensor& x) {
+  const auto kids = model.children();
+  // Find the last Dense (the classifier head).
+  std::size_t head = kids.size();
+  for (std::size_t i = kids.size(); i-- > 0;) {
+    if (dynamic_cast<Dense*>(kids[i]) != nullptr) {
+      head = i;
+      break;
+    }
+  }
+  DIVA_CHECK(head < kids.size(), "model has no Dense head");
+  return model.forward_prefix(x, head);
+}
+
+}  // namespace diva

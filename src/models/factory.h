@@ -1,0 +1,50 @@
+// Model factories for the three evaluation architectures plus the
+// digit and face models.
+//
+// Every architecture can be instantiated in three modes:
+//   kFloat  — training topology: Conv(bias-free) + BatchNorm + activation.
+//   kFolded — deployment float topology: Conv(bias) + activation, BN
+//             folded away. Used as the intermediate between training and
+//             quantization and for verifying fold exactness.
+//   kQat    — quantization-aware topology: input ActFakeQuant stub,
+//             QatConv/QatDense layers, activation fake-quant after every
+//             conv/dense/add/concat — the pattern QuantizedModel::compile
+//             understands.
+//
+// The three ImageNet-track architectures mirror the paper's choices at
+// reduced scale: MiniResNet (residual additions), MiniMobileNet
+// (depthwise-separable convolutions, ReLU6), MiniDenseNet (dense
+// concatenation blocks). FaceNet reuses the ResNet topology, as VGGFace
+// does in the paper (§6).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/sequential.h"
+
+namespace diva {
+
+enum class NetMode { kFloat, kFolded, kQat };
+
+enum class Arch { kResNet, kMobileNet, kDenseNet };
+
+/// Display name matching the paper's tables ("ResNet", ...).
+std::string arch_name(Arch arch);
+
+/// 32x32x3 classifier in the requested mode. Weights uninitialized;
+/// call init_parameters() or transfer weights from a trained model.
+std::unique_ptr<Sequential> make_model(Arch arch, int num_classes,
+                                       NetMode mode);
+
+/// 28x28x1 digit classifier (Figure 4 / MNIST track).
+std::unique_ptr<Sequential> make_digit_net(NetMode mode);
+
+/// Face-recognition model (§6): ResNet topology, one logit per identity.
+std::unique_ptr<Sequential> make_face_net(int num_identities, NetMode mode);
+
+/// Penultimate-layer representation: runs every child up to (excluding)
+/// the final Dense layer; returns [N, D] features.
+Tensor penultimate_features(Sequential& model, const Tensor& x);
+
+}  // namespace diva

@@ -1,0 +1,63 @@
+#include "nn/activations.h"
+
+namespace diva {
+
+Tensor Relu::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+  DIVA_CHECK(grad_out.shape() == cached_input_.shape(),
+             name() << ": bad grad shape");
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[i] = cached_input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor Relu6::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = x[i] <= 0.0f ? 0.0f : (x[i] >= 6.0f ? 6.0f : x[i]);
+  }
+  return out;
+}
+
+Tensor Relu6::backward(const Tensor& grad_out) {
+  DIVA_CHECK(grad_out.shape() == cached_input_.shape(),
+             name() << ": bad grad shape");
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    const float x = cached_input_[i];
+    grad_in[i] = (x > 0.0f && x < 6.0f) ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor LeakyRelu::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = x[i] > 0.0f ? x[i] : slope_ * x[i];
+  }
+  return out;
+}
+
+Tensor LeakyRelu::backward(const Tensor& grad_out) {
+  DIVA_CHECK(grad_out.shape() == cached_input_.shape(),
+             name() << ": bad grad shape");
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[i] = cached_input_[i] > 0.0f ? grad_out[i] : slope_ * grad_out[i];
+  }
+  return grad_in;
+}
+
+}  // namespace diva

@@ -1,0 +1,47 @@
+// Pointwise activation layers.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace diva {
+
+/// Rectified linear unit: y = max(0, x).
+class Relu : public Module {
+ public:
+  explicit Relu(std::string name = "relu") : Module(std::move(name)) {}
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// ReLU6: y = min(6, max(0, x)) — the MobileNet activation, also friendly
+/// to fixed-range quantization.
+class Relu6 : public Module {
+ public:
+  explicit Relu6(std::string name = "relu6") : Module(std::move(name)) {}
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Leaky ReLU with fixed negative slope.
+class LeakyRelu : public Module {
+ public:
+  explicit LeakyRelu(std::string name = "leaky_relu", float slope = 0.01f)
+      : Module(std::move(name)), slope_(slope) {}
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  float slope() const { return slope_; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+}  // namespace diva

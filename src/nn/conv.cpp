@@ -1,0 +1,265 @@
+#include "nn/conv.h"
+
+#include <algorithm>
+
+#include "runtime/thread_pool.h"
+
+namespace diva {
+
+Conv2d::Conv2d(std::string name, std::int64_t in_c, std::int64_t out_c,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               bool with_bias)
+    : Module(std::move(name)),
+      in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      with_bias_(with_bias),
+      weight_(Tensor(Shape{out_c, in_c, kernel, kernel})),
+      bias_(Tensor(Shape{out_c})) {
+  DIVA_CHECK(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0 && pad >= 0,
+             "bad Conv2d config");
+}
+
+std::vector<std::pair<std::string, Parameter*>> Conv2d::local_parameters() {
+  std::vector<std::pair<std::string, Parameter*>> out{{"weight", &weight_}};
+  if (with_bias_) out.emplace_back("bias", &bias_);
+  return out;
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  DIVA_CHECK(x.rank() == 4 && x.dim(1) == in_c_,
+             name() << ": expected [N," << in_c_ << ",H,W], got "
+                    << x.shape().str());
+  batch_ = x.dim(0);
+  geom_ = ConvGeom{in_c_, x.dim(2), x.dim(3), kernel_, kernel_, stride_, pad_};
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  DIVA_CHECK(oh > 0 && ow > 0, name() << ": output collapses to zero size");
+  const std::int64_t k2 = in_c_ * kernel_ * kernel_;
+  const std::int64_t ohw = oh * ow;
+
+  cached_weff_ = effective_weight();
+  const Tensor wmat = cached_weff_.reshaped(Shape{out_c_, k2});
+
+  cached_cols_ = Tensor(Shape{batch_, k2, ohw});
+  Tensor out(Shape{batch_, out_c_, oh, ow});
+
+  const std::int64_t in_stride = in_c_ * geom_.in_h * geom_.in_w;
+  parallel_for(0, batch_, [&](std::int64_t n) {
+    float* cols = cached_cols_.raw() + n * k2 * ohw;
+    im2col(x.raw() + n * in_stride, geom_, cols);
+    // out_n[out_c, ohw] = wmat[out_c, k2] x cols[k2, ohw]
+    float* on = out.raw() + n * out_c_ * ohw;
+    for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+      float* orow = on + oc * ohw;
+      const float b = with_bias_ ? bias_.value[oc] : 0.0f;
+      std::fill(orow, orow + ohw, b);
+      const float* wrow = wmat.raw() + oc * k2;
+      for (std::int64_t kk = 0; kk < k2; ++kk) {
+        const float w = wrow[kk];
+        if (w == 0.0f) continue;
+        const float* crow = cols + kk * ohw;
+        for (std::int64_t j = 0; j < ohw; ++j) orow[j] += w * crow[j];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t k2 = in_c_ * kernel_ * kernel_;
+  DIVA_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == batch_ &&
+                 grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
+                 grad_out.dim(3) == ow,
+             name() << ": bad grad shape " << grad_out.shape().str());
+
+  Tensor grad_in(Shape{batch_, in_c_, geom_.in_h, geom_.in_w});
+  const std::int64_t in_stride = in_c_ * geom_.in_h * geom_.in_w;
+  const Tensor wmat = cached_weff_.reshaped(Shape{out_c_, k2});
+
+  // Per-chunk weight/bias gradient accumulators avoid a shared-write race.
+  const bool want_param_grads = param_grads_enabled();
+  std::mutex reduce_mu;
+  parallel_for_chunked(0, batch_, [&](std::int64_t lo, std::int64_t hi) {
+    Tensor dw_local(Shape{out_c_, k2});
+    Tensor db_local(Shape{out_c_});
+    std::vector<float> dcol(static_cast<std::size_t>(k2 * ohw));
+
+    for (std::int64_t n = lo; n < hi; ++n) {
+      const float* gy = grad_out.raw() + n * out_c_ * ohw;
+      const float* cols = cached_cols_.raw() + n * k2 * ohw;
+
+      // dW[oc, kk] += sum_j gy[oc, j] * cols[kk, j]; db[oc] += sum_j gy.
+      if (want_param_grads) {
+        for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+          const float* gyrow = gy + oc * ohw;
+          float* dwrow = dw_local.raw() + oc * k2;
+          double bsum = 0.0;
+          for (std::int64_t j = 0; j < ohw; ++j) bsum += gyrow[j];
+          db_local[oc] += static_cast<float>(bsum);
+          for (std::int64_t kk = 0; kk < k2; ++kk) {
+            const float* crow = cols + kk * ohw;
+            float acc = 0.0f;
+            for (std::int64_t j = 0; j < ohw; ++j) acc += gyrow[j] * crow[j];
+            dwrow[kk] += acc;
+          }
+        }
+      }
+
+      // dcol[kk, j] = sum_oc W[oc, kk] * gy[oc, j]; then scatter to dx.
+      std::fill(dcol.begin(), dcol.end(), 0.0f);
+      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+        const float* wrow = wmat.raw() + oc * k2;
+        const float* gyrow = gy + oc * ohw;
+        for (std::int64_t kk = 0; kk < k2; ++kk) {
+          const float w = wrow[kk];
+          if (w == 0.0f) continue;
+          float* drow = dcol.data() + kk * ohw;
+          for (std::int64_t j = 0; j < ohw; ++j) drow[j] += w * gyrow[j];
+        }
+      }
+      col2im(dcol.data(), geom_, grad_in.raw() + n * in_stride);
+    }
+
+    if (want_param_grads) {
+      std::lock_guard<std::mutex> lock(reduce_mu);
+      float* dw = weight_.grad.raw();
+      for (std::int64_t i = 0; i < dw_local.numel(); ++i) dw[i] += dw_local[i];
+      if (with_bias_) {
+        for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+          bias_.grad[oc] += db_local[oc];
+        }
+      }
+    }
+  });
+
+  return grad_in;
+}
+
+DepthwiseConv2d::DepthwiseConv2d(std::string name, std::int64_t channels,
+                                 std::int64_t kernel, std::int64_t stride,
+                                 std::int64_t pad, bool with_bias)
+    : Module(std::move(name)),
+      channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      with_bias_(with_bias),
+      weight_(Tensor(Shape{channels, 1, kernel, kernel})),
+      bias_(Tensor(Shape{channels})) {
+  DIVA_CHECK(channels > 0 && kernel > 0 && stride > 0 && pad >= 0,
+             "bad DepthwiseConv2d config");
+}
+
+std::vector<std::pair<std::string, Parameter*>>
+DepthwiseConv2d::local_parameters() {
+  std::vector<std::pair<std::string, Parameter*>> out{{"weight", &weight_}};
+  if (with_bias_) out.emplace_back("bias", &bias_);
+  return out;
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& x) {
+  DIVA_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+             name() << ": expected [N," << channels_ << ",H,W], got "
+                    << x.shape().str());
+  const std::int64_t batch = x.dim(0);
+  geom_ = ConvGeom{channels_, x.dim(2), x.dim(3), kernel_, kernel_, stride_,
+                   pad_};
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  DIVA_CHECK(oh > 0 && ow > 0, name() << ": output collapses to zero size");
+
+  cached_input_ = x;
+  cached_weff_ = effective_weight();
+  Tensor out(Shape{batch, channels_, oh, ow});
+
+  parallel_for(0, batch * channels_, [&](std::int64_t nc) {
+    const std::int64_t n = nc / channels_, c = nc % channels_;
+    const float* in = x.raw() + (n * channels_ + c) * geom_.in_h * geom_.in_w;
+    const float* w = cached_weff_.raw() + c * kernel_ * kernel_;
+    float* o = out.raw() + (n * channels_ + c) * oh * ow;
+    const float b = with_bias_ ? bias_.value[c] : 0.0f;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        float acc = b;
+        for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+          const std::int64_t iy = y * stride_ - pad_ + kh;
+          if (iy < 0 || iy >= geom_.in_h) continue;
+          for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+            const std::int64_t ix = xo * stride_ - pad_ + kw;
+            if (ix < 0 || ix >= geom_.in_w) continue;
+            acc += w[kh * kernel_ + kw] * in[iy * geom_.in_w + ix];
+          }
+        }
+        o[y * ow + xo] = acc;
+      }
+    }
+  }, /*grain=*/4);
+  return out;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  const std::int64_t batch = cached_input_.dim(0);
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  DIVA_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == batch &&
+                 grad_out.dim(1) == channels_,
+             name() << ": bad grad shape " << grad_out.shape().str());
+
+  Tensor grad_in(cached_input_.shape());
+  const bool want_param_grads = param_grads_enabled();
+  std::mutex reduce_mu;
+
+  parallel_for_chunked(0, batch, [&](std::int64_t lo, std::int64_t hi) {
+    Tensor dw_local(weight_.value.shape());
+    Tensor db_local(Shape{channels_});
+    for (std::int64_t n = lo; n < hi; ++n) {
+      for (std::int64_t c = 0; c < channels_; ++c) {
+        const float* in = cached_input_.raw() +
+                          (n * channels_ + c) * geom_.in_h * geom_.in_w;
+        const float* gy = grad_out.raw() + (n * channels_ + c) * oh * ow;
+        const float* w = cached_weff_.raw() + c * kernel_ * kernel_;
+        float* gi =
+            grad_in.raw() + (n * channels_ + c) * geom_.in_h * geom_.in_w;
+        float* dw = dw_local.raw() + c * kernel_ * kernel_;
+        double bsum = 0.0;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          for (std::int64_t xo = 0; xo < ow; ++xo) {
+            const float g = gy[y * ow + xo];
+            if (g == 0.0f) continue;
+            bsum += g;
+            for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+              const std::int64_t iy = y * stride_ - pad_ + kh;
+              if (iy < 0 || iy >= geom_.in_h) continue;
+              for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+                const std::int64_t ix = xo * stride_ - pad_ + kw;
+                if (ix < 0 || ix >= geom_.in_w) continue;
+                if (want_param_grads) {
+                  dw[kh * kernel_ + kw] += g * in[iy * geom_.in_w + ix];
+                }
+                gi[iy * geom_.in_w + ix] += g * w[kh * kernel_ + kw];
+              }
+            }
+          }
+        }
+        db_local[c] += static_cast<float>(bsum);
+      }
+    }
+    if (want_param_grads) {
+      std::lock_guard<std::mutex> lock(reduce_mu);
+      for (std::int64_t i = 0; i < dw_local.numel(); ++i) {
+        weight_.grad[i] += dw_local[i];
+      }
+      if (with_bias_) {
+        for (std::int64_t c = 0; c < channels_; ++c) {
+          bias_.grad[c] += db_local[c];
+        }
+      }
+    }
+  });
+
+  return grad_in;
+}
+
+}  // namespace diva

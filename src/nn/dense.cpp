@@ -1,0 +1,58 @@
+#include "nn/dense.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+Dense::Dense(std::string name, std::int64_t in_features,
+             std::int64_t out_features, bool with_bias)
+    : Module(std::move(name)),
+      in_f_(in_features),
+      out_f_(out_features),
+      with_bias_(with_bias),
+      weight_(Tensor(Shape{in_features, out_features})),
+      bias_(Tensor(Shape{out_features})) {
+  DIVA_CHECK(in_features > 0 && out_features > 0, "bad Dense config");
+}
+
+std::vector<std::pair<std::string, Parameter*>> Dense::local_parameters() {
+  std::vector<std::pair<std::string, Parameter*>> out{{"weight", &weight_}};
+  if (with_bias_) out.emplace_back("bias", &bias_);
+  return out;
+}
+
+Tensor Dense::forward(const Tensor& x) {
+  DIVA_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
+             name() << ": expected [N," << in_f_ << "], got "
+                    << x.shape().str());
+  cached_input_ = x;
+  cached_weff_ = effective_weight();
+  Tensor out = matmul(x, cached_weff_);
+  if (with_bias_) {
+    const std::int64_t n = out.dim(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      float* row = out.raw() + i * out_f_;
+      for (std::int64_t j = 0; j < out_f_; ++j) row[j] += bias_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  DIVA_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_f_,
+             name() << ": bad grad shape " << grad_out.shape().str());
+  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T
+  if (param_grads_enabled()) {
+    matmul_acc(transpose2d(cached_input_), grad_out, weight_.grad);
+    if (with_bias_) {
+      const std::int64_t n = grad_out.dim(0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = grad_out.raw() + i * out_f_;
+        for (std::int64_t j = 0; j < out_f_; ++j) bias_.grad[j] += row[j];
+      }
+    }
+  }
+  return matmul(grad_out, transpose2d(cached_weff_));
+}
+
+}  // namespace diva

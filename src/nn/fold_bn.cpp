@@ -1,0 +1,157 @@
+#include "nn/fold_bn.h"
+
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+
+namespace diva {
+
+namespace {
+
+void collect_leaves(Module& m, std::vector<Module*>& out) {
+  auto children = m.children();
+  if (children.empty()) {
+    out.push_back(&m);
+    return;
+  }
+  for (Module* c : children) collect_leaves(*c, out);
+}
+
+/// A parameterized layer optionally followed by a BatchNorm to fuse.
+struct FoldUnit {
+  Module* layer = nullptr;       // Conv2d, DepthwiseConv2d, or Dense
+  BatchNorm2d* bn = nullptr;
+};
+
+bool is_parameterized_layer(Module* m) {
+  return dynamic_cast<Conv2d*>(m) != nullptr ||
+         dynamic_cast<DepthwiseConv2d*>(m) != nullptr ||
+         dynamic_cast<Dense*>(m) != nullptr;
+}
+
+std::vector<FoldUnit> units_with_bn(std::vector<Module*> leaves) {
+  std::vector<FoldUnit> units;
+  for (Module* leaf : leaves) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(leaf)) {
+      DIVA_CHECK(!units.empty() && units.back().bn == nullptr,
+                 "BatchNorm '" << bn->name()
+                               << "' is not preceded by a conv layer");
+      units.back().bn = bn;
+    } else if (is_parameterized_layer(leaf)) {
+      units.push_back({leaf, nullptr});
+    }
+  }
+  return units;
+}
+
+/// Per-output-channel fused scale and offset from a BN layer.
+struct ChannelAffine {
+  std::vector<float> scale, offset;
+};
+
+ChannelAffine bn_affine(BatchNorm2d& bn) {
+  const std::int64_t c = bn.channels();
+  ChannelAffine out;
+  out.scale.resize(static_cast<std::size_t>(c));
+  out.offset.resize(static_cast<std::size_t>(c));
+  for (std::int64_t i = 0; i < c; ++i) {
+    const float inv_std =
+        1.0f / std::sqrt(bn.running_var().value[i] + bn.eps());
+    out.scale[static_cast<std::size_t>(i)] = bn.gamma().value[i] * inv_std;
+    out.offset[static_cast<std::size_t>(i)] =
+        bn.beta().value[i] -
+        bn.running_mean().value[i] * bn.gamma().value[i] * inv_std;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Module*> execution_leaves(Module& m) {
+  std::vector<Module*> out;
+  collect_leaves(m, out);
+  return out;
+}
+
+void fold_batchnorm_into(Module& src, Module& dst) {
+  auto src_units = units_with_bn(execution_leaves(src));
+  auto dst_units = units_with_bn(execution_leaves(dst));
+  DIVA_CHECK(src_units.size() == dst_units.size(),
+             "fold: " << src_units.size() << " source layers vs "
+                      << dst_units.size() << " destination layers");
+
+  for (std::size_t i = 0; i < src_units.size(); ++i) {
+    Module* s = src_units[i].layer;
+    Module* d = dst_units[i].layer;
+    BatchNorm2d* bn = src_units[i].bn;
+    DIVA_CHECK(dst_units[i].bn == nullptr,
+               "fold destination still contains BatchNorm after '"
+                   << d->name() << "'");
+
+    if (auto* sc = dynamic_cast<Conv2d*>(s)) {
+      auto* dc = dynamic_cast<Conv2d*>(d);
+      DIVA_CHECK(dc != nullptr && dc->weight().value.shape() ==
+                                      sc->weight().value.shape(),
+                 "fold: layer mismatch at '" << s->name() << "'");
+      dc->weight().value = sc->weight().value;
+      const std::int64_t out_c = sc->out_channels();
+      const std::int64_t per = sc->weight().value.numel() / out_c;
+      if (bn != nullptr) {
+        DIVA_CHECK(bn->channels() == out_c && dc->has_bias(),
+                   "fold: cannot fuse BN into '" << d->name() << "'");
+        const ChannelAffine a = bn_affine(*bn);
+        for (std::int64_t oc = 0; oc < out_c; ++oc) {
+          float* w = dc->weight().value.raw() + oc * per;
+          for (std::int64_t j = 0; j < per; ++j) {
+            w[j] *= a.scale[static_cast<std::size_t>(oc)];
+          }
+          const float b = sc->has_bias() ? sc->bias().value[oc] : 0.0f;
+          dc->bias().value[oc] = a.offset[static_cast<std::size_t>(oc)] +
+                                 b * a.scale[static_cast<std::size_t>(oc)];
+        }
+      } else if (sc->has_bias() && dc->has_bias()) {
+        dc->bias().value = sc->bias().value;
+      }
+    } else if (auto* sd = dynamic_cast<DepthwiseConv2d*>(s)) {
+      auto* dd = dynamic_cast<DepthwiseConv2d*>(d);
+      DIVA_CHECK(dd != nullptr && dd->weight().value.shape() ==
+                                      sd->weight().value.shape(),
+                 "fold: layer mismatch at '" << s->name() << "'");
+      dd->weight().value = sd->weight().value;
+      const std::int64_t c = sd->channels();
+      const std::int64_t per = sd->kernel() * sd->kernel();
+      if (bn != nullptr) {
+        DIVA_CHECK(bn->channels() == c && dd->has_bias(),
+                   "fold: cannot fuse BN into '" << d->name() << "'");
+        const ChannelAffine a = bn_affine(*bn);
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          float* w = dd->weight().value.raw() + ci * per;
+          for (std::int64_t j = 0; j < per; ++j) {
+            w[j] *= a.scale[static_cast<std::size_t>(ci)];
+          }
+          const float b = sd->has_bias() ? sd->bias().value[ci] : 0.0f;
+          dd->bias().value[ci] = a.offset[static_cast<std::size_t>(ci)] +
+                                 b * a.scale[static_cast<std::size_t>(ci)];
+        }
+      } else if (sd->has_bias() && dd->has_bias()) {
+        dd->bias().value = sd->bias().value;
+      }
+    } else if (auto* sde = dynamic_cast<Dense*>(s)) {
+      auto* dde = dynamic_cast<Dense*>(d);
+      DIVA_CHECK(dde != nullptr && bn == nullptr &&
+                     dde->weight().value.shape() ==
+                         sde->weight().value.shape(),
+                 "fold: layer mismatch at '" << s->name() << "'");
+      dde->weight().value = sde->weight().value;
+      if (sde->has_bias() && dde->has_bias()) {
+        dde->bias().value = sde->bias().value;
+      }
+    } else {
+      DIVA_FAIL("fold: unsupported layer '" << s->name() << "'");
+    }
+  }
+}
+
+}  // namespace diva

@@ -1,0 +1,32 @@
+// BatchNorm folding.
+//
+// Eval-mode BatchNorm is a per-channel affine transform, so a
+// Conv -> BatchNorm pair is exactly equivalent to a single Conv with
+// rescaled weights and shifted bias:
+//   W' = W * gamma / sqrt(var + eps)        (per output channel)
+//   b' = beta + (b - mean) * gamma / sqrt(var + eps)
+//
+// Deployment pipelines (and this library's QAT/int8 conversion) operate
+// on folded models. fold_batchnorm_into() transfers weights from a
+// trained BN model into a structurally matching BN-free skeleton built
+// by the same factory — the standard "fold then quantize" flow.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace diva {
+
+/// Leaf modules (no children) in forward execution order.
+std::vector<Module*> execution_leaves(Module& m);
+
+/// Fuses every Conv/DepthwiseConv + BatchNorm pair of `src` and writes
+/// the fused weights into the corresponding layer of `dst`; Dense and
+/// unpaired conv layers are copied as-is. `dst` must be a BN-free
+/// skeleton whose parameterized layers appear in the same order (extra
+/// non-parameterized leaves such as fake-quant nodes are ignored).
+/// Throws diva::Error if the structures cannot be aligned.
+void fold_batchnorm_into(Module& src, Module& dst);
+
+}  // namespace diva

@@ -1,0 +1,54 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace diva {
+
+namespace {
+
+std::pair<std::int64_t, std::int64_t> fans(const Tensor& w) {
+  if (w.rank() == 4) {
+    const std::int64_t receptive = w.dim(2) * w.dim(3);
+    return {w.dim(1) * receptive, w.dim(0) * receptive};
+  }
+  if (w.rank() == 2) return {w.dim(0), w.dim(1)};
+  return {w.numel(), w.numel()};
+}
+
+}  // namespace
+
+void he_normal(Tensor& w, Rng& rng) {
+  const auto [fan_in, fan_out] = fans(w);
+  (void)fan_out;
+  const float sd = std::sqrt(2.0f / static_cast<float>(fan_in));
+  w.fill_normal(rng, 0.0f, sd);
+}
+
+void xavier_uniform(Tensor& w, Rng& rng) {
+  const auto [fan_in, fan_out] = fans(w);
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  w.fill_uniform(rng, -a, a);
+}
+
+void init_parameters(Module& m, std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& np : m.named_parameters()) {
+    if (!np.param->trainable) continue;
+    // Stable per-parameter stream: order-independent of other params.
+    std::uint64_t h = seed;
+    for (char ch : np.name) h = hash_combine(h, static_cast<std::uint64_t>(ch));
+    Rng prng(h);
+    const bool is_weight = np.name.ends_with("weight");
+    if (is_weight && np.param->value.rank() == 4) {
+      he_normal(np.param->value, prng);
+    } else if (is_weight && np.param->value.rank() == 2) {
+      xavier_uniform(np.param->value, prng);
+    } else if (np.name.ends_with("bias")) {
+      np.param->value.fill(0.0f);
+    }
+    // gamma/beta keep constructor defaults (1, 0).
+  }
+  (void)rng;
+}
+
+}  // namespace diva

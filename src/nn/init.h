@@ -1,0 +1,22 @@
+// Weight initialization. Fan counts are derived from tensor shapes:
+// conv [out, in, kh, kw] -> fan_in = in*kh*kw; dense [in, out] -> in.
+#pragma once
+
+#include "nn/module.h"
+#include "runtime/rng.h"
+
+namespace diva {
+
+/// He (Kaiming) normal initialization: N(0, sqrt(2 / fan_in)).
+void he_normal(Tensor& w, Rng& rng);
+
+/// Xavier/Glorot uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& w, Rng& rng);
+
+/// Initializes every trainable weight tensor in the module tree:
+/// He-normal for rank-4 conv weights, Xavier for rank-2 dense weights,
+/// zeros for biases. BatchNorm gamma/beta and buffers are left at their
+/// constructor defaults. Deterministic in (module structure, seed).
+void init_parameters(Module& m, std::uint64_t seed);
+
+}  // namespace diva

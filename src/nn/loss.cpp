@@ -1,0 +1,109 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+LossGrad softmax_cross_entropy(const Tensor& logits,
+                               std::span<const int> labels) {
+  DIVA_CHECK(logits.rank() == 2, "softmax_cross_entropy needs [N, D]");
+  const std::int64_t n = logits.dim(0), d = logits.dim(1);
+  DIVA_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "labels size mismatch");
+
+  const Tensor logp = log_softmax_rows(logits);
+  Tensor dlogits = softmax_rows(logits);
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    DIVA_CHECK(y >= 0 && y < d, "label " << y << " out of range");
+    total -= logp.at(i, y);
+    dlogits.at(i, y) -= 1.0f;
+  }
+  for (std::int64_t i = 0; i < dlogits.numel(); ++i) dlogits[i] *= inv_n;
+  return {static_cast<float>(total / n), std::move(dlogits)};
+}
+
+LossGrad soft_cross_entropy(const Tensor& logits, const Tensor& target_probs) {
+  DIVA_CHECK(logits.shape() == target_probs.shape(),
+             "soft_cross_entropy shape mismatch");
+  const std::int64_t n = logits.dim(0), d = logits.dim(1);
+  const Tensor logp = log_softmax_rows(logits);
+  Tensor p = softmax_rows(logits);
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      total -= static_cast<double>(target_probs.at(i, j)) * logp.at(i, j);
+      p.at(i, j) = (p.at(i, j) - target_probs.at(i, j)) * inv_n;
+    }
+  }
+  return {static_cast<float>(total / n), std::move(p)};
+}
+
+LossGrad distillation_loss(const Tensor& student_logits,
+                           const Tensor& teacher_logits,
+                           std::span<const int> hard_labels, float temperature,
+                           float alpha) {
+  DIVA_CHECK(student_logits.shape() == teacher_logits.shape(),
+             "distillation_loss shape mismatch");
+  DIVA_CHECK(temperature > 0.0f && alpha >= 0.0f && alpha <= 1.0f,
+             "bad distillation hyperparameters");
+  const std::int64_t n = student_logits.dim(0), d = student_logits.dim(1);
+
+  // Soft term at temperature T. d/ds of T^2 * KL(pt || ps_T) where
+  // ps_T = softmax(s/T): gradient is T * (ps_T - pt_T); we fold the mean.
+  const Tensor s_t = mul_scalar(student_logits, 1.0f / temperature);
+  const Tensor t_t = mul_scalar(teacher_logits, 1.0f / temperature);
+  const Tensor ps = softmax_rows(s_t);
+  const Tensor pt = softmax_rows(t_t);
+  const Tensor log_ps = log_softmax_rows(s_t);
+  const Tensor log_pt = log_softmax_rows(t_t);
+
+  double soft_loss = 0.0;
+  Tensor dlogits(student_logits.shape());
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const float t2 = temperature * temperature;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      soft_loss += static_cast<double>(pt.at(i, j)) *
+                   (log_pt.at(i, j) - log_ps.at(i, j));
+      dlogits.at(i, j) = (1.0f - alpha) * temperature *
+                         (ps.at(i, j) - pt.at(i, j)) * inv_n;
+    }
+  }
+  soft_loss = soft_loss * t2 / n;
+
+  // Hard term.
+  LossGrad hard = softmax_cross_entropy(student_logits, hard_labels);
+  axpy(alpha, hard.dlogits, dlogits);
+
+  return {static_cast<float>((1.0f - alpha) * soft_loss + alpha * hard.loss),
+          std::move(dlogits)};
+}
+
+float kl_divergence(const Tensor& teacher_logits, const Tensor& student_logits,
+                    float temperature) {
+  DIVA_CHECK(teacher_logits.shape() == student_logits.shape(),
+             "kl_divergence shape mismatch");
+  const std::int64_t n = teacher_logits.dim(0), d = teacher_logits.dim(1);
+  const Tensor pt =
+      softmax_rows(mul_scalar(teacher_logits, 1.0f / temperature));
+  const Tensor log_pt =
+      log_softmax_rows(mul_scalar(teacher_logits, 1.0f / temperature));
+  const Tensor log_ps =
+      log_softmax_rows(mul_scalar(student_logits, 1.0f / temperature));
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      total += static_cast<double>(pt.at(i, j)) *
+               (log_pt.at(i, j) - log_ps.at(i, j));
+    }
+  }
+  return static_cast<float>(total / n);
+}
+
+}  // namespace diva

@@ -1,0 +1,40 @@
+// Classification losses. Each returns the scalar loss (mean over the
+// batch) together with the gradient with respect to the logits, ready to
+// feed into Module::backward.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diva {
+
+struct LossGrad {
+  float loss = 0.0f;
+  Tensor dlogits;  // same shape as logits
+};
+
+/// Mean softmax cross-entropy against integer labels.
+LossGrad softmax_cross_entropy(const Tensor& logits,
+                               std::span<const int> labels);
+
+/// Mean cross-entropy against a full target distribution (rows of
+/// `target_probs` must sum to 1). Used for distillation.
+LossGrad soft_cross_entropy(const Tensor& logits, const Tensor& target_probs);
+
+/// Hinton-style distillation loss:
+///   alpha * CE(student, hard_labels) +
+///   (1 - alpha) * T^2 * KL(softmax(teacher/T) || softmax(student/T))
+/// The T^2 factor keeps gradient magnitudes comparable across T.
+LossGrad distillation_loss(const Tensor& student_logits,
+                           const Tensor& teacher_logits,
+                           std::span<const int> hard_labels, float temperature,
+                           float alpha);
+
+/// Mean KL(p_teacher || p_student) between temperature-softened softmaxes
+/// (diagnostic metric; no gradient).
+float kl_divergence(const Tensor& teacher_logits, const Tensor& student_logits,
+                    float temperature = 1.0f);
+
+}  // namespace diva

@@ -1,0 +1,54 @@
+#include "nn/module.h"
+
+namespace diva {
+
+void Module::collect(const std::string& prefix,
+                     std::vector<NamedParameter>& out) {
+  for (auto& [local_name, param] : local_parameters()) {
+    out.push_back({prefix + local_name, param});
+  }
+  for (Module* child : children()) {
+    child->collect(prefix + child->name() + ".", out);
+  }
+}
+
+std::vector<NamedParameter> Module::named_parameters() {
+  std::vector<NamedParameter> out;
+  collect(name_ + ".", out);
+  return out;
+}
+
+void Module::visit(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  for (Module* child : children()) child->visit(fn);
+}
+
+void Module::zero_grad() {
+  visit([](Module& m) {
+    for (auto& [name, p] : m.local_parameters()) {
+      (void)name;
+      p->grad.fill(0.0f);
+    }
+  });
+}
+
+void Module::set_training(bool training) {
+  visit([training](Module& m) { m.training_ = training; });
+}
+
+void Module::set_param_grads_enabled(bool enabled) {
+  visit([enabled](Module& m) { m.param_grads_enabled_ = enabled; });
+}
+
+std::int64_t Module::num_trainable_elements() {
+  std::int64_t total = 0;
+  visit([&total](Module& m) {
+    for (auto& [name, p] : m.local_parameters()) {
+      (void)name;
+      if (p->trainable) total += p->value.numel();
+    }
+  });
+  return total;
+}
+
+}  // namespace diva

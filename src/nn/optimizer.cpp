@@ -1,0 +1,80 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace diva {
+
+Optimizer::Optimizer(std::vector<NamedParameter> params) {
+  params_.reserve(params.size());
+  for (auto& np : params) {
+    if (np.param != nullptr && np.param->trainable) params_.push_back(np);
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& np : params_) np.param->grad.fill(0.0f);
+}
+
+Sgd::Sgd(std::vector<NamedParameter> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (auto& np : params_) velocity_.emplace_back(np.param->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i].param;
+    Tensor& vel = velocity_[i];
+    float* w = p.value.raw();
+    const float* g = p.grad.raw();
+    float* v = vel.raw();
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= lr_ * v[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<NamedParameter> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& np : params_) {
+    m_.emplace_back(np.param->value.shape());
+    v_.emplace_back(np.param->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i].param;
+    float* w = p.value.raw();
+    const float* g = p.grad.raw();
+    float* m = m_[i].raw();
+    float* v = v_[i].raw();
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace diva

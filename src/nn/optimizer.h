@@ -1,0 +1,58 @@
+// First-order optimizers over a fixed set of parameters.
+//
+// Optimizers are constructed from Module::named_parameters(); the
+// parameter set must outlive the optimizer. Buffers (trainable = false)
+// are skipped automatically.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace diva {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<NamedParameter> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the currently-accumulated gradients.
+  virtual void step() = 0;
+
+  /// Zeroes all owned gradients.
+  void zero_grad();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<NamedParameter> params_;  // trainable only
+  float lr_ = 0.01f;
+};
+
+/// SGD with classical momentum and decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<NamedParameter> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<NamedParameter> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace diva

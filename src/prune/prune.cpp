@@ -1,0 +1,125 @@
+#include "prune/prune.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diva {
+
+namespace {
+
+std::vector<Parameter*> find_prunable(Module& model) {
+  std::vector<Parameter*> out;
+  model.visit([&out](Module& m) {
+    for (auto& [name, p] : m.local_parameters()) {
+      if (p->trainable && p->value.rank() >= 2 &&
+          name.ends_with("weight")) {
+        out.push_back(p);
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+MagnitudePruner::MagnitudePruner(Module& model)
+    : prunable_(find_prunable(model)) {
+  DIVA_CHECK(!prunable_.empty(), "model has no prunable weights");
+  masks_.resize(prunable_.size());
+  for (std::size_t i = 0; i < prunable_.size(); ++i) {
+    masks_[i].assign(static_cast<std::size_t>(prunable_[i]->value.numel()), 1);
+  }
+}
+
+MagnitudePruner::MagnitudePruner(Module& model, PruneConfig cfg)
+    : MagnitudePruner(model) {
+  DIVA_CHECK(cfg.target_sparsity >= 0.0f && cfg.target_sparsity < 1.0f,
+             "target sparsity must be in [0, 1)");
+  DIVA_CHECK(cfg.ramp_steps > 0 && cfg.update_every > 0, "bad prune schedule");
+  cfg_ = cfg;
+}
+
+MagnitudePruner MagnitudePruner::from_existing_zeros(Module& model) {
+  MagnitudePruner p(model);
+  p.cfg_.target_sparsity = 0.0f;  // schedule disabled; masks are frozen
+  p.cfg_.ramp_steps = 1;
+  p.step_count_ = 1;  // past the ramp
+  for (std::size_t i = 0; i < p.prunable_.size(); ++i) {
+    const Tensor& w = p.prunable_[i]->value;
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      p.masks_[i][static_cast<std::size_t>(j)] = w[j] != 0.0f ? 1 : 0;
+    }
+  }
+  return p;
+}
+
+float MagnitudePruner::scheduled_sparsity() const {
+  const float t = std::min<float>(
+      1.0f, static_cast<float>(step_count_) /
+                static_cast<float>(cfg_.ramp_steps));
+  const float keep = 1.0f - t;
+  return cfg_.target_sparsity * (1.0f - keep * keep * keep);
+}
+
+void MagnitudePruner::select_masks(float sparsity) {
+  for (std::size_t i = 0; i < prunable_.size(); ++i) {
+    const Tensor& w = prunable_[i]->value;
+    const std::int64_t n = w.numel();
+    const auto cut = static_cast<std::int64_t>(
+        std::floor(sparsity * static_cast<float>(n)));
+    auto& mask = masks_[i];
+    if (cut <= 0) {
+      std::fill(mask.begin(), mask.end(), 1);
+      continue;
+    }
+    // Threshold = cut-th smallest magnitude (nth_element on a copy).
+    std::vector<float> mags(static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < n; ++j) mags[static_cast<std::size_t>(j)] = std::fabs(w[j]);
+    std::vector<float> sorted = mags;
+    std::nth_element(sorted.begin(), sorted.begin() + (cut - 1), sorted.end());
+    const float threshold = sorted[static_cast<std::size_t>(cut - 1)];
+    std::int64_t pruned = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const bool prune = mags[static_cast<std::size_t>(j)] <= threshold &&
+                         pruned < cut;
+      if (prune) ++pruned;
+      mask[static_cast<std::size_t>(j)] = prune ? 0 : 1;
+    }
+  }
+}
+
+void MagnitudePruner::apply_masks() {
+  for (std::size_t i = 0; i < prunable_.size(); ++i) {
+    Tensor& w = prunable_[i]->value;
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      if (masks_[i][static_cast<std::size_t>(j)] == 0) w[j] = 0.0f;
+    }
+  }
+}
+
+void MagnitudePruner::prune_to(float sparsity) {
+  select_masks(sparsity);
+  apply_masks();
+}
+
+void MagnitudePruner::step() {
+  ++step_count_;
+  if (cfg_.target_sparsity > 0.0f && step_count_ <= cfg_.ramp_steps &&
+      step_count_ % cfg_.update_every == 0) {
+    select_masks(scheduled_sparsity());
+  }
+  apply_masks();
+}
+
+float MagnitudePruner::actual_sparsity() const {
+  std::int64_t zeros = 0, total = 0;
+  for (const Parameter* p : prunable_) {
+    for (std::int64_t j = 0; j < p->value.numel(); ++j) {
+      zeros += p->value[j] == 0.0f ? 1 : 0;
+    }
+    total += p->value.numel();
+  }
+  return static_cast<float>(zeros) / static_cast<float>(total);
+}
+
+}  // namespace diva

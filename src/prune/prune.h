@@ -1,0 +1,65 @@
+// Magnitude pruning with a polynomial sparsity schedule — the tfmot
+// Keras weight-pruning behavior the paper uses for its second
+// edge-adaptation technique (§5.6).
+//
+// Pruning is layer-wise: within every prunable weight tensor (conv and
+// dense weights, rank >= 2), the smallest-magnitude fraction is masked
+// to zero. During finetuning the schedule raises sparsity from 0 to the
+// target following s_t = s_f * (1 - (1 - t/T)^3), and masks are
+// re-applied after every optimizer step so pruned weights stay zero.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace diva {
+
+struct PruneConfig {
+  float target_sparsity = 0.5f;
+  /// Optimizer steps over which sparsity ramps from 0 to target.
+  std::int64_t ramp_steps = 200;
+  /// Re-select masks every this many steps during the ramp.
+  std::int64_t update_every = 20;
+};
+
+class MagnitudePruner {
+ public:
+  /// Attaches to every prunable weight in the model.
+  MagnitudePruner(Module& model, PruneConfig cfg);
+
+  /// Builds a pruner whose masks are the existing zero patterns of the
+  /// model — used to preserve sparsity through later pipelines
+  /// (e.g. QAT finetuning of an already-pruned model).
+  static MagnitudePruner from_existing_zeros(Module& model);
+
+  /// Call after every optimizer step: advances the schedule, refreshes
+  /// masks when due, and re-applies them.
+  void step();
+
+  /// Zeroes masked weights (idempotent).
+  void apply_masks();
+
+  /// Recomputes masks at the given sparsity and applies them.
+  void prune_to(float sparsity);
+
+  /// Scheduled sparsity at the current step.
+  float scheduled_sparsity() const;
+
+  /// Measured fraction of zeros across prunable weights.
+  float actual_sparsity() const;
+
+  std::size_t num_prunable_tensors() const { return prunable_.size(); }
+
+ private:
+  explicit MagnitudePruner(Module& model);
+  void select_masks(float sparsity);
+
+  PruneConfig cfg_;
+  std::int64_t step_count_ = 0;
+  std::vector<Parameter*> prunable_;
+  std::vector<std::vector<std::uint8_t>> masks_;  // 1 = keep
+};
+
+}  // namespace diva

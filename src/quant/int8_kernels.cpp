@@ -1,0 +1,229 @@
+#include "quant/int8_kernels.h"
+
+#include <algorithm>
+
+namespace diva {
+
+namespace {
+
+std::int8_t clamp_to_int8(std::int32_t v, std::int32_t lo, std::int32_t hi) {
+  return static_cast<std::int8_t>(std::clamp(v, lo, hi));
+}
+
+/// Rounding signed division by a positive non-power-of-two count.
+std::int32_t rounding_div(std::int32_t x, std::int32_t d) {
+  return x >= 0 ? (x + d / 2) / d : -((-x + d / 2) / d);
+}
+
+}  // namespace
+
+RequantChannel make_requant(float s_in, std::span<const float> w_scales,
+                            float s_out) {
+  RequantChannel rq;
+  rq.multiplier.resize(w_scales.size());
+  rq.shift.resize(w_scales.size());
+  for (std::size_t c = 0; c < w_scales.size(); ++c) {
+    const double m = static_cast<double>(s_in) * w_scales[c] / s_out;
+    quantize_multiplier(m, &rq.multiplier[c], &rq.shift[c]);
+  }
+  return rq;
+}
+
+void qconv2d(const std::int8_t* in, const ConvGeom& g, std::int32_t in_zp,
+             const std::int8_t* w, std::int64_t out_c,
+             const std::int32_t* bias, const RequantChannel& rq,
+             std::int32_t out_zp, std::int32_t act_min, std::int32_t act_max,
+             std::int8_t* out) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t k2 = g.in_c * g.kernel_h * g.kernel_w;
+  for (std::int64_t oc = 0; oc < out_c; ++oc) {
+    const std::int8_t* wc = w + oc * k2;
+    std::int8_t* orow = out + oc * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        std::int32_t acc = bias != nullptr ? bias[oc] : 0;
+        std::int64_t widx = 0;
+        for (std::int64_t c = 0; c < g.in_c; ++c) {
+          const std::int8_t* chan = in + c * g.in_h * g.in_w;
+          for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+            const std::int64_t iy = y * g.stride - g.pad + kh;
+            for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++widx) {
+              const std::int64_t ix = x * g.stride - g.pad + kw;
+              // Zero padding contributes (in_zp - in_zp) = 0 in real
+              // space; represented by substituting q = in_zp.
+              const std::int32_t q =
+                  (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                      ? chan[iy * g.in_w + ix]
+                      : in_zp;
+              acc += (q - in_zp) * static_cast<std::int32_t>(wc[widx]);
+            }
+          }
+        }
+        const std::int32_t scaled = multiply_by_quantized_multiplier(
+            acc, rq.multiplier[static_cast<std::size_t>(oc)],
+            rq.shift[static_cast<std::size_t>(oc)]);
+        orow[y * ow + x] = clamp_to_int8(scaled + out_zp, act_min, act_max);
+      }
+    }
+  }
+}
+
+void qdepthwise_conv2d(const std::int8_t* in, const ConvGeom& g,
+                       std::int32_t in_zp, const std::int8_t* w,
+                       const std::int32_t* bias, const RequantChannel& rq,
+                       std::int32_t out_zp, std::int32_t act_min,
+                       std::int32_t act_max, std::int8_t* out) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t k2 = g.kernel_h * g.kernel_w;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const std::int8_t* chan = in + c * g.in_h * g.in_w;
+    const std::int8_t* wc = w + c * k2;
+    std::int8_t* orow = out + c * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        std::int32_t acc = bias != nullptr ? bias[c] : 0;
+        for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+          const std::int64_t iy = y * g.stride - g.pad + kh;
+          for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+            const std::int64_t ix = x * g.stride - g.pad + kw;
+            const std::int32_t q =
+                (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                    ? chan[iy * g.in_w + ix]
+                    : in_zp;
+            acc += (q - in_zp) * static_cast<std::int32_t>(wc[kh * g.kernel_w + kw]);
+          }
+        }
+        const std::int32_t scaled = multiply_by_quantized_multiplier(
+            acc, rq.multiplier[static_cast<std::size_t>(c)],
+            rq.shift[static_cast<std::size_t>(c)]);
+        orow[y * ow + x] = clamp_to_int8(scaled + out_zp, act_min, act_max);
+      }
+    }
+  }
+}
+
+void qdense(const std::int8_t* in, std::int64_t in_f, std::int32_t in_zp,
+            const std::int8_t* w, std::int64_t out_f,
+            const std::int32_t* bias, const RequantChannel& rq,
+            std::int32_t out_zp, std::int32_t act_min, std::int32_t act_max,
+            std::int8_t* out) {
+  for (std::int64_t o = 0; o < out_f; ++o) {
+    const std::int8_t* wrow = w + o * in_f;
+    std::int32_t acc = bias != nullptr ? bias[o] : 0;
+    for (std::int64_t i = 0; i < in_f; ++i) {
+      acc += (static_cast<std::int32_t>(in[i]) - in_zp) *
+             static_cast<std::int32_t>(wrow[i]);
+    }
+    const std::int32_t scaled = multiply_by_quantized_multiplier(
+        acc, rq.multiplier[static_cast<std::size_t>(o)],
+        rq.shift[static_cast<std::size_t>(o)]);
+    out[o] = clamp_to_int8(scaled + out_zp, act_min, act_max);
+  }
+}
+
+void qadd(std::span<const std::int8_t> a, QuantParams qp_a,
+          std::span<const std::int8_t> b, QuantParams qp_b,
+          QuantParams qp_out, std::int32_t act_min, std::int32_t act_max,
+          std::span<std::int8_t> out) {
+  DIVA_CHECK(a.size() == b.size() && a.size() == out.size(),
+             "qadd size mismatch");
+  // Left-shift inputs before the fixed-point rescale to keep precision
+  // (TFLite uses the same trick with shift = 20).
+  constexpr int kLeftShift = 20;
+  std::int32_t mult_a = 0, mult_b = 0;
+  int shift_a = 0, shift_b = 0;
+  quantize_multiplier(
+      static_cast<double>(qp_a.scale) / qp_out.scale / (1 << kLeftShift),
+      &mult_a, &shift_a);
+  quantize_multiplier(
+      static_cast<double>(qp_b.scale) / qp_out.scale / (1 << kLeftShift),
+      &mult_b, &shift_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int32_t da =
+        (static_cast<std::int32_t>(a[i]) - qp_a.zero_point) << kLeftShift;
+    const std::int32_t db =
+        (static_cast<std::int32_t>(b[i]) - qp_b.zero_point) << kLeftShift;
+    const std::int32_t ra =
+        multiply_by_quantized_multiplier(da, mult_a, shift_a);
+    const std::int32_t rb =
+        multiply_by_quantized_multiplier(db, mult_b, shift_b);
+    out[i] = clamp_to_int8(ra + rb + qp_out.zero_point, act_min, act_max);
+  }
+}
+
+void qrequantize(std::span<const std::int8_t> in, QuantParams qp_in,
+                 QuantParams qp_out, std::span<std::int8_t> out) {
+  DIVA_CHECK(in.size() == out.size(), "qrequantize size mismatch");
+  if (qp_in == qp_out) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  std::int32_t mult = 0;
+  int shift = 0;
+  constexpr int kLeftShift = 20;
+  quantize_multiplier(
+      static_cast<double>(qp_in.scale) / qp_out.scale / (1 << kLeftShift),
+      &mult, &shift);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::int32_t d =
+        (static_cast<std::int32_t>(in[i]) - qp_in.zero_point) << kLeftShift;
+    const std::int32_t r = multiply_by_quantized_multiplier(d, mult, shift);
+    out[i] = clamp_to_int8(r + qp_out.zero_point, kQmin, kQmax);
+  }
+}
+
+void qmaxpool2d(const std::int8_t* in, const ConvGeom& g, std::int8_t* out) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const std::int8_t* chan = in + c * g.in_h * g.in_w;
+    std::int8_t* o = out + c * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        std::int8_t best = kQmin;
+        for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+          const std::int64_t iy = y * g.stride - g.pad + kh;
+          if (iy < 0 || iy >= g.in_h) continue;
+          for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+            const std::int64_t ix = x * g.stride - g.pad + kw;
+            if (ix < 0 || ix >= g.in_w) continue;
+            best = std::max(best, chan[iy * g.in_w + ix]);
+          }
+        }
+        o[y * ow + x] = best;
+      }
+    }
+  }
+}
+
+void qavgpool2d(const std::int8_t* in, const ConvGeom& g, std::int8_t* out) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const auto count = static_cast<std::int32_t>(g.kernel_h * g.kernel_w);
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const std::int8_t* chan = in + c * g.in_h * g.in_w;
+    std::int8_t* o = out + c * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        std::int32_t acc = 0;
+        for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+          for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+            acc += chan[(y * g.stride + kh) * g.in_w + (x * g.stride + kw)];
+          }
+        }
+        o[y * ow + x] = clamp_to_int8(rounding_div(acc, count), kQmin, kQmax);
+      }
+    }
+  }
+}
+
+void qglobal_avgpool(const std::int8_t* in, std::int64_t c, std::int64_t hw,
+                     std::int8_t* out) {
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    const std::int8_t* chan = in + ci * hw;
+    std::int32_t acc = 0;
+    for (std::int64_t i = 0; i < hw; ++i) acc += chan[i];
+    out[ci] = clamp_to_int8(rounding_div(acc, static_cast<std::int32_t>(hw)),
+                            kQmin, kQmax);
+  }
+}
+
+}  // namespace diva

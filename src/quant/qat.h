@@ -1,0 +1,28 @@
+// QAT pipeline utilities: observer calibration and fake-quant control.
+#pragma once
+
+#include <vector>
+
+#include "nn/sequential.h"
+#include "quant/fake_quant.h"
+
+namespace diva {
+
+/// All fake-quant nodes of a model in traversal order.
+std::vector<ActFakeQuant*> fake_quant_nodes(Module& m);
+
+/// Enables/disables quantization simulation on every fake-quant node
+/// (observers keep updating in training mode either way).
+void set_quantize_enabled(Module& m, bool enabled);
+
+/// Runs `batches` forward passes in training mode so the activation
+/// observers record min/max ranges, then returns the model to eval
+/// mode. Each batch is an NCHW tensor. This is the post-training
+/// calibration step; QAT finetuning afterward keeps refining the same
+/// moving averages.
+void calibrate(Module& m, const std::vector<Tensor>& batches);
+
+/// True when every fake-quant node has an initialized range.
+bool fully_calibrated(Module& m);
+
+}  // namespace diva

@@ -1,0 +1,159 @@
+#include "quant/qmodel_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "tensor/serialize.h"
+
+namespace diva {
+
+namespace {
+
+constexpr std::int64_t kMagic = 0xD1AAF10E;
+constexpr std::int64_t kVersion = 1;
+
+template <typename T>
+void write_pod_vec(std::ostream& os, const std::vector<T>& v) {
+  write_i64(os, static_cast<std::int64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+  DIVA_CHECK(os.good(), "qmodel write failed");
+}
+
+template <typename T>
+std::vector<T> read_pod_vec(std::istream& is) {
+  const std::int64_t n = read_i64(is);
+  DIVA_CHECK(n >= 0 && n < (1LL << 28), "qmodel: corrupt vector size " << n);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  DIVA_CHECK(is.good(), "qmodel read failed");
+  return v;
+}
+
+void write_qparams(std::ostream& os, const QuantParams& qp) {
+  write_f32(os, qp.scale);
+  write_i64(os, qp.zero_point);
+}
+
+QuantParams read_qparams(std::istream& is) {
+  QuantParams qp;
+  qp.scale = read_f32(is);
+  qp.zero_point = static_cast<std::int32_t>(read_i64(is));
+  return qp;
+}
+
+void write_geom(std::ostream& os, const ConvGeom& g) {
+  for (const std::int64_t v : {g.in_c, g.in_h, g.in_w, g.kernel_h, g.kernel_w,
+                               g.stride, g.pad}) {
+    write_i64(os, v);
+  }
+}
+
+ConvGeom read_geom(std::istream& is) {
+  ConvGeom g;
+  g.in_c = read_i64(is);
+  g.in_h = read_i64(is);
+  g.in_w = read_i64(is);
+  g.kernel_h = read_i64(is);
+  g.kernel_w = read_i64(is);
+  g.stride = read_i64(is);
+  g.pad = read_i64(is);
+  return g;
+}
+
+}  // namespace
+
+void save_quantized_model(const QuantizedModel& m, std::ostream& os) {
+  write_i64(os, kMagic);
+  write_i64(os, kVersion);
+  write_i64(os, m.input_slot_index());
+  write_i64(os, m.output_slot_index());
+
+  write_i64(os, static_cast<std::int64_t>(m.slots().size()));
+  for (const QSlot& slot : m.slots()) {
+    write_i64(os, static_cast<std::int64_t>(slot.shape.rank()));
+    for (std::size_t i = 0; i < slot.shape.rank(); ++i) {
+      write_i64(os, slot.shape[i]);
+    }
+    write_qparams(os, slot.qp);
+  }
+
+  write_i64(os, static_cast<std::int64_t>(m.ops().size()));
+  for (const QOp& op : m.ops()) {
+    write_i64(os, static_cast<std::int64_t>(op.kind));
+    write_i64(os, op.in0);
+    write_i64(os, op.in1);
+    write_i64(os, op.out);
+    write_geom(os, op.geom);
+    write_i64(os, op.out_c);
+    write_pod_vec(os, op.weights);
+    write_pod_vec(os, op.bias);
+    write_pod_vec(os, op.rq.multiplier);
+    write_pod_vec(os, op.rq.shift);
+    write_i64(os, op.act_min);
+    write_i64(os, op.act_max);
+  }
+}
+
+QuantizedModel load_quantized_model(std::istream& is) {
+  DIVA_CHECK(read_i64(is) == kMagic, "qmodel: bad magic");
+  DIVA_CHECK(read_i64(is) == kVersion, "qmodel: unsupported version");
+  const int input_slot = static_cast<int>(read_i64(is));
+  const int output_slot = static_cast<int>(read_i64(is));
+
+  const std::int64_t num_slots = read_i64(is);
+  DIVA_CHECK(num_slots > 0 && num_slots < (1 << 20), "qmodel: slot count");
+  std::vector<QSlot> slots;
+  slots.reserve(static_cast<std::size_t>(num_slots));
+  for (std::int64_t s = 0; s < num_slots; ++s) {
+    const std::int64_t rank = read_i64(is);
+    DIVA_CHECK(rank >= 0 && rank <= 4, "qmodel: slot rank " << rank);
+    std::vector<std::int64_t> dims(static_cast<std::size_t>(rank));
+    for (auto& d : dims) d = read_i64(is);
+    QSlot slot;
+    slot.shape = Shape(std::move(dims));
+    slot.qp = read_qparams(is);
+    slots.push_back(std::move(slot));
+  }
+
+  const std::int64_t num_ops = read_i64(is);
+  DIVA_CHECK(num_ops >= 0 && num_ops < (1 << 20), "qmodel: op count");
+  std::vector<QOp> ops;
+  ops.reserve(static_cast<std::size_t>(num_ops));
+  for (std::int64_t o = 0; o < num_ops; ++o) {
+    QOp op;
+    op.kind = static_cast<QOp::Kind>(read_i64(is));
+    op.in0 = static_cast<int>(read_i64(is));
+    op.in1 = static_cast<int>(read_i64(is));
+    op.out = static_cast<int>(read_i64(is));
+    op.geom = read_geom(is);
+    op.out_c = read_i64(is);
+    op.weights = read_pod_vec<std::int8_t>(is);
+    op.bias = read_pod_vec<std::int32_t>(is);
+    op.rq.multiplier = read_pod_vec<std::int32_t>(is);
+    op.rq.shift = read_pod_vec<int>(is);
+    op.act_min = static_cast<std::int32_t>(read_i64(is));
+    op.act_max = static_cast<std::int32_t>(read_i64(is));
+    ops.push_back(std::move(op));
+  }
+
+  return QuantizedModel::from_parts(std::move(slots), std::move(ops),
+                                    input_slot, output_slot);
+}
+
+void save_quantized_model_file(const QuantizedModel& m,
+                               const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  DIVA_CHECK(os.good(), "cannot open for write: " << path);
+  save_quantized_model(m, os);
+}
+
+QuantizedModel load_quantized_model_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DIVA_CHECK(is.good(), "cannot open for read: " << path);
+  return load_quantized_model(is);
+}
+
+}  // namespace diva

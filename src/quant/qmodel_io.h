@@ -1,0 +1,23 @@
+// Serialization of compiled QuantizedModel artifacts — the equivalent
+// of shipping a .tflite flatbuffer to the edge device. The format holds
+// the full integer graph (slots with qparams, ops with int8 weights,
+// int32 biases and fixed-point requant multipliers), so a loaded model
+// runs bit-identically to the one that was saved without access to the
+// float weights or the QAT graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "quant/quantized_model.h"
+
+namespace diva {
+
+void save_quantized_model(const QuantizedModel& m, std::ostream& os);
+QuantizedModel load_quantized_model(std::istream& is);
+
+void save_quantized_model_file(const QuantizedModel& m,
+                               const std::string& path);
+QuantizedModel load_quantized_model_file(const std::string& path);
+
+}  // namespace diva

@@ -1,0 +1,133 @@
+#include "quant/qparams.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace diva {
+
+std::int8_t QuantParams::quantize(float x) const {
+  const std::int32_t q =
+      zero_point + static_cast<std::int32_t>(std::lround(x / scale));
+  return static_cast<std::int8_t>(std::clamp<std::int32_t>(q, kQmin, kQmax));
+}
+
+QuantParams choose_qparams(float min_val, float max_val) {
+  // The representable range must straddle zero.
+  min_val = std::min(min_val, 0.0f);
+  max_val = std::max(max_val, 0.0f);
+  QuantParams qp;
+  if (max_val == min_val) {
+    qp.scale = 1.0f;
+    qp.zero_point = 0;
+    return qp;
+  }
+  qp.scale = (max_val - min_val) / static_cast<float>(kQmax - kQmin);
+  const float zp_real = static_cast<float>(kQmin) - min_val / qp.scale;
+  qp.zero_point = static_cast<std::int32_t>(
+      std::clamp<float>(std::lround(zp_real), kQmin, kQmax));
+  return qp;
+}
+
+std::vector<float> per_channel_scales(const Tensor& w) {
+  DIVA_CHECK(w.rank() >= 2, "per_channel_scales: need rank >= 2 weights");
+  const std::int64_t channels = w.dim(0);
+  const std::int64_t per = w.numel() / channels;
+  std::vector<float> scales(static_cast<std::size_t>(channels));
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* p = w.raw() + c * per;
+    float m = 0.0f;
+    for (std::int64_t i = 0; i < per; ++i) m = std::max(m, std::fabs(p[i]));
+    scales[static_cast<std::size_t>(c)] =
+        std::max(m / static_cast<float>(kQmax), 1e-8f);
+  }
+  return scales;
+}
+
+std::vector<std::int8_t> quantize_per_channel(const Tensor& w,
+                                              std::span<const float> scales) {
+  const std::int64_t channels = w.dim(0);
+  DIVA_CHECK(static_cast<std::int64_t>(scales.size()) == channels,
+             "scale count mismatch");
+  const std::int64_t per = w.numel() / channels;
+  std::vector<std::int8_t> out(static_cast<std::size_t>(w.numel()));
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float inv = 1.0f / scales[static_cast<std::size_t>(c)];
+    const float* p = w.raw() + c * per;
+    std::int8_t* o = out.data() + c * per;
+    for (std::int64_t i = 0; i < per; ++i) {
+      const auto q = static_cast<std::int32_t>(std::lround(p[i] * inv));
+      o[i] = static_cast<std::int8_t>(std::clamp<std::int32_t>(q, kQmin, kQmax));
+    }
+  }
+  return out;
+}
+
+std::vector<std::int8_t> quantize_tensor(const Tensor& t,
+                                         const QuantParams& qp) {
+  std::vector<std::int8_t> out(static_cast<std::size_t>(t.numel()));
+  for (std::int64_t i = 0; i < t.numel(); ++i) out[i] = qp.quantize(t[i]);
+  return out;
+}
+
+Tensor dequantize_tensor(std::span<const std::int8_t> q, const Shape& shape,
+                         const QuantParams& qp) {
+  DIVA_CHECK(static_cast<std::int64_t>(q.size()) == shape.numel(),
+             "dequantize size mismatch");
+  Tensor out(shape);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    out[static_cast<std::int64_t>(i)] = qp.dequantize(q[i]);
+  }
+  return out;
+}
+
+void quantize_multiplier(double m, std::int32_t* multiplier, int* shift) {
+  DIVA_CHECK(m >= 0.0, "negative requant multiplier");
+  if (m == 0.0) {
+    *multiplier = 0;
+    *shift = 0;
+    return;
+  }
+  int exponent = 0;
+  const double q = std::frexp(m, &exponent);  // q in [0.5, 1)
+  auto q_fixed = static_cast<std::int64_t>(std::llround(q * (1LL << 31)));
+  DIVA_CHECK(q_fixed <= (1LL << 31), "requant multiplier overflow");
+  if (q_fixed == (1LL << 31)) {
+    q_fixed /= 2;
+    ++exponent;
+  }
+  *shift = exponent;
+  *multiplier = static_cast<std::int32_t>(q_fixed);
+}
+
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
+                                                   std::int32_t b) {
+  const bool overflow = a == b && a == std::numeric_limits<std::int32_t>::min();
+  if (overflow) return std::numeric_limits<std::int32_t>::max();
+  const std::int64_t ab = static_cast<std::int64_t>(a) * b;
+  const std::int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
+  return static_cast<std::int32_t>((ab + nudge) / (1LL << 31));
+}
+
+std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent) {
+  if (exponent == 0) return x;
+  const std::int32_t mask = (1 << exponent) - 1;
+  const std::int32_t remainder = x & mask;
+  std::int32_t result = x >> exponent;
+  std::int32_t threshold = mask >> 1;
+  if (x < 0) threshold += 1;
+  if (remainder > threshold) ++result;
+  return result;
+}
+
+std::int32_t multiply_by_quantized_multiplier(std::int32_t x,
+                                              std::int32_t multiplier,
+                                              int shift) {
+  const int left_shift = shift > 0 ? shift : 0;
+  const int right_shift = shift > 0 ? 0 : -shift;
+  return rounding_divide_by_pot(
+      saturating_rounding_doubling_high_mul(x * (1 << left_shift), multiplier),
+      right_shift);
+}
+
+}  // namespace diva

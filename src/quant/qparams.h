@@ -1,0 +1,77 @@
+// Quantization parameter math for int8 affine quantization.
+//
+// Activations use per-tensor asymmetric affine quantization into
+// [-128, 127]; weights use per-channel symmetric quantization
+// (zero_point = 0). Requantization of int32 accumulators uses
+// gemmlowp-style fixed-point multipliers (Q31 multiplier + power-of-two
+// shift), the same arithmetic as TFLite kernels, so the int8 engine is
+// integer-only end to end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diva {
+
+inline constexpr int kQmin = -128;
+inline constexpr int kQmax = 127;
+
+/// Per-tensor affine quantization: real = (q - zero_point) * scale.
+struct QuantParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+
+  std::int8_t quantize(float x) const;
+  float dequantize(std::int8_t q) const {
+    return (static_cast<std::int32_t>(q) - zero_point) * scale;
+  }
+  bool operator==(const QuantParams&) const = default;
+};
+
+/// Derives affine qparams from an observed float range. The range is
+/// expanded to include zero (so that real 0.0 is exactly representable,
+/// a requirement for zero-padding correctness).
+QuantParams choose_qparams(float min_val, float max_val);
+
+/// Per-channel symmetric scales for a weight tensor whose leading axis
+/// is the output channel: scale[c] = max|W_c| / 127 (minimum 1e-8).
+std::vector<float> per_channel_scales(const Tensor& w);
+
+/// Symmetric int8 quantization of a weight tensor with the given
+/// per-channel scales (leading axis = channel).
+std::vector<std::int8_t> quantize_per_channel(const Tensor& w,
+                                              std::span<const float> scales);
+
+/// Quantizes a float tensor with per-tensor affine qparams.
+std::vector<std::int8_t> quantize_tensor(const Tensor& t,
+                                         const QuantParams& qp);
+
+/// Dequantizes an int8 buffer back to a float tensor of the given shape.
+Tensor dequantize_tensor(std::span<const std::int8_t> q, const Shape& shape,
+                         const QuantParams& qp);
+
+// ---------------------------------------------------------------------------
+// Fixed-point requantization (gemmlowp / TFLite arithmetic).
+// ---------------------------------------------------------------------------
+
+/// Decomposes a positive real multiplier into a Q31 fixed-point
+/// multiplier and a (possibly negative) power-of-two shift such that
+/// m ~= multiplier * 2^shift / 2^31.
+void quantize_multiplier(double m, std::int32_t* multiplier, int* shift);
+
+/// Saturating rounding doubling high multiplication (gemmlowp).
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
+                                                   std::int32_t b);
+
+/// Rounding arithmetic right shift by a power of two.
+std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent);
+
+/// x * multiplier * 2^shift in fixed point (TFLite semantics).
+std::int32_t multiply_by_quantized_multiplier(std::int32_t x,
+                                              std::int32_t multiplier,
+                                              int shift);
+
+}  // namespace diva

@@ -1,0 +1,75 @@
+#include "robust/robust.h"
+
+#include <cstdio>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace diva {
+
+float adversarial_train(Sequential& model, const Dataset& train,
+                        const RobustTrainConfig& cfg) {
+  DIVA_CHECK(train.size() > 0, "empty training set");
+  Sgd opt(model.named_parameters(), cfg.train.lr, cfg.train.momentum,
+          cfg.train.weight_decay);
+  DataLoader loader(train, cfg.train.batch_size, cfg.train.seed);
+  const std::int64_t steps = loader.batches_per_epoch();
+
+  float last_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < cfg.train.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (std::int64_t step = 0; step < steps; ++step) {
+      const Batch batch = loader.next();
+
+      // Inner maximization: PGD against the current model.
+      AttackConfig inner = cfg.inner_attack;
+      inner.seed = cfg.train.seed + static_cast<std::uint64_t>(epoch) * 1000 +
+                   static_cast<std::uint64_t>(step);
+      PgdAttack pgd(model, inner);
+      const Tensor x_adv = pgd.perturb(batch.images, batch.labels);
+
+      // Outer minimization on the adversarial batch.
+      model.set_training(true);
+      opt.zero_grad();
+      const Tensor logits = model.forward(x_adv);
+      LossGrad lg = softmax_cross_entropy(logits, batch.labels);
+      model.backward(lg.dlogits);
+      opt.step();
+      epoch_loss += lg.loss;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / steps);
+    if (cfg.train.verbose) {
+      std::printf("  robust epoch %d/%d adv-loss %.4f\n", epoch + 1,
+                  cfg.train.epochs, last_epoch_loss);
+    }
+  }
+  model.set_training(false);
+  return last_epoch_loss;
+}
+
+float robust_accuracy(Sequential& model, const Dataset& data,
+                      const AttackConfig& attack_cfg,
+                      std::int64_t batch_size) {
+  model.set_training(false);
+  const std::int64_t n = data.size();
+  std::int64_t correct = 0;
+  for (std::int64_t at = 0; at < n; at += batch_size) {
+    const std::int64_t take = std::min(batch_size, n - at);
+    std::vector<int> idx(static_cast<std::size_t>(take));
+    std::vector<int> labels(static_cast<std::size_t>(take));
+    for (std::int64_t i = 0; i < take; ++i) {
+      idx[static_cast<std::size_t>(i)] = static_cast<int>(at + i);
+      labels[static_cast<std::size_t>(i)] =
+          data.labels[static_cast<std::size_t>(at + i)];
+    }
+    PgdAttack pgd(model, attack_cfg);
+    const Tensor x_adv = pgd.perturb(gather_batch(data.images, idx), labels);
+    const auto preds = argmax_rows(model.forward(x_adv));
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      correct += preds[i] == labels[i];
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace diva

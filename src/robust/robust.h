@@ -1,0 +1,36 @@
+// PGD adversarial ("robust") training — the defense evaluated in §5.5.
+// Solves the minimax problem of Eq. 4: each minibatch is replaced by its
+// PGD-adversarial counterpart before the gradient step (Madry et al.).
+#pragma once
+
+#include "attack/attack.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace diva {
+
+struct RobustTrainConfig {
+  TrainConfig train;          // outer minimization
+  AttackConfig inner_attack;  // inner maximization (defaults below)
+
+  RobustTrainConfig() {
+    // Madry-style inner attack, scaled to this library's budget.
+    inner_attack.epsilon = 8.0f / 255.0f;
+    inner_attack.alpha = 2.0f / 255.0f;
+    inner_attack.steps = 5;
+    inner_attack.random_start = true;
+  }
+};
+
+/// Adversarially trains the model; returns final-epoch training loss on
+/// adversarial examples. Model left in eval mode.
+float adversarial_train(Sequential& model, const Dataset& train,
+                        const RobustTrainConfig& cfg);
+
+/// Robust accuracy: accuracy on PGD-adversarial versions of the data.
+float robust_accuracy(Sequential& model, const Dataset& data,
+                      const AttackConfig& attack_cfg,
+                      std::int64_t batch_size = 64);
+
+}  // namespace diva

@@ -1,0 +1,64 @@
+// Error handling primitives used across the library.
+//
+// All user-facing validation goes through DIVA_CHECK, which throws
+// diva::Error (derived from std::runtime_error) with file/line context.
+// Following the C++ Core Guidelines (E.2), errors are reported by
+// exceptions so constructors can fully establish class invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace diva {
+
+/// Exception type thrown by all DIVA_CHECK failures and explicit API errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DIVA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Stream-collecting helper so DIVA_CHECK messages can use operator<<.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace diva
+
+/// Validates a condition; throws diva::Error with context on failure.
+/// Usage: DIVA_CHECK(a == b, "shape mismatch: " << a << " vs " << b);
+#define DIVA_CHECK(cond, ...)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::diva::detail::check_failed(                                          \
+          #cond, __FILE__, __LINE__,                                         \
+          (::diva::detail::MessageStream{} __VA_OPT__(<< __VA_ARGS__))       \
+              .str());                                                       \
+    }                                                                        \
+  } while (false)
+
+/// Unconditional failure with message.
+#define DIVA_FAIL(...)                                                      \
+  ::diva::detail::check_failed(                                             \
+      "explicit failure", __FILE__, __LINE__,                               \
+      (::diva::detail::MessageStream{} __VA_OPT__(<< __VA_ARGS__)).str())

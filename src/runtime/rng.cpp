@@ -1,0 +1,23 @@
+#include "runtime/rng.h"
+
+#include <cmath>
+
+namespace diva {
+
+float Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on two uniforms; guard against log(0).
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = static_cast<float>(r * std::sin(theta));
+  have_cached_normal_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+}  // namespace diva

@@ -1,0 +1,124 @@
+// Deterministic, splittable random number generation.
+//
+// The library never uses global RNG state: every component that needs
+// randomness takes an Rng (or a seed) explicitly, so experiments are
+// reproducible bit-for-bit across runs. The engine is xoshiro256++,
+// seeded through splitmix64; distributions are implemented in-house
+// because std::<distribution> output is not portable across platforms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace diva {
+
+/// splitmix64 step — used for seeding and cheap hashing of seed material.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two 64-bit values into one; used to derive per-stream seeds.
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256++ engine with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed std::shuffle
+/// style algorithms, though the members below are preferred for
+/// reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDC0DEULL) { reseed(seed); }
+
+  /// Re-initializes the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t randint(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  float normal();
+
+  /// Normal with mean/sd.
+  float normal(float mean, float sd) { return mean + sd * normal(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = randint(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child stream; deterministic in (state, tag).
+  Rng split(std::uint64_t tag) {
+    return Rng(hash_combine(next(), tag));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace diva

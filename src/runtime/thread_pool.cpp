@@ -1,0 +1,121 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace diva {
+namespace {
+// Set while a pool worker is executing a job. Nested parallel_for calls
+// from inside a worker run serially instead of enqueueing (which could
+// deadlock if every worker blocked waiting on queued chunks).
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    t_inside_worker = true;
+    job();
+    t_inside_worker = false;
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (t_inside_worker) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool& pool = global_pool();
+  const std::int64_t max_chunks = static_cast<std::int64_t>(pool.size()) * 4;
+  std::int64_t chunk = std::max<std::int64_t>(grain, (n + max_chunks - 1) / max_chunks);
+  const std::int64_t num_chunks = (n + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  std::atomic<std::int64_t> remaining(num_chunks);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (std::int64_t c = 0; c < num_chunks; ++c) {
+    const std::int64_t lo = begin + c * chunk;
+    const std::int64_t hi = std::min(end, lo + chunk);
+    pool.submit([&, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain) {
+  parallel_for_chunked(
+      begin, end,
+      [&fn](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace diva

@@ -1,0 +1,64 @@
+// Minimal work-stealing-free thread pool plus parallel_for.
+//
+// Used by the tensor and kernel code to parallelize batched convolutions
+// and matrix multiplies across CPU cores. The pool is created once per
+// process (see global_pool()); parallel_for blocks until all chunks
+// complete, and rethrows the first exception raised by any chunk.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace diva {
+
+/// Fixed-size pool of worker threads executing std::function jobs.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job for asynchronous execution.
+  void submit(std::function<void()> job);
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool used by parallel_for. Lazily constructed.
+ThreadPool& global_pool();
+
+/// Runs fn(i) for i in [begin, end) across the global pool.
+///
+/// The range is split into contiguous chunks of at least `grain`
+/// iterations. Falls back to serial execution for small ranges.
+/// Blocks until every iteration has completed; rethrows the first
+/// exception thrown by any chunk.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain = 1);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) per chunk, fewer closures.
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain = 1);
+
+}  // namespace diva

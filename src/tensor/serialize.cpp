@@ -1,0 +1,70 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace diva {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  DIVA_CHECK(os.good(), "stream write failed");
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DIVA_CHECK(is.good(), "stream read failed");
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t i = 0; i < t.rank(); ++i) {
+    write_pod<std::int64_t>(os, t.dim(i));
+  }
+  os.write(reinterpret_cast<const char*>(t.raw()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  DIVA_CHECK(os.good(), "tensor data write failed");
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto rank = read_pod<std::uint32_t>(is);
+  DIVA_CHECK(rank <= 8, "corrupt tensor stream: rank=" << rank);
+  std::vector<std::int64_t> dims(rank);
+  for (auto& d : dims) d = read_pod<std::int64_t>(is);
+  Tensor t{Shape(std::move(dims))};
+  is.read(reinterpret_cast<char*>(t.raw()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  DIVA_CHECK(is.good(), "tensor data read failed");
+  return t;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+  DIVA_CHECK(os.good(), "string write failed");
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint32_t>(is);
+  DIVA_CHECK(n <= (1u << 20), "corrupt string length " << n);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  DIVA_CHECK(is.good(), "string read failed");
+  return s;
+}
+
+void write_i64(std::ostream& os, std::int64_t v) { write_pod(os, v); }
+std::int64_t read_i64(std::istream& is) { return read_pod<std::int64_t>(is); }
+void write_f32(std::ostream& os, float v) { write_pod(os, v); }
+float read_f32(std::istream& is) { return read_pod<float>(is); }
+
+}  // namespace diva

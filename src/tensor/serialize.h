@@ -1,0 +1,29 @@
+// Binary tensor (de)serialization used by model checkpoints and the
+// experiment model cache. Format is little-endian, versioned by a magic
+// header per stream element:
+//   u32 rank, i64 dims[rank], f32 data[numel]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace diva {
+
+/// Writes a tensor to a binary stream. Throws diva::Error on I/O failure.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Reads a tensor previously written by write_tensor.
+Tensor read_tensor(std::istream& is);
+
+/// Writes a length-prefixed string.
+void write_string(std::ostream& os, const std::string& s);
+std::string read_string(std::istream& is);
+
+void write_i64(std::ostream& os, std::int64_t v);
+std::int64_t read_i64(std::istream& is);
+void write_f32(std::ostream& os, float v);
+float read_f32(std::istream& is);
+
+}  // namespace diva

@@ -1,0 +1,110 @@
+// Dense float tensor, row-major, NCHW convention for images.
+//
+// Tensors own their storage (std::vector<float>); copies are deep and
+// moves are cheap. All shape errors throw diva::Error. The tensor layer
+// is deliberately simple — no views, no broadcasting beyond the helpers
+// in tensor_ops.h — because the NN layer above it only needs dense
+// row-major math.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/check.h"
+#include "runtime/rng.h"
+#include "tensor/shape.h"
+
+namespace diva {
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, zero elements until assigned).
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+  /// Constant-filled tensor.
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+  /// Takes ownership of `values`; must match shape.numel().
+  Tensor(Shape shape, std::vector<float> values)
+      : shape_(std::move(shape)), data_(std::move(values)) {
+    DIVA_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+               "data size " << data_.size() << " != numel of " << shape_.str());
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  std::size_t rank() const { return shape_.rank(); }
+  std::int64_t dim(std::size_t i) const { return shape_[i]; }
+
+  std::span<float> data() { return {data_.data(), data_.size()}; }
+  std::span<const float> data() const { return {data_.data(), data_.size()}; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D element access (row-major).
+  float& at(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  float at(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+
+  /// 4-D (NCHW) element access.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  /// Returns a tensor with the same data, new shape (numel must match).
+  Tensor reshaped(Shape new_shape) const& {
+    DIVA_CHECK(new_shape.numel() == shape_.numel(),
+               "reshape " << shape_.str() << " -> " << new_shape.str());
+    return Tensor(std::move(new_shape), data_);
+  }
+  Tensor reshaped(Shape new_shape) && {
+    DIVA_CHECK(new_shape.numel() == shape_.numel(),
+               "reshape " << shape_.str() << " -> " << new_shape.str());
+    return Tensor(std::move(new_shape), std::move(data_));
+  }
+
+  /// Fills with a constant.
+  void fill(float v) {
+    for (auto& x : data_) x = v;
+  }
+
+  /// Fills i.i.d. from N(mean, sd).
+  void fill_normal(Rng& rng, float mean, float sd) {
+    for (auto& x : data_) x = rng.normal(mean, sd);
+  }
+
+  /// Fills i.i.d. from U[lo, hi).
+  void fill_uniform(Rng& rng, float lo, float hi) {
+    for (auto& x : data_) x = rng.uniform(lo, hi);
+  }
+
+  bool empty() const { return data_.empty(); }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace diva

@@ -1,0 +1,321 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "runtime/thread_pool.h"
+
+namespace diva {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  DIVA_CHECK(a.shape() == b.shape(), op << ": shape mismatch "
+                                        << a.shape().str() << " vs "
+                                        << b.shape().str());
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + s;
+  return out;
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  check_same_shape(x, y, "axpy");
+  float* py = y.raw();
+  const float* px = x.raw();
+  for (std::int64_t i = 0; i < x.numel(); ++i) py[i] += alpha * px[i];
+}
+
+void accumulate(Tensor& y, const Tensor& x) { axpy(1.0f, x, y); }
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = std::min(hi, std::max(lo, a[i]));
+  }
+  return out;
+}
+
+Tensor sign(const Tensor& a) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = a[i] > 0.0f ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+  }
+  return out;
+}
+
+Tensor abs(const Tensor& a) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = std::fabs(a[i]);
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DIVA_CHECK(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 operands");
+  DIVA_CHECK(a.dim(1) == b.dim(0), "matmul inner dims: " << a.shape().str()
+                                                         << " x "
+                                                         << b.shape().str());
+  Tensor c(Shape{a.dim(0), b.dim(1)});
+  matmul_acc(a, b, c);
+  return c;
+}
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  DIVA_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+             "matmul_acc needs rank-2 operands");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  DIVA_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n,
+             "matmul_acc shapes: " << a.shape().str() << " x "
+                                   << b.shape().str() << " -> "
+                                   << c.shape().str());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+
+  // i-k-j loop order: unit-stride inner loops over B and C rows.
+  auto run_rows = [&](std::int64_t row_lo, std::int64_t row_hi) {
+    for (std::int64_t i = row_lo; i < row_hi; ++i) {
+      float* crow = pc + i * n;
+      const float* arow = pa + i * k;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  };
+
+  // Only parallelize when the work is worth the fork/join overhead.
+  if (m * k * n >= (1 << 16)) {
+    parallel_for_chunked(0, m, run_rows, /*grain=*/4);
+  } else {
+    run_rows(0, m);
+  }
+}
+
+Tensor transpose2d(const Tensor& a) {
+  DIVA_CHECK(a.rank() == 2, "transpose2d needs rank-2");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+void im2col(const float* image, const ConvGeom& g, float* out) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* chan = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* orow = out + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride - g.pad + kh;
+          if (iy < 0 || iy >= g.in_h) {
+            std::fill(orow + y * ow, orow + (y + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* irow = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride - g.pad + kw;
+            orow[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? irow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeom& g, float* image) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* chan = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* crow = cols + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride - g.pad + kh;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* irow = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride - g.pad + kw;
+            if (ix >= 0 && ix < g.in_w) irow[ix] += crow[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  DIVA_CHECK(logits.rank() == 2, "softmax_rows needs [N, D]");
+  const std::int64_t n = logits.dim(0), d = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.raw() + i * d;
+    float* orow = out.raw() + i * d;
+    const float m = *std::max_element(row, row + d);
+    float total = 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) {
+      orow[j] = std::exp(row[j] - m);
+      total += orow[j];
+    }
+    const float inv = 1.0f / total;
+    for (std::int64_t j = 0; j < d; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  DIVA_CHECK(logits.rank() == 2, "log_softmax_rows needs [N, D]");
+  const std::int64_t n = logits.dim(0), d = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.raw() + i * d;
+    float* orow = out.raw() + i * d;
+    const float m = *std::max_element(row, row + d);
+    float total = 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) total += std::exp(row[j] - m);
+    const float lse = m + std::log(total);
+    for (std::int64_t j = 0; j < d; ++j) orow[j] = row[j] - lse;
+  }
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& m) {
+  DIVA_CHECK(m.rank() == 2, "argmax_rows needs [N, D]");
+  const std::int64_t n = m.dim(0), d = m.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = m.raw() + i * d;
+    out[static_cast<std::size_t>(i)] =
+        static_cast<int>(std::max_element(row, row + d) - row);
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> topk_rows(const Tensor& m, int k) {
+  DIVA_CHECK(m.rank() == 2, "topk_rows needs [N, D]");
+  const std::int64_t n = m.dim(0), d = m.dim(1);
+  DIVA_CHECK(k >= 1 && k <= d, "topk k=" << k << " out of range for D=" << d);
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(n));
+  std::vector<int> idx(static_cast<std::size_t>(d));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = m.raw() + i * d;
+    std::iota(idx.begin(), idx.end(), 0);
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [row](int a, int b) { return row[a] > row[b]; });
+    out[static_cast<std::size_t>(i)].assign(idx.begin(), idx.begin() + k);
+  }
+  return out;
+}
+
+float sum(const Tensor& a) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) s += a[i];
+  return static_cast<float>(s);
+}
+
+float mean(const Tensor& a) {
+  DIVA_CHECK(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  DIVA_CHECK(a.numel() > 0, "max of empty tensor");
+  return *std::max_element(a.data().begin(), a.data().end());
+}
+
+float min_value(const Tensor& a) {
+  DIVA_CHECK(a.numel() > 0, "min of empty tensor");
+  return *std::min_element(a.data().begin(), a.data().end());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+Tensor slice_batch(const Tensor& batch, std::int64_t n) {
+  DIVA_CHECK(batch.rank() == 4, "slice_batch needs NCHW");
+  DIVA_CHECK(n >= 0 && n < batch.dim(0), "batch index out of range");
+  const std::int64_t per = batch.numel() / batch.dim(0);
+  Tensor out(Shape{1, batch.dim(1), batch.dim(2), batch.dim(3)});
+  std::copy_n(batch.raw() + n * per, per, out.raw());
+  return out;
+}
+
+Tensor gather_batch(const Tensor& batch, const std::vector<int>& indices) {
+  DIVA_CHECK(batch.rank() == 4, "gather_batch needs NCHW");
+  const std::int64_t per = batch.numel() / batch.dim(0);
+  Tensor out(Shape{static_cast<std::int64_t>(indices.size()), batch.dim(1),
+                   batch.dim(2), batch.dim(3)});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t n = indices[i];
+    DIVA_CHECK(n >= 0 && n < batch.dim(0), "gather index out of range");
+    std::copy_n(batch.raw() + n * per, per,
+                out.raw() + static_cast<std::int64_t>(i) * per);
+  }
+  return out;
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  DIVA_CHECK(a.rank() == 4 && b.rank() == 4, "concat_channels needs NCHW");
+  DIVA_CHECK(a.dim(0) == b.dim(0) && a.dim(2) == b.dim(2) &&
+                 a.dim(3) == b.dim(3),
+             "concat_channels: " << a.shape().str() << " vs "
+                                 << b.shape().str());
+  const std::int64_t n = a.dim(0), ca = a.dim(1), cb = b.dim(1);
+  const std::int64_t hw = a.dim(2) * a.dim(3);
+  Tensor out(Shape{n, ca + cb, a.dim(2), a.dim(3)});
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy_n(a.raw() + i * ca * hw, ca * hw,
+                out.raw() + i * (ca + cb) * hw);
+    std::copy_n(b.raw() + i * cb * hw, cb * hw,
+                out.raw() + i * (ca + cb) * hw + ca * hw);
+  }
+  return out;
+}
+
+}  // namespace diva

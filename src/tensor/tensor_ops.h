@@ -1,0 +1,112 @@
+// Dense tensor operations: elementwise math, GEMM, im2col, row-wise
+// softmax/argmax/top-k, and reductions. These are the primitives the NN
+// layer builds on. GEMM and im2col parallelize across the global thread
+// pool; everything else is single-threaded (callers parallelize at the
+// batch level).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diva {
+
+// ---------------------------------------------------------------------------
+// Elementwise (shapes must match exactly; scalar variants broadcast).
+// ---------------------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+/// In-place y += alpha * x.
+void axpy(float alpha, const Tensor& x, Tensor& y);
+/// In-place elementwise accumulate: y += x.
+void accumulate(Tensor& y, const Tensor& x);
+
+/// Elementwise clamp into [lo, hi].
+Tensor clamp(const Tensor& a, float lo, float hi);
+/// Elementwise sign: -1, 0, or +1.
+Tensor sign(const Tensor& a);
+Tensor abs(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+/// C[M,N] = A[M,K] x B[K,N]. Parallelized over rows of A.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[M,N] += A[M,K] x B[K,N] (accumulating GEMM).
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Transpose of a rank-2 tensor.
+Tensor transpose2d(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Convolution lowering (single image, CHW).
+// ---------------------------------------------------------------------------
+
+/// Geometry of a 2-D convolution / pooling window.
+struct ConvGeom {
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::int64_t kernel_h = 0, kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+};
+
+/// Lowers one CHW image to a [C*Kh*Kw, OH*OW] patch matrix (zero padding).
+/// `image` points at C*H*W floats; `out` must hold C*Kh*Kw*OH*OW floats.
+void im2col(const float* image, const ConvGeom& g, float* out);
+
+/// Adjoint of im2col: scatters a patch matrix back into a CHW image
+/// (accumulating). `image` must hold C*H*W floats, pre-zeroed by caller.
+void col2im(const float* cols, const ConvGeom& g, float* image);
+
+// ---------------------------------------------------------------------------
+// Row-wise ops on rank-2 [N, D] tensors.
+// ---------------------------------------------------------------------------
+
+/// Numerically-stable softmax along the last axis of a [N, D] tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+/// log-softmax along the last axis of [N, D].
+Tensor log_softmax_rows(const Tensor& logits);
+
+/// Index of the max element in each row.
+std::vector<int> argmax_rows(const Tensor& m);
+
+/// Indices of the k largest elements of each row, in descending order.
+std::vector<std::vector<int>> topk_rows(const Tensor& m, int k);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+/// Largest absolute element (L-infinity norm).
+float max_abs(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Batch helpers for rank-4 NCHW tensors.
+// ---------------------------------------------------------------------------
+
+/// Extracts image n of a [N,C,H,W] tensor as [1,C,H,W].
+Tensor slice_batch(const Tensor& batch, std::int64_t n);
+
+/// Builds a [K,C,H,W] batch from selected indices of a [N,C,H,W] tensor.
+Tensor gather_batch(const Tensor& batch, const std::vector<int>& indices);
+
+/// Concatenates rank-4 tensors along the channel axis.
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+}  // namespace diva

@@ -1,0 +1,319 @@
+// Attack unit and property tests: constraint satisfaction, determinism,
+// loss-gradient math, and behavioral invariants on tiny trained models.
+#include <gtest/gtest.h>
+
+#include "attack/attack.h"
+#include "core/trainer.h"
+#include "data/synth_digits.h"
+#include "metrics/metrics.h"
+#include "models/factory.h"
+#include "nn/init.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using testing::random_tensor;
+
+/// Tiny trained digit model shared by the behavioral tests.
+struct AttackFixture {
+  Dataset train, val;
+  std::unique_ptr<Sequential> model;
+  std::unique_ptr<Sequential> twin;  // slightly different second model
+
+  AttackFixture() {
+    SynthDigits gen(99);
+    train = gen.generate(50, 0);
+    val = gen.generate(10, 5000);
+    model = make_digit_net(NetMode::kFloat);
+    init_parameters(*model, 1);
+    TrainConfig cfg;
+    cfg.epochs = 10;
+    cfg.seed = 2;
+    train_classifier(*model, train, cfg);
+
+    twin = make_digit_net(NetMode::kFloat);
+    init_parameters(*twin, 3);
+    TrainConfig cfg2 = cfg;
+    cfg2.seed = 4;
+    cfg2.epochs = 8;
+    train_classifier(*twin, train, cfg2);
+  }
+};
+
+AttackFixture& fixture() {
+  static AttackFixture f;
+  return f;
+}
+
+Dataset small_eval(int n) {
+  auto& f = fixture();
+  std::vector<int> idx;
+  for (int i = 0; i < n; ++i) idx.push_back(i);
+  return f.val.subset(idx);
+}
+
+// ---------------------------------------------------------------------------
+// Pure-math helpers.
+// ---------------------------------------------------------------------------
+
+TEST(AttackMath, ProbGradRowsMatchesSoftmaxJacobian) {
+  const Tensor logits = random_tensor(Shape{3, 5}, 10, -2.0f, 2.0f);
+  const Tensor p = softmax_rows(logits);
+  const std::vector<int> labels{1, 4, 0};
+  const Tensor g = prob_grad_rows(p, labels);
+
+  // Finite differences on p[y] w.r.t. logits.
+  const float eps = 1e-3f;
+  Tensor l2 = logits;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      const float orig = l2.at(i, j);
+      l2.at(i, j) = orig + eps;
+      const float up = softmax_rows(l2).at(i, labels[static_cast<std::size_t>(i)]);
+      l2.at(i, j) = orig - eps;
+      const float dn = softmax_rows(l2).at(i, labels[static_cast<std::size_t>(i)]);
+      l2.at(i, j) = orig;
+      EXPECT_NEAR(g.at(i, j), (up - dn) / (2 * eps), 1e-4f);
+    }
+  }
+}
+
+TEST(AttackMath, ProjectRespectsBallAndPixelRange) {
+  const Tensor x = random_tensor(Shape{2, 1, 4, 4}, 11, 0.0f, 1.0f);
+  Tensor far = add_scalar(x, 0.5f);
+  const Tensor proj = project(far, x, 0.1f);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(proj[i], std::min(1.0f, x[i] + 0.1f) + 1e-6f);
+    EXPECT_GE(proj[i], std::max(0.0f, x[i] - 0.1f) - 1e-6f);
+  }
+}
+
+TEST(AttackMath, AscendMovesInSignDirection) {
+  Tensor x(Shape{1, 1, 2, 2}, 0.5f);
+  Tensor g(Shape{1, 1, 2, 2});
+  g[0] = 3.0f; g[1] = -2.0f; g[2] = 0.0f; g[3] = 1e-9f;
+  const Tensor out = ascend_and_project(x, g, x, 0.01f, 1.0f);
+  EXPECT_NEAR(out[0], 0.51f, 1e-6f);
+  EXPECT_NEAR(out[1], 0.49f, 1e-6f);
+  EXPECT_NEAR(out[2], 0.50f, 1e-6f);  // zero gradient -> no move
+  EXPECT_NEAR(out[3], 0.51f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Constraint properties across the whole attack family (parameterized).
+// ---------------------------------------------------------------------------
+
+struct AttackCase {
+  std::string name;
+  std::function<std::unique_ptr<Attack>(AttackConfig)> make;
+};
+
+class AttackProperties : public ::testing::TestWithParam<float> {};
+
+std::vector<AttackCase> all_attacks() {
+  auto& f = fixture();
+  return {
+      {"PGD",
+       [&](AttackConfig c) { return std::make_unique<PgdAttack>(*f.model, c); }},
+      {"CW",
+       [&](AttackConfig c) {
+         return std::make_unique<PgdAttack>(*f.model, c, AttackLoss::kCwMargin);
+       }},
+      {"MomentumPGD",
+       [&](AttackConfig c) {
+         return std::make_unique<MomentumPgdAttack>(*f.model, c);
+       }},
+      {"DIVA",
+       [&](AttackConfig c) {
+         return std::make_unique<DivaAttack>(*f.model, *f.twin, 1.0f, c);
+       }},
+      {"TargetedDIVA",
+       [&](AttackConfig c) {
+         return std::make_unique<TargetedDivaAttack>(*f.model, *f.twin, 3,
+                                                     1.0f, 2.0f, c);
+       }},
+  };
+}
+
+TEST_P(AttackProperties, EpsilonBallAndPixelRangeHold) {
+  const float eps = GetParam();
+  AttackConfig cfg;
+  cfg.epsilon = eps;
+  cfg.alpha = eps / 4.0f;
+  cfg.steps = 6;
+  const Dataset eval = small_eval(6);
+  for (auto& ac : all_attacks()) {
+    auto attack = ac.make(cfg);
+    const Tensor adv = attack->perturb(eval.images, eval.labels);
+    ASSERT_EQ(adv.shape(), eval.images.shape());
+    EXPECT_LE(max_abs(sub(adv, eval.images)), eps + 1e-5f) << ac.name;
+    EXPECT_GE(min_value(adv), -1e-6f) << ac.name;
+    EXPECT_LE(max_value(adv), 1.0f + 1e-6f) << ac.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonSweep, AttackProperties,
+                         ::testing::Values(2.0f / 255.0f, 8.0f / 255.0f,
+                                           16.0f / 255.0f, 32.0f / 255.0f));
+
+TEST(AttackProperties2, Deterministic) {
+  AttackConfig cfg;
+  cfg.steps = 4;
+  const Dataset eval = small_eval(4);
+  for (auto& ac : all_attacks()) {
+    auto a1 = ac.make(cfg);
+    auto a2 = ac.make(cfg);
+    const Tensor r1 = a1->perturb(eval.images, eval.labels);
+    const Tensor r2 = a2->perturb(eval.images, eval.labels);
+    EXPECT_EQ(max_abs(sub(r1, r2)), 0.0f) << ac.name << " not deterministic";
+  }
+}
+
+TEST(AttackProperties2, FgsmEqualsOneStepFullAlphaPgd) {
+  auto& f = fixture();
+  const Dataset eval = small_eval(5);
+  FgsmAttack fgsm(*f.model, 8.0f / 255.0f);
+  AttackConfig cfg;
+  cfg.epsilon = 8.0f / 255.0f;
+  cfg.alpha = 8.0f / 255.0f;
+  cfg.steps = 1;
+  PgdAttack pgd(*f.model, cfg);
+  const Tensor a = fgsm.perturb(eval.images, eval.labels);
+  const Tensor b = pgd.perturb(eval.images, eval.labels);
+  EXPECT_EQ(max_abs(sub(a, b)), 0.0f);
+}
+
+TEST(AttackProperties2, RandomStartStaysInBallAndVariesWithSeed) {
+  auto& f = fixture();
+  AttackConfig cfg;
+  cfg.random_start = true;
+  cfg.steps = 2;
+  cfg.seed = 1;
+  const Dataset eval = small_eval(3);
+  PgdAttack a1(*f.model, cfg);
+  cfg.seed = 2;
+  PgdAttack a2(*f.model, cfg);
+  const Tensor r1 = a1.perturb(eval.images, eval.labels);
+  const Tensor r2 = a2.perturb(eval.images, eval.labels);
+  EXPECT_LE(max_abs(sub(r1, eval.images)), cfg.epsilon + 1e-5f);
+  EXPECT_GT(max_abs(sub(r1, r2)), 0.0f);
+}
+
+TEST(AttackProperties2, StepCallbackFiresEveryStep) {
+  auto& f = fixture();
+  AttackConfig cfg;
+  cfg.steps = 7;
+  int calls = 0;
+  cfg.step_callback = [&calls](int step, const Tensor&) {
+    EXPECT_EQ(step, calls + 1);
+    ++calls;
+  };
+  PgdAttack pgd(*f.model, cfg);
+  (void)pgd.perturb(small_eval(2).images, small_eval(2).labels);
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(AttackProperties2, ModelsLeftInCleanState) {
+  auto& f = fixture();
+  AttackConfig cfg;
+  cfg.steps = 2;
+  const Dataset eval = small_eval(2);
+  DivaAttack diva(*f.model, *f.twin, 1.0f, cfg);
+  (void)diva.perturb(eval.images, eval.labels);
+  EXPECT_TRUE(f.model->param_grads_enabled());
+  EXPECT_TRUE(f.twin->param_grads_enabled());
+  EXPECT_FALSE(f.model->training());
+}
+
+// ---------------------------------------------------------------------------
+// Behavioral tests on the trained model.
+// ---------------------------------------------------------------------------
+
+TEST(AttackBehavior, PgdReducesAccuracySubstantially) {
+  auto& f = fixture();
+  const auto fn = [&](const Tensor& x) { return f.model->forward(x); };
+  f.model->set_training(false);
+  const float clean = accuracy(fn, f.val);
+  ASSERT_GT(clean, 0.9f);
+
+  AttackConfig cfg;
+  cfg.epsilon = 16.0f / 255.0f;
+  cfg.alpha = 2.0f / 255.0f;
+  cfg.steps = 10;
+  PgdAttack pgd(*f.model, cfg);
+  const Tensor adv = pgd.perturb(f.val.images, f.val.labels);
+  const auto preds = argmax_rows(f.model->forward(adv));
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    correct += preds[i] == f.val.labels[i];
+  }
+  const float adv_acc = static_cast<float>(correct) / preds.size();
+  EXPECT_LT(adv_acc, clean - 0.3f) << "PGD too weak";
+}
+
+TEST(AttackBehavior, MoreStepsNeverMuchWorse) {
+  auto& f = fixture();
+  const Dataset eval = small_eval(30);
+  auto adv_acc = [&](int steps) {
+    AttackConfig cfg;
+    cfg.epsilon = 16.0f / 255.0f;
+    cfg.alpha = 2.0f / 255.0f;
+    cfg.steps = steps;
+    PgdAttack pgd(*f.model, cfg);
+    const Tensor adv = pgd.perturb(eval.images, eval.labels);
+    const auto preds = argmax_rows(f.model->forward(adv));
+    int correct = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      correct += preds[i] == eval.labels[i];
+    }
+    return static_cast<float>(correct) / preds.size();
+  };
+  // Attack strength is roughly monotone in steps (small fluctuation ok).
+  EXPECT_LE(adv_acc(10), adv_acc(1) + 0.1f);
+}
+
+TEST(AttackBehavior, DivaWithZeroCNeverAttacks) {
+  // c = 0 removes the adapted-model term: DIVA only *reinforces* the
+  // original model's correct prediction, so accuracy must not drop.
+  auto& f = fixture();
+  const Dataset eval = small_eval(20);
+  AttackConfig cfg;
+  cfg.epsilon = 16.0f / 255.0f;
+  cfg.alpha = 2.0f / 255.0f;
+  cfg.steps = 8;
+  DivaAttack diva(*f.model, *f.twin, 0.0f, cfg);
+  const Tensor adv = diva.perturb(eval.images, eval.labels);
+  f.model->set_training(false);
+  const auto preds = argmax_rows(f.model->forward(adv));
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    correct += preds[i] == eval.labels[i];
+  }
+  EXPECT_EQ(correct, static_cast<int>(preds.size()));
+}
+
+TEST(AttackBehavior, TargetedDivaSteersTowardTarget) {
+  auto& f = fixture();
+  const Dataset eval = small_eval(30);
+  const int target = 7;
+  AttackConfig cfg;
+  cfg.epsilon = 24.0f / 255.0f;
+  cfg.alpha = 3.0f / 255.0f;
+  cfg.steps = 12;
+  TargetedDivaAttack attack(*f.model, *f.twin, target, 0.2f, 4.0f, cfg);
+  const Tensor adv = attack.perturb(eval.images, eval.labels);
+  f.twin->set_training(false);
+  const Tensor p_nat = softmax_rows(f.twin->forward(eval.images));
+  const Tensor p_adv = softmax_rows(f.twin->forward(adv));
+  // Mean target probability on the twin must increase.
+  double nat = 0, adv_p = 0;
+  for (std::int64_t i = 0; i < p_nat.dim(0); ++i) {
+    nat += p_nat.at(i, target);
+    adv_p += p_adv.at(i, target);
+  }
+  EXPECT_GT(adv_p, nat * 1.5 + 0.01);
+}
+
+}  // namespace
+}  // namespace diva

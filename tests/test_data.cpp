@@ -1,0 +1,156 @@
+// Dataset generator and loader tests: determinism, value ranges, label
+// structure, split disjointness, batching.
+#include <gtest/gtest.h>
+
+#include "data/synth_digits.h"
+#include "data/synth_faces.h"
+#include "data/synth_imagenet.h"
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+namespace {
+
+template <typename Gen>
+void expect_deterministic(const Gen& g1, const Gen& g2) {
+  const Tensor a = g1.render(1, 5);
+  const Tensor b = g2.render(1, 5);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(SynthImageNet, DeterministicInSeedClassIndex) {
+  expect_deterministic(SynthImageNet(16, 7), SynthImageNet(16, 7));
+  // Different seed, class or index changes the image.
+  const SynthImageNet g(16, 7);
+  const Tensor base = g.render(1, 5);
+  EXPECT_GT(max_abs(sub(base, SynthImageNet(16, 8).render(1, 5))), 0.0f);
+  EXPECT_GT(max_abs(sub(base, g.render(2, 5))), 0.0f);
+  EXPECT_GT(max_abs(sub(base, g.render(1, 6))), 0.0f);
+}
+
+TEST(SynthImageNet, PixelRangeAndShape) {
+  const SynthImageNet g(16, 1);
+  for (int cls : {0, 7, 15}) {
+    const Tensor img = g.render(cls, 0);
+    EXPECT_EQ(img.shape(), (Shape{3, 32, 32}));
+    EXPECT_GE(min_value(img), 0.0f);
+    EXPECT_LE(max_value(img), 1.0f);
+  }
+}
+
+TEST(SynthImageNet, GenerateLayoutAndLabels) {
+  const SynthImageNet g(4, 2);
+  const Dataset d = g.generate(3, 100);
+  EXPECT_EQ(d.size(), 12);
+  EXPECT_EQ(d.num_classes, 4);
+  for (int cls = 0; cls < 4; ++cls) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(d.labels[static_cast<std::size_t>(cls * 3 + i)], cls);
+    }
+  }
+  // Row 0 must equal render(0, 100) — offset respected.
+  const Tensor img = g.render(0, 100);
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_EQ(d.images[i], img[i]);
+  }
+}
+
+TEST(SynthImageNet, DisjointIndexRangesGiveDisjointImages) {
+  const SynthImageNet g(4, 3);
+  const Dataset train = g.generate(5, 0);
+  const Dataset val = g.generate(5, 100000);
+  // No image in val matches any image in train exactly.
+  const std::int64_t per = 3 * 32 * 32;
+  for (std::int64_t i = 0; i < val.size(); ++i) {
+    for (std::int64_t j = 0; j < train.size(); ++j) {
+      bool same = true;
+      for (std::int64_t k = 0; k < per && same; ++k) {
+        same = val.images[i * per + k] == train.images[j * per + k];
+      }
+      EXPECT_FALSE(same) << "val " << i << " == train " << j;
+    }
+  }
+}
+
+TEST(SynthImageNet, IntraFamilyClassesAreVisuallyCloserThanInterFamily) {
+  // Mean pixel distance between class prototypes: same-family variants
+  // (0 and 1) should be closer than cross-family classes (0 and 4).
+  const SynthImageNet g(16, 11);
+  auto mean_image = [&](int cls) {
+    Tensor acc(Shape{3, 32, 32});
+    for (int i = 0; i < 20; ++i) accumulate(acc, g.render(cls, i));
+    return mul_scalar(acc, 1.0f / 20.0f);
+  };
+  const Tensor c0 = mean_image(0), c1 = mean_image(1), c4 = mean_image(4);
+  const float intra = mean(abs(sub(c0, c1)));
+  const float inter = mean(abs(sub(c0, c4)));
+  EXPECT_LT(intra, inter);
+}
+
+TEST(SynthDigits, DeterministicRangeAndDistinctDigits) {
+  expect_deterministic(SynthDigits(3), SynthDigits(3));
+  const SynthDigits g(3);
+  const Tensor d1 = g.render(1, 0);
+  const Tensor d8 = g.render(8, 0);
+  EXPECT_EQ(d1.shape(), (Shape{1, 28, 28}));
+  EXPECT_GE(min_value(d1), 0.0f);
+  EXPECT_LE(max_value(d1), 1.0f);
+  // Digit 8 lights every segment; digit 1 only two -> more ink.
+  EXPECT_GT(sum(d8), sum(d1) * 1.5f);
+}
+
+TEST(SynthFaces, DeterministicAndIdentityStructure) {
+  expect_deterministic(SynthFaces(30, 5), SynthFaces(30, 5));
+  const SynthFaces g(30, 5);
+  // Two instances of one identity are closer than two identities.
+  const Tensor a0 = g.render(3, 0);
+  const Tensor a1 = g.render(3, 1);
+  const Tensor b0 = g.render(17, 0);
+  EXPECT_LT(mean(abs(sub(a0, a1))), mean(abs(sub(a0, b0))));
+}
+
+TEST(Dataset, SubsetCopiesSelectedRows) {
+  const SynthDigits g(1);
+  const Dataset d = g.generate(2, 0);  // 20 images
+  const Dataset s = d.subset({3, 7, 19});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.labels[0], d.labels[3]);
+  EXPECT_EQ(s.labels[2], d.labels[19]);
+  const std::int64_t per = 28 * 28;
+  for (std::int64_t k = 0; k < per; ++k) {
+    EXPECT_EQ(s.images[k], d.images[3 * per + k]);
+  }
+}
+
+TEST(DataLoader, CoversEverySampleOncePerEpoch) {
+  const SynthDigits g(2);
+  const Dataset d = g.generate(3, 0);  // 30 samples
+  DataLoader loader(d, 7, 123);
+  std::vector<int> label_counts(10, 0);
+  std::int64_t seen = 0;
+  while (seen < d.size()) {
+    const Batch b = loader.next();
+    seen += b.images.dim(0);
+    for (int y : b.labels) label_counts[static_cast<std::size_t>(y)]++;
+  }
+  EXPECT_EQ(seen, 30);
+  for (int c : label_counts) EXPECT_EQ(c, 3);
+}
+
+TEST(DataLoader, ReshufflesBetweenEpochs) {
+  const SynthDigits g(2);
+  const Dataset d = g.generate(10, 0);
+  DataLoader loader(d, 100, 42);
+  const Batch e1 = loader.next();
+  const Batch e2 = loader.next();
+  EXPECT_NE(e1.labels, e2.labels);
+}
+
+TEST(DataLoader, RejectsBadBatchSize) {
+  const SynthDigits g(2);
+  const Dataset d = g.generate(1, 0);
+  EXPECT_THROW(DataLoader(d, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,127 @@
+// Parameterized property sweep: the int8 convolution kernel against a
+// float reference across geometries (kernel/stride/pad/channels), and
+// quantization-grid properties across observed ranges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "quant/fake_quant.h"
+#include "quant/int8_kernels.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using testing::random_tensor;
+
+// (in_c, out_c, kernel, stride, pad, hw)
+using ConvCase = std::tuple<int, int, int, int, int, int>;
+
+class QConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(QConvSweep, MatchesFloatReferenceWithinQuantizationError) {
+  const auto [in_c, out_c, k, stride, pad, hw] = GetParam();
+  ConvGeom g{in_c, hw, hw, k, k, stride, pad};
+  if (g.out_h() <= 0 || g.out_w() <= 0) GTEST_SKIP();
+
+  Rng rng(static_cast<std::uint64_t>(in_c * 31 + out_c * 7 + k));
+  Tensor x(Shape{in_c, hw, hw});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  Tensor w(Shape{out_c, in_c, k, k});
+  w.fill_uniform(rng, -0.5f, 0.5f);
+  Tensor bias(Shape{out_c});
+  bias.fill_uniform(rng, -0.25f, 0.25f);
+
+  // Output range from the float reference (pad with slack).
+  const float acc_bound = 0.5f * static_cast<float>(in_c * k * k) + 0.5f;
+  const QuantParams in_qp = choose_qparams(0.0f, 1.0f);
+  const QuantParams out_qp = choose_qparams(-acc_bound, acc_bound);
+
+  const auto w_scales = per_channel_scales(w);
+  const auto wq = quantize_per_channel(w, w_scales);
+  const auto xq = quantize_tensor(x, in_qp);
+  std::vector<std::int32_t> bq(static_cast<std::size_t>(out_c));
+  for (int c = 0; c < out_c; ++c) {
+    bq[static_cast<std::size_t>(c)] = static_cast<std::int32_t>(std::lround(
+        bias[c] / (in_qp.scale * w_scales[static_cast<std::size_t>(c)])));
+  }
+  const RequantChannel rq = make_requant(in_qp.scale, w_scales, out_qp.scale);
+  std::vector<std::int8_t> out(
+      static_cast<std::size_t>(out_c * g.out_h() * g.out_w()));
+  qconv2d(xq.data(), g, in_qp.zero_point, wq.data(), out_c, bq.data(), rq,
+          out_qp.zero_point, kQmin, kQmax, out.data());
+
+  // Float reference at a few probe positions.
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  for (std::int64_t oc = 0; oc < out_c; ++oc) {
+    for (std::int64_t y = 0; y < oh; y += std::max<std::int64_t>(1, oh / 3)) {
+      for (std::int64_t xo = 0; xo < ow;
+           xo += std::max<std::int64_t>(1, ow / 3)) {
+        double ref = bias[oc];
+        for (std::int64_t c = 0; c < in_c; ++c) {
+          for (std::int64_t kh = 0; kh < k; ++kh) {
+            const std::int64_t iy = y * stride - pad + kh;
+            if (iy < 0 || iy >= hw) continue;
+            for (std::int64_t kw = 0; kw < k; ++kw) {
+              const std::int64_t ix = xo * stride - pad + kw;
+              if (ix < 0 || ix >= hw) continue;
+              ref += w.at(oc, c, kh, kw) * x[(c * hw + iy) * hw + ix];
+            }
+          }
+        }
+        const float got = out_qp.dequantize(
+            out[static_cast<std::size_t>((oc * oh + y) * ow + xo)]);
+        // Error budget: input rounding accumulates over the receptive
+        // field; output grid contributes out_qp.scale.
+        const float tol = 0.004f * static_cast<float>(in_c * k * k) +
+                          out_qp.scale * 1.5f;
+        EXPECT_NEAR(got, ref, tol)
+            << "oc=" << oc << " y=" << y << " x=" << xo << " geom=(" << in_c
+            << "," << out_c << "," << k << "," << stride << "," << pad << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, QConvSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 6},   // pointwise minimal
+                      ConvCase{3, 8, 1, 1, 0, 8},   // pointwise wide
+                      ConvCase{2, 4, 3, 1, 1, 8},   // same-pad 3x3
+                      ConvCase{4, 4, 3, 2, 1, 9},   // strided odd input
+                      ConvCase{3, 2, 5, 1, 2, 10},  // 5x5 kernel
+                      ConvCase{8, 8, 3, 2, 0, 8},   // no pad, strided
+                      ConvCase{1, 6, 7, 1, 3, 12}   // large kernel
+                      ));
+
+class QParamsSweep : public ::testing::TestWithParam<std::pair<float, float>> {
+};
+
+TEST_P(QParamsSweep, GridPropertiesHoldAcrossRanges) {
+  const auto [lo, hi] = GetParam();
+  const QuantParams qp = choose_qparams(lo, hi);
+  // Zero exactly representable.
+  EXPECT_EQ(qp.dequantize(qp.quantize(0.0f)), 0.0f);
+  // Quantize-dequantize error bounded by scale/2 inside the range.
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const float x = rng.uniform(std::min(lo, 0.0f), std::max(hi, 0.0f));
+    EXPECT_LE(std::fabs(qp.dequantize(qp.quantize(x)) - x),
+              qp.scale * 0.5f + 1e-6f);
+  }
+  // Fake-quant is idempotent.
+  const Tensor t = random_tensor(Shape{64}, 3, lo - 0.5f, hi + 0.5f);
+  const Tensor once = fake_quantize(t, qp);
+  const Tensor twice = fake_quantize(once, qp);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(once[i], twice[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, QParamsSweep,
+    ::testing::Values(std::pair{-1.0f, 1.0f}, std::pair{0.0f, 6.0f},
+                      std::pair{-0.01f, 0.02f}, std::pair{-100.0f, 3.0f},
+                      std::pair{0.0f, 1.0f}, std::pair{-5.0f, 0.0f}));
+
+}  // namespace
+}  // namespace diva

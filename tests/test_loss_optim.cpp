@@ -1,0 +1,196 @@
+// Loss-function and optimizer tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/batchnorm.h"
+#include "nn/sequential.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using testing::random_tensor;
+
+TEST(Loss, CrossEntropyValueMatchesManual) {
+  Tensor logits(Shape{1, 3});
+  logits[0] = 1.0f; logits[1] = 2.0f; logits[2] = 0.5f;
+  const std::vector<int> labels{1};
+  const LossGrad lg = softmax_cross_entropy(logits, labels);
+  const Tensor p = softmax_rows(logits);
+  EXPECT_NEAR(lg.loss, -std::log(p[1]), 1e-5f);
+}
+
+TEST(Loss, CrossEntropyGradientIsSoftmaxMinusOneHot) {
+  const Tensor logits = random_tensor(Shape{4, 6}, 1, -2.0f, 2.0f);
+  const std::vector<int> labels{0, 3, 5, 2};
+  const LossGrad lg = softmax_cross_entropy(logits, labels);
+  const Tensor p = softmax_rows(logits);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      const float onehot =
+          static_cast<int>(j) == labels[static_cast<std::size_t>(i)] ? 1.0f : 0.0f;
+      EXPECT_NEAR(lg.dlogits.at(i, j), (p.at(i, j) - onehot) / 4.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(Loss, CrossEntropyGradientMatchesFiniteDifference) {
+  Tensor logits = random_tensor(Shape{2, 4}, 2, -1.0f, 1.0f);
+  const std::vector<int> labels{3, 1};
+  const LossGrad lg = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float up = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig - eps;
+    const float dn = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig;
+    EXPECT_NEAR(lg.dlogits[i], (up - dn) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(Loss, CrossEntropyRejectsBadLabels) {
+  const Tensor logits = random_tensor(Shape{1, 3}, 3);
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<int>{3}), Error);
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<int>{-1}), Error);
+}
+
+TEST(Loss, SoftCrossEntropyAgainstOwnSoftmaxHasSmallGradient) {
+  const Tensor logits = random_tensor(Shape{3, 5}, 4);
+  const Tensor p = softmax_rows(logits);
+  const LossGrad lg = soft_cross_entropy(logits, p);
+  EXPECT_LT(max_abs(lg.dlogits), 1e-6f);  // gradient zero at the optimum
+}
+
+TEST(Loss, DistillationGradientMatchesFiniteDifference) {
+  Tensor student = random_tensor(Shape{2, 4}, 5, -1.0f, 1.0f);
+  const Tensor teacher = random_tensor(Shape{2, 4}, 6, -1.0f, 1.0f);
+  const std::vector<int> labels{0, 2};
+  const float T = 3.0f, alpha = 0.4f;
+  const LossGrad lg = distillation_loss(student, teacher, labels, T, alpha);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < student.numel(); ++i) {
+    const float orig = student[i];
+    student[i] = orig + eps;
+    const float up = distillation_loss(student, teacher, labels, T, alpha).loss;
+    student[i] = orig - eps;
+    const float dn = distillation_loss(student, teacher, labels, T, alpha).loss;
+    student[i] = orig;
+    EXPECT_NEAR(lg.dlogits[i], (up - dn) / (2 * eps), 2e-3f);
+  }
+}
+
+TEST(Loss, KlDivergenceZeroOnIdenticalLogitsAndPositiveOtherwise) {
+  const Tensor a = random_tensor(Shape{3, 4}, 7);
+  const Tensor b = random_tensor(Shape{3, 4}, 8);
+  EXPECT_NEAR(kl_divergence(a, a), 0.0f, 1e-6f);
+  EXPECT_GT(kl_divergence(a, b), 0.0f);
+}
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  // Minimize ||Wx - t||^2 through the Dense layer machinery.
+  Sequential net("net");
+  auto& fc = net.emplace<Dense>("fc", 2, 1);
+  fc.weight().value[0] = 0.0f;
+  fc.weight().value[1] = 0.0f;
+  Sgd opt(net.named_parameters(), 0.05f, 0.0f);
+
+  Tensor x(Shape{4, 2});
+  x.at(0, 0) = 1; x.at(0, 1) = 0;
+  x.at(1, 0) = 0; x.at(1, 1) = 1;
+  x.at(2, 0) = 1; x.at(2, 1) = 1;
+  x.at(3, 0) = 2; x.at(3, 1) = -1;
+  const float target_w[2] = {1.5f, -0.7f};
+  Tensor t(Shape{4, 1});
+  for (int i = 0; i < 4; ++i) {
+    t.at(i, 0) = target_w[0] * x.at(i, 0) + target_w[1] * x.at(i, 1) + 0.3f;
+  }
+
+  for (int iter = 0; iter < 1200; ++iter) {
+    opt.zero_grad();
+    const Tensor y = net.forward(x);
+    Tensor dy(y.shape());
+    for (std::int64_t i = 0; i < y.numel(); ++i) dy[i] = 2 * (y[i] - t[i]) / 4;
+    net.backward(dy);
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().value[0], target_w[0], 1e-2f);
+  EXPECT_NEAR(fc.weight().value[1], target_w[1], 1e-2f);
+  EXPECT_NEAR(fc.bias().value[0], 0.3f, 1e-2f);
+}
+
+TEST(Optimizer, MomentumAcceleratesDescent) {
+  auto loss_after = [](float momentum) {
+    Sequential net("net");
+    auto& fc = net.emplace<Dense>("fc", 1, 1, /*bias=*/false);
+    fc.weight().value[0] = 5.0f;
+    Sgd opt(net.named_parameters(), 0.02f, momentum);
+    Tensor x(Shape{1, 1}, 1.0f);
+    float l = 0;
+    for (int i = 0; i < 30; ++i) {
+      opt.zero_grad();
+      const Tensor y = net.forward(x);
+      l = y[0] * y[0];
+      Tensor dy(y.shape());
+      dy[0] = 2 * y[0];
+      net.backward(dy);
+      opt.step();
+    }
+    return l;
+  };
+  EXPECT_LT(loss_after(0.9f), loss_after(0.0f));
+}
+
+TEST(Optimizer, AdamConvergesAndSkipsBuffers) {
+  Sequential net("net");
+  auto& fc = net.emplace<Dense>("fc", 1, 1, /*bias=*/false);
+  fc.weight().value[0] = 3.0f;
+  Adam opt(net.named_parameters(), 0.1f);
+  Tensor x(Shape{1, 1}, 1.0f);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    const Tensor y = net.forward(x);
+    Tensor dy(y.shape());
+    dy[0] = 2 * y[0];
+    net.backward(dy);
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().value[0], 0.0f, 1e-2f);
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Sequential net("net");
+  auto& fc = net.emplace<Dense>("fc", 1, 1, /*bias=*/false);
+  fc.weight().value[0] = 1.0f;
+  Sgd opt(net.named_parameters(), 0.1f, 0.0f, /*weight_decay=*/0.1f);
+  // Zero task gradient: only decay acts.
+  Tensor x(Shape{1, 1}, 1.0f);
+  for (int i = 0; i < 10; ++i) {
+    opt.zero_grad();
+    (void)net.forward(x);
+    opt.step();
+  }
+  EXPECT_LT(fc.weight().value[0], 0.95f);
+  EXPECT_GT(fc.weight().value[0], 0.5f);
+}
+
+TEST(Optimizer, BuffersAreNeverUpdated) {
+  // BatchNorm running stats are non-trainable: an optimizer step must
+  // not touch them even with garbage in their grad slot.
+  Sequential net("net");
+  auto& bn = net.emplace<BatchNorm2d>("bn", 2);
+  bn.running_mean().value[0] = 0.5f;
+  bn.running_mean().grad.fill(100.0f);
+  Sgd opt(net.named_parameters(), 1.0f);
+  opt.step();
+  EXPECT_EQ(bn.running_mean().value[0], 0.5f);
+}
+
+}  // namespace
+}  // namespace diva

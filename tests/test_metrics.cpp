@@ -1,0 +1,227 @@
+// Metrics tests: accuracy/top-k, instability, confidence delta,
+// evasion scoring, DSSIM properties, PCA correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.h"
+#include "metrics/dssim.h"
+#include "metrics/metrics.h"
+#include "metrics/pca.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using testing::random_tensor;
+
+/// A fake "model" that returns fixed logits per sample index; logits are
+/// looked up by matching the first pixel value (set to index/255).
+ModelFn table_model(const std::vector<std::vector<float>>& logit_rows) {
+  return [logit_rows](const Tensor& x) {
+    const std::int64_t n = x.dim(0);
+    const std::int64_t d = static_cast<std::int64_t>(logit_rows[0].size());
+    Tensor out(Shape{n, d});
+    const std::int64_t per = x.numel() / n;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const int id = static_cast<int>(std::lround(x[i * per] * 255.0f));
+      for (std::int64_t j = 0; j < d; ++j) {
+        out.at(i, j) = logit_rows[static_cast<std::size_t>(id)]
+                                 [static_cast<std::size_t>(j)];
+      }
+    }
+    return out;
+  };
+}
+
+Dataset tiny_dataset(int n, int classes) {
+  Dataset d;
+  d.images = Tensor(Shape{n, 1, 8, 8});
+  for (int i = 0; i < n; ++i) {
+    d.images[static_cast<std::int64_t>(i) * 64] = static_cast<float>(i) / 255.0f;
+  }
+  d.labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) d.labels[static_cast<std::size_t>(i)] = i % classes;
+  d.num_classes = classes;
+  return d;
+}
+
+TEST(Metrics, AccuracyAndTopK) {
+  // 4 samples, 3 classes; model gets samples 0,1 right, 2,3 wrong with
+  // the true label ranked second for sample 2 only.
+  Dataset d = tiny_dataset(4, 3);
+  d.labels = {0, 1, 2, 0};
+  const ModelFn m = table_model({{5, 1, 0},    // pred 0 == label ✓
+                                 {0, 5, 1},    // pred 1 ✓
+                                 {5, 4, 4.5f}, // pred 0, label 2 ranked 2nd
+                                 {0, 5, 4}});  // pred 1, label 0 ranked 3rd
+  EXPECT_NEAR(accuracy(m, d), 0.5f, 1e-6f);
+  EXPECT_NEAR(topk_accuracy(m, d, 2), 0.75f, 1e-6f);
+  EXPECT_NEAR(topk_accuracy(m, d, 3), 1.0f, 1e-6f);
+}
+
+TEST(Metrics, InstabilityCountsBothDirections) {
+  Dataset d = tiny_dataset(4, 2);
+  d.labels = {0, 0, 1, 1};
+  const ModelFn orig = table_model({{5, 0}, {5, 0}, {0, 5}, {5, 0}});
+  const ModelFn adapted = table_model({{5, 0}, {0, 5}, {0, 5}, {0, 5}});
+  const InstabilityStats s = instability(orig, adapted, d);
+  EXPECT_EQ(s.orig_correct_adapted_wrong, 1);  // sample 1
+  EXPECT_EQ(s.orig_wrong_adapted_correct, 1);  // sample 3
+  EXPECT_EQ(s.disagreements, 2);
+  EXPECT_NEAR(s.instability, 0.5f, 1e-6f);
+  EXPECT_NEAR(s.orig_accuracy, 0.75f, 1e-6f);
+  EXPECT_NEAR(s.adapted_accuracy, 0.75f, 1e-6f);
+}
+
+TEST(Metrics, ConfidenceDeltaSignAndMagnitude) {
+  Dataset d = tiny_dataset(1, 2);
+  d.labels = {0};
+  // orig strongly correct; adapted weakly correct.
+  const ModelFn orig = table_model({{4, 0}});
+  const ModelFn adapted = table_model({{0.5f, 0}});
+  const float cd = confidence_delta(orig, adapted, d.images, d.labels);
+  const float po = 1.0f / (1.0f + std::exp(-4.0f));
+  const float pa = 1.0f / (1.0f + std::exp(-0.5f));
+  EXPECT_NEAR(cd, (po - pa) * 100.0f, 0.1f);
+}
+
+TEST(Evaluation, EvasionCriteriaMatchPaperDefinition) {
+  Dataset d = tiny_dataset(3, 6);
+  d.labels = {0, 0, 0};
+  // After attack:
+  //  s0: orig correct, adapted wrong       -> top1 success
+  //  s1: orig wrong, adapted wrong         -> not success (orig flipped)
+  //  s2: orig correct, adapted correct     -> not success
+  const ModelFn orig =
+      table_model({{9, 0, 0, 0, 0, 0}, {0, 9, 0, 0, 0, 0}, {9, 0, 0, 0, 0, 0}});
+  const ModelFn adapted =
+      table_model({{0, 9, 0, 0, 0, 0}, {0, 9, 0, 0, 0, 0}, {9, 0, 0, 0, 0, 0}});
+  const EvasionResult r =
+      evaluate_evasion(orig, adapted, d.images, d.images, d.labels);
+  EXPECT_EQ(r.total, 3);
+  EXPECT_EQ(r.top1_success, 1);
+  EXPECT_EQ(r.adapted_fooled, 2);
+  EXPECT_EQ(r.orig_preserved, 2);
+  // top-5: s0's adapted top-1 (=1) IS in orig's top-5 (6 classes, label
+  // scores 0 tie-broken by index) — in this synthetic logit table the
+  // remaining entries are zeros so class 1 appears in orig top-5.
+  EXPECT_LE(r.top5_success, r.top1_success);
+}
+
+TEST(Evaluation, OutcomeBreakdownPartitions) {
+  Dataset d = tiny_dataset(4, 2);
+  d.labels = {0, 0, 0, 0};
+  const ModelFn orig = table_model({{5, 0}, {5, 0}, {0, 5}, {0, 5}});
+  const ModelFn adapted = table_model({{5, 0}, {0, 5}, {5, 0}, {0, 5}});
+  const OutcomeBreakdown b = outcome_breakdown(orig, adapted, d.images, d.labels);
+  EXPECT_EQ(b.both_correct, 1);
+  EXPECT_EQ(b.orig_correct_adapted_wrong, 1);
+  EXPECT_EQ(b.orig_wrong_adapted_correct, 1);
+  EXPECT_EQ(b.both_wrong, 1);
+  EXPECT_EQ(b.both_correct + b.orig_correct_adapted_wrong +
+                b.orig_wrong_adapted_correct + b.both_wrong,
+            b.total);
+}
+
+TEST(Evaluation, SelectCorrectHonorsPerClassCapAndCorrectness) {
+  Dataset d = tiny_dataset(8, 2);
+  d.labels = {0, 0, 0, 0, 1, 1, 1, 1};
+  // Model A wrong on sample 0; model B wrong on sample 4.
+  std::vector<std::vector<float>> rows_a, rows_b;
+  for (int i = 0; i < 8; ++i) {
+    const int y = d.labels[static_cast<std::size_t>(i)];
+    std::vector<float> correct{y == 0 ? 5.0f : 0.0f, y == 1 ? 5.0f : 0.0f};
+    std::vector<float> wrong{y == 0 ? 0.0f : 5.0f, y == 1 ? 0.0f : 5.0f};
+    rows_a.push_back(i == 0 ? wrong : correct);
+    rows_b.push_back(i == 4 ? wrong : correct);
+  }
+  const auto idx = select_correct({table_model(rows_a), table_model(rows_b)},
+                                  d, /*per_class=*/2);
+  // Class 0: samples 1,2 (0 excluded); class 1: samples 5,6 (4 excluded).
+  EXPECT_EQ(idx, (std::vector<int>{1, 2, 5, 6}));
+}
+
+TEST(Dssim, IdentityIsZeroAndSymmetric) {
+  const Tensor a = random_tensor(Shape{3, 16, 16}, 1, 0.0f, 1.0f);
+  const Tensor b = random_tensor(Shape{3, 16, 16}, 2, 0.0f, 1.0f);
+  EXPECT_NEAR(dssim(a, a), 0.0f, 1e-6f);
+  EXPECT_NEAR(dssim(a, b), dssim(b, a), 1e-6f);
+  EXPECT_GT(dssim(a, b), 0.01f);
+}
+
+TEST(Dssim, MonotoneInNoiseAmplitude) {
+  const Tensor a = random_tensor(Shape{1, 16, 16}, 3, 0.2f, 0.8f);
+  Rng rng(4);
+  Tensor n1(a.shape()), n2(a.shape());
+  n1.fill_normal(rng, 0.0f, 0.01f);
+  n2 = mul_scalar(n1, 8.0f);
+  const float d1 = dssim(a, clamp(add(a, n1), 0.0f, 1.0f));
+  const float d2 = dssim(a, clamp(add(a, n2), 0.0f, 1.0f));
+  EXPECT_LT(d1, d2);
+  EXPECT_LT(d1, 0.05f);
+}
+
+TEST(Dssim, RejectsTinyImagesAndShapeMismatch) {
+  const Tensor small(Shape{1, 4, 4});
+  EXPECT_THROW((void)dssim(small, small), Error);
+  const Tensor a(Shape{1, 16, 16});
+  const Tensor b(Shape{1, 16, 8});
+  EXPECT_THROW((void)dssim(a, b), Error);
+}
+
+TEST(Pca, RecoversDominantAxis) {
+  // Generate points stretched along a known direction.
+  Rng rng(5);
+  const float dir[2] = {0.8f, 0.6f};  // unit vector
+  Tensor x(Shape{300, 2});
+  for (std::int64_t i = 0; i < 300; ++i) {
+    const float t = rng.normal(0.0f, 5.0f);
+    const float noise = rng.normal(0.0f, 0.3f);
+    x.at(i, 0) = t * dir[0] - noise * dir[1] + 2.0f;
+    x.at(i, 1) = t * dir[1] + noise * dir[0] - 1.0f;
+  }
+  const PcaResult pca = pca_fit(x, 2);
+  // First component parallel to dir (sign-agnostic).
+  const float dot = std::fabs(pca.components.at(0, 0) * dir[0] +
+                              pca.components.at(0, 1) * dir[1]);
+  EXPECT_GT(dot, 0.99f);
+  EXPECT_GT(pca.explained_variance[0], pca.explained_variance[1] * 50.0f);
+  EXPECT_NEAR(pca.mean[0], 2.0f, 1.0f);
+}
+
+TEST(Pca, ComponentsOrthonormalAndTransformCentered) {
+  const Tensor x = random_tensor(Shape{60, 7}, 6);
+  const PcaResult pca = pca_fit(x, 3);
+  for (int a = 0; a < 3; ++a) {
+    double norm = 0, cross = 0;
+    for (std::int64_t j = 0; j < 7; ++j) {
+      norm += pca.components.at(a, j) * pca.components.at(a, j);
+      cross += pca.components.at(a, j) * pca.components.at((a + 1) % 3, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+    EXPECT_NEAR(cross, 0.0, 1e-4);
+  }
+  const Tensor proj = pca_transform(pca, x);
+  for (int c = 0; c < 3; ++c) {
+    double mean_c = 0;
+    for (std::int64_t i = 0; i < 60; ++i) mean_c += proj.at(i, c);
+    EXPECT_NEAR(mean_c / 60.0, 0.0, 1e-4);
+  }
+}
+
+TEST(Pca, ProjectionVarianceMatchesEigenvalues) {
+  const Tensor x = random_tensor(Shape{100, 5}, 7, -2.0f, 2.0f);
+  const PcaResult pca = pca_fit(x, 5);
+  const Tensor proj = pca_transform(pca, x);
+  for (int c = 0; c < 5; ++c) {
+    double var = 0;
+    for (std::int64_t i = 0; i < 100; ++i) var += proj.at(i, c) * proj.at(i, c);
+    var /= 99.0;
+    EXPECT_NEAR(var, pca.explained_variance[static_cast<std::size_t>(c)],
+                0.02 * pca.explained_variance[0] + 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,162 @@
+// Module infrastructure tests: naming/visiting, gradient bookkeeping,
+// training-mode propagation, and the attack fast path.
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/composite.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/init.h"
+#include "nn/sequential.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using testing::random_tensor;
+
+std::unique_ptr<Sequential> tiny_net() {
+  auto net = std::make_unique<Sequential>("net");
+  auto main = std::make_unique<Sequential>("main");
+  main->emplace<Conv2d>("c1", 2, 2, 3, 1, 1);
+  net->add(std::make_unique<Residual>("res", std::move(main)));
+  net->emplace<Relu>("relu");
+  net->emplace<Flatten>("flat");
+  net->emplace<Dense>("fc", 2 * 4 * 4, 3);
+  return net;
+}
+
+TEST(ModuleUtils, HierarchicalParameterNames) {
+  auto net = tiny_net();
+  std::vector<std::string> names;
+  for (auto& np : net->named_parameters()) names.push_back(np.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "net.res.main.c1.weight", "net.res.main.c1.bias",
+                       "net.fc.weight", "net.fc.bias"}));
+}
+
+TEST(ModuleUtils, VisitReachesEveryModulePreOrder) {
+  auto net = tiny_net();
+  std::vector<std::string> order;
+  net->visit([&order](Module& m) { order.push_back(m.name()); });
+  EXPECT_EQ(order, (std::vector<std::string>{"net", "res", "main", "c1",
+                                             "relu", "flat", "fc"}));
+}
+
+TEST(ModuleUtils, TrainingModePropagates) {
+  auto net = tiny_net();
+  net->set_training(true);
+  int trained = 0;
+  net->visit([&trained](Module& m) { trained += m.training(); });
+  EXPECT_EQ(trained, 7);
+  net->set_training(false);
+  int eval = 0;
+  net->visit([&eval](Module& m) { eval += !m.training(); });
+  EXPECT_EQ(eval, 7);
+}
+
+TEST(ModuleUtils, ZeroGradClearsAccumulatedGradients) {
+  auto net = tiny_net();
+  init_parameters(*net, 1);
+  net->set_training(true);
+  const Tensor x = random_tensor(Shape{2, 2, 4, 4}, 2);
+  const Tensor out = net->forward(x);
+  net->backward(Tensor(out.shape(), 1.0f));
+  float before = 0;
+  for (auto& np : net->named_parameters()) before += max_abs(np.param->grad);
+  EXPECT_GT(before, 0.0f);
+  net->zero_grad();
+  for (auto& np : net->named_parameters()) {
+    EXPECT_EQ(max_abs(np.param->grad), 0.0f) << np.name;
+  }
+}
+
+TEST(ModuleUtils, GradientsAccumulateAcrossBackwardCalls) {
+  Dense fc("fc", 3, 2);
+  init_parameters(fc, 3);
+  fc.set_training(true);
+  const Tensor x = random_tensor(Shape{1, 3}, 4);
+  Tensor g(Shape{1, 2}, 1.0f);
+  fc.zero_grad();
+  (void)fc.forward(x);
+  (void)fc.backward(g);
+  const Tensor once = fc.weight().grad;
+  (void)fc.forward(x);
+  (void)fc.backward(g);
+  for (std::int64_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(fc.weight().grad[i], 2.0f * once[i], 1e-5f);
+  }
+}
+
+TEST(ModuleUtils, ParamGradsDisabledSkipsAccumulationButKeepsInputGrad) {
+  auto net = tiny_net();
+  init_parameters(*net, 5);
+  net->set_training(false);
+  net->set_param_grads_enabled(false);
+  const Tensor x = random_tensor(Shape{1, 2, 4, 4}, 6);
+  const Tensor out = net->forward(x);
+  net->zero_grad();
+  const Tensor dx = net->backward(Tensor(out.shape(), 1.0f));
+  EXPECT_GT(max_abs(dx), 0.0f);
+  for (auto& np : net->named_parameters()) {
+    EXPECT_EQ(max_abs(np.param->grad), 0.0f)
+        << np.name << " accumulated despite disabled param grads";
+  }
+  // Re-enabling restores accumulation.
+  net->set_param_grads_enabled(true);
+  (void)net->forward(x);
+  (void)net->backward(Tensor(out.shape(), 1.0f));
+  float total = 0;
+  for (auto& np : net->named_parameters()) total += max_abs(np.param->grad);
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(ModuleUtils, DisabledParamGradsMatchEnabledInputGrads) {
+  // The fast path must not change the input gradient values.
+  auto net = tiny_net();
+  init_parameters(*net, 7);
+  net->set_training(false);
+  const Tensor x = random_tensor(Shape{2, 2, 4, 4}, 8);
+  const Tensor out = net->forward(x);
+  const Tensor probe = random_tensor(out.shape(), 9);
+
+  (void)net->forward(x);
+  const Tensor dx_full = net->backward(probe);
+  net->set_param_grads_enabled(false);
+  (void)net->forward(x);
+  const Tensor dx_fast = net->backward(probe);
+  EXPECT_EQ(max_abs(sub(dx_full, dx_fast)), 0.0f);
+}
+
+TEST(ModuleUtils, NumTrainableElementsCountsWeightsNotBuffers) {
+  auto net = tiny_net();
+  // conv: 2*2*3*3 + 2 bias = 38; fc: 32*3 + 3 = 99.
+  EXPECT_EQ(net->num_trainable_elements(), 38 + 99);
+}
+
+TEST(ModuleUtils, IdentityPassesThroughBothDirections) {
+  Identity id("id");
+  const Tensor x = random_tensor(Shape{3, 5}, 10);
+  const Tensor y = id.forward(x);
+  const Tensor g = id.backward(y);
+  EXPECT_EQ(max_abs(sub(x, y)), 0.0f);
+  EXPECT_EQ(max_abs(sub(g, y)), 0.0f);
+}
+
+TEST(ModuleUtils, SequentialForwardPrefixBounds) {
+  auto net = tiny_net();
+  init_parameters(*net, 11);
+  net->set_training(false);
+  const Tensor x = random_tensor(Shape{1, 2, 4, 4}, 12);
+  // Prefix 0 = identity on input.
+  const Tensor same = net->forward_prefix(x, 0);
+  EXPECT_EQ(max_abs(sub(same, x)), 0.0f);
+  // Full prefix equals forward.
+  const Tensor full = net->forward_prefix(x, net->size());
+  EXPECT_EQ(max_abs(sub(full, net->forward(x))), 0.0f);
+  EXPECT_THROW((void)net->forward_prefix(x, net->size() + 1), Error);
+}
+
+}  // namespace
+}  // namespace diva

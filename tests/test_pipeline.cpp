@@ -1,0 +1,190 @@
+// End-to-end adaptation pipeline tests: train a small float model, fold
+// BatchNorm exactly, transfer into a QAT skeleton, calibrate, QAT-
+// finetune, and compile to the integer-only QuantizedModel. These tests
+// pin down the invariants the whole reproduction rests on.
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synth_digits.h"
+#include "metrics/metrics.h"
+#include "models/factory.h"
+#include "nn/fold_bn.h"
+#include "nn/init.h"
+#include "nn/model_io.h"
+#include "quant/qat.h"
+#include "quant/quantized_model.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+/// Small shared fixture: a digit model trained on a modest dataset.
+/// Training runs once per process and is reused by every test.
+struct Pipeline {
+  SynthDigits gen;
+  Dataset train, val;
+  std::unique_ptr<Sequential> float_model;
+  std::unique_ptr<Sequential> folded;
+  std::unique_ptr<Sequential> qat;
+  QuantizedModel q8;
+
+  Pipeline() : gen(77) {
+    train = gen.generate(60, 0);
+    val = gen.generate(25, 1000);
+
+    float_model = make_digit_net(NetMode::kFloat);
+    init_parameters(*float_model, 42);
+    TrainConfig cfg;
+    cfg.epochs = 10;
+    cfg.lr = 0.05f;
+    cfg.seed = 7;
+    train_classifier(*float_model, train, cfg);
+
+    folded = make_digit_net(NetMode::kFolded);
+    fold_batchnorm_into(*float_model, *folded);
+
+    qat = make_digit_net(NetMode::kQat);
+    fold_batchnorm_into(*float_model, *qat);
+    // Calibrate observers on a few training batches.
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 4; ++i) {
+      std::vector<int> idx;
+      for (int j = 0; j < 32; ++j) idx.push_back(i * 32 + j);
+      calib.push_back(gather_batch(train.images, idx));
+    }
+    calibrate(*qat, calib);
+    // Short QAT finetune.
+    TrainConfig qcfg;
+    qcfg.epochs = 2;
+    qcfg.lr = 0.01f;
+    qcfg.seed = 8;
+    train_classifier(*qat, train, qcfg);
+
+    q8 = QuantizedModel::compile(
+        *qat, Shape{SynthDigits::kChannels, SynthDigits::kHeight,
+                    SynthDigits::kWidth});
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+ModelFn model_fn(Sequential& m) {
+  m.set_training(false);
+  return [&m](const Tensor& x) { return m.forward(x); };
+}
+
+TEST(Pipeline, FloatModelLearns) {
+  auto& p = pipeline();
+  const float acc = accuracy(model_fn(*p.float_model), p.val);
+  EXPECT_GT(acc, 0.9f) << "digit model failed to train";
+}
+
+TEST(Pipeline, FoldingIsExactInEvalMode) {
+  auto& p = pipeline();
+  p.float_model->set_training(false);
+  p.folded->set_training(false);
+  std::vector<int> idx;
+  for (int i = 0; i < 40; ++i) idx.push_back(i * 5);
+  const Tensor x = gather_batch(p.val.images, idx);
+  const Tensor a = p.float_model->forward(x);
+  const Tensor b = p.folded->forward(x);
+  EXPECT_LT(max_abs(sub(a, b)), 2e-3f)
+      << "BN folding must be numerically exact";
+}
+
+TEST(Pipeline, UncalibratedQatSkeletonMatchesFolded) {
+  // A fresh QAT skeleton (no calibration) passes activations through,
+  // so with transferred weights it differs from the folded model only
+  // by weight fake-quantization.
+  auto& p = pipeline();
+  auto fresh = make_digit_net(NetMode::kQat);
+  fold_batchnorm_into(*p.float_model, *fresh);
+  fresh->set_training(false);
+  const Tensor x = gather_batch(p.val.images, {0, 10, 20, 30});
+  const Tensor a = p.folded->forward(x);
+  const Tensor b = fresh->forward(x);
+  EXPECT_LT(max_abs(sub(a, b)), 0.35f);
+  // And predictions agree on almost all samples.
+  EXPECT_EQ(argmax_rows(a), argmax_rows(b));
+}
+
+TEST(Pipeline, QatModelRetainsAccuracy) {
+  auto& p = pipeline();
+  const float facc = accuracy(model_fn(*p.float_model), p.val);
+  const float qacc = accuracy(model_fn(*p.qat), p.val);
+  EXPECT_GT(qacc, facc - 0.06f) << "QAT degraded accuracy too much";
+}
+
+TEST(Pipeline, Int8ModelAgreesWithQatSimulation) {
+  auto& p = pipeline();
+  p.qat->set_training(false);
+  const std::int64_t n = 150;
+  std::vector<int> idx;
+  for (int i = 0; i < n; ++i) idx.push_back(i);
+  const Tensor x = gather_batch(p.val.images, idx);
+  const Tensor sim = p.qat->forward(x);
+  const Tensor real = p.q8.forward(x);
+  const auto ps = argmax_rows(sim);
+  const auto pr = argmax_rows(real);
+  int agree = 0;
+  for (std::size_t i = 0; i < ps.size(); ++i) agree += ps[i] == pr[i];
+  // Fixed-point rounding may flip a rare borderline sample.
+  EXPECT_GE(agree, static_cast<int>(n) - 5)
+      << "int8 engine diverges from its own QAT simulation";
+}
+
+TEST(Pipeline, Int8ModelAccuracyCloseToFloat) {
+  auto& p = pipeline();
+  const float facc = accuracy(model_fn(*p.float_model), p.val);
+  const float q8acc = accuracy([&](const Tensor& x) { return p.q8.forward(x); },
+                               p.val);
+  // Paper Table 1: quantized accuracy >= 96% of original.
+  EXPECT_GT(q8acc, facc * 0.9f);
+}
+
+TEST(Pipeline, Int8GraphStructure) {
+  auto& p = pipeline();
+  EXPECT_GT(p.q8.num_ops(), 4u);
+  EXPECT_GT(p.q8.weight_bytes(), 1000);
+  // Input grid should be close to 1/255 (images are in [0,1]).
+  EXPECT_NEAR(p.q8.input_qparams().scale, 1.0f / 255.0f, 2e-3f);
+}
+
+TEST(Pipeline, CheckpointRoundTripPreservesPredictions) {
+  auto& p = pipeline();
+  const std::string path = ::testing::TempDir() + "/diva_ckpt.bin";
+  save_model_file(*p.float_model, path);
+
+  auto clone = make_digit_net(NetMode::kFloat);
+  load_model_file(*clone, path);
+  clone->set_training(false);
+  p.float_model->set_training(false);
+  const Tensor x = gather_batch(p.val.images, {1, 2, 3, 4, 5});
+  EXPECT_LT(max_abs(sub(p.float_model->forward(x), clone->forward(x))), 1e-6f);
+}
+
+TEST(Pipeline, CheckpointRejectsWrongArchitecture) {
+  auto& p = pipeline();
+  const std::string path = ::testing::TempDir() + "/diva_ckpt2.bin";
+  save_model_file(*p.float_model, path);
+  auto other = make_model(Arch::kResNet, 10, NetMode::kFloat);
+  EXPECT_THROW(load_model_file(*other, path), Error);
+}
+
+TEST(Pipeline, InstabilityIsSmallButNonzero) {
+  // Table 1's core observation: top-line accuracy is preserved while a
+  // few percent of individual predictions deviate.
+  auto& p = pipeline();
+  const auto stats = instability(model_fn(*p.float_model),
+                                 [&](const Tensor& x) { return p.q8.forward(x); },
+                                 p.val);
+  EXPECT_LT(stats.instability, 0.25f);
+  EXPECT_GT(stats.total, 0);
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,57 @@
+// Reporting helpers and error-handling primitives.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "runtime/check.h"
+
+namespace diva {
+namespace {
+
+TEST(Report, FmtFixedDecimals) {
+  EXPECT_EQ(fmt(97.25, 1), "97.2");
+  EXPECT_EQ(fmt(97.25, 0), "97");
+  EXPECT_EQ(fmt(-3.14159, 3), "-3.142");
+  EXPECT_EQ(fmt(0.0, 2), "0.00");
+}
+
+TEST(Report, WithPaperAnnotation) {
+  EXPECT_EQ(with_paper(96.9, "92.3-97"), "96.9 (paper: 92.3-97)");
+}
+
+TEST(Report, TableRejectsRaggedRows) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Report, TablePrintsWithoutCrashing) {
+  TablePrinter t({"Architecture", "x"});
+  t.add_row({"ResNet", "1"});
+  t.add_row({"a-very-long-cell-value", "2"});
+  t.print();  // smoke: alignment math must not throw
+  banner("banner smoke");
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    DIVA_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+    EXPECT_NE(what.find("test_report.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessagelessFormSupported) {
+  EXPECT_THROW(DIVA_CHECK(false), Error);
+  EXPECT_NO_THROW(DIVA_CHECK(true));
+}
+
+TEST(Check, FailMacroAlwaysThrows) {
+  EXPECT_THROW(DIVA_FAIL("unconditional"), Error);
+}
+
+}  // namespace
+}  // namespace diva
