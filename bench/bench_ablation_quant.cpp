@@ -59,11 +59,12 @@ void run_variant(ModelZoo& zoo, const std::string& label, bool per_tensor,
   const auto q8_fn = [&q8](const Tensor& x) { return q8.forward(x); };
 
   const InstabilityStats s = instability(orig_fn, q8_fn, zoo.val_set());
-  const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn},
+  const Dataset eval = make_eval_set(zoo.val_set(), {orig_fn, q8_fn},
                                      /*per_class=*/4);
-  DivaAttack diva(orig, *qat, ExperimentDefaults::kC,
-                  ExperimentDefaults::attack());
-  const Tensor adv = diva.perturb(eval.images, eval.labels);
+  auto diva = make_attack("diva", {source(orig), source(*qat)},
+                          {.cfg = ExperimentDefaults::attack(),
+                           .c = ExperimentDefaults::kC});
+  const Tensor adv = diva->perturb(eval.images, eval.labels);
   const EvasionResult r =
       evaluate_evasion(orig_fn, q8_fn, eval.images, adv, eval.labels);
 

@@ -2,10 +2,17 @@
 // cost per step (paper: ~1 s/step each on their hardware; the claim is
 // the *ratio*, not the absolute number). Also microbenches the int8
 // engine against the float forward — the edge-deployment speedup that
-// motivates quantization in the first place.
+// motivates quantization in the first place — and sweeps AttackEngine
+// throughput across 1/2/4/8 worker threads, emitting a JSON record for
+// the perf trajectory.
 #include <benchmark/benchmark.h>
 
-#include "attack/attack.h"
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/engine.h"
+#include "attack/registry.h"
 #include "core/experiment_defaults.h"
 #include "core/zoo.h"
 
@@ -31,34 +38,53 @@ std::vector<int> eval_labels(std::int64_t n) {
   return {zoo().val_set().labels.begin(), zoo().val_set().labels.begin() + n};
 }
 
+AttackTargets resnet_targets() {
+  return {source(zoo().original(Arch::kResNet)),
+          source(zoo().adapted_qat(Arch::kResNet))};
+}
+
 void BM_PgdStep(benchmark::State& state) {
-  Sequential& qat = zoo().adapted_qat(Arch::kResNet);
   AttackConfig cfg = ExperimentDefaults::attack();
   cfg.steps = 1;  // one step per iteration -> per-step cost
   const Tensor x = eval_batch(16);
   const auto y = eval_labels(16);
-  PgdAttack pgd(qat, cfg);
+  auto pgd = make_attack("pgd", resnet_targets(), {.cfg = cfg});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pgd.perturb(x, y));
+    benchmark::DoNotOptimize(pgd->perturb(x, y));
   }
   state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_PgdStep)->Unit(benchmark::kMillisecond);
 
 void BM_DivaStep(benchmark::State& state) {
-  Sequential& orig = zoo().original(Arch::kResNet);
-  Sequential& qat = zoo().adapted_qat(Arch::kResNet);
   AttackConfig cfg = ExperimentDefaults::attack();
   cfg.steps = 1;
   const Tensor x = eval_batch(16);
   const auto y = eval_labels(16);
-  DivaAttack diva(orig, qat, 1.0f, cfg);
+  auto diva = make_attack("diva", resnet_targets(), {.cfg = cfg, .c = 1.0f});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(diva.perturb(x, y));
+    benchmark::DoNotOptimize(diva->perturb(x, y));
   }
   state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_DivaStep)->Unit(benchmark::kMillisecond);
+
+/// AttackEngine sharded DIVA; Arg = worker threads.
+void BM_EngineDiva(benchmark::State& state) {
+  AttackConfig cfg = ExperimentDefaults::attack();
+  cfg.steps = 2;
+  const Tensor x = eval_batch(32);
+  const auto y = eval_labels(32);
+  auto diva = make_attack("diva", resnet_targets(), {.cfg = cfg, .c = 1.0f});
+  const AttackEngine engine(
+      {.threads = static_cast<unsigned>(state.range(0)), .shard_size = 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(*diva, x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_EngineDiva)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FloatForward(benchmark::State& state) {
   Sequential& orig = zoo().original(Arch::kResNet);
@@ -81,7 +107,77 @@ void BM_Int8Forward(benchmark::State& state) {
 }
 BENCHMARK(BM_Int8Forward)->Unit(benchmark::kMillisecond);
 
+/// Chrono-timed AttackEngine throughput sweep over 1/2/4/8 threads,
+/// emitted as one JSON record per attack mode so perf dashboards can
+/// track the trajectory. Written to stderr so stdout stays valid for
+/// --benchmark_format=json; set DIVA_SKIP_ENGINE_SWEEP=1 to skip.
+void sweep_one(const char* mode, const char* note, Attack& attack,
+               const Tensor& x, const std::vector<int>& y, int steps) {
+  std::fprintf(stderr,
+               "{\"bench\":\"attack_engine_throughput\",\"mode\":\"%s\","
+               "\"note\":\"%s\",\"batch\":%lld,\"steps\":%d,"
+               "\"shard_size\":4,\"results\":[",
+               mode, note, static_cast<long long>(x.dim(0)), steps);
+  bool first = true;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const AttackEngine engine({.threads = threads, .shard_size = 4});
+    (void)engine.run(attack, x, y);  // warm-up: caches, pool spin-up
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)engine.run(attack, x, y);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::fprintf(
+        stderr, "%s{\"threads\":%u,\"seconds\":%.4f,\"images_per_sec\":%.1f}",
+        first ? "" : ",", threads, secs, static_cast<double>(x.dim(0)) / secs);
+    first = false;
+  }
+  std::fprintf(stderr, "]}\n");
+}
+
+void run_engine_throughput_sweep() {
+  AttackConfig cfg = ExperimentDefaults::attack();
+  cfg.steps = 2;
+
+  // Module-source DIVA: both gradient sources serialize behind their
+  // module mutexes, so this sweep measures engine overhead (sharding,
+  // contention), not parallel speedup — concurrency caps near 2x.
+  {
+    const Tensor x = eval_batch(32);
+    const auto y = eval_labels(32);
+    auto diva =
+        make_attack("diva", resnet_targets(), {.cfg = cfg, .c = 1.0f});
+    sweep_one("diva/module-sources",
+              "module sources serialize behind mutexes; overhead baseline",
+              *diva, x, y, cfg.steps);
+  }
+
+  // Derivative-free int8 target: probes run lock-free and concurrently,
+  // the case where engine threads actually pay off.
+  {
+    AttackConfig fd_cfg = cfg;
+    fd_cfg.steps = 1;
+    const Tensor x = eval_batch(8);
+    const auto y = eval_labels(8);
+    auto fd_pgd = make_attack(
+        "pgd",
+        {nullptr, fd_source(zoo().quantized(Arch::kResNet), {.samples = 32})},
+        {.cfg = fd_cfg});
+    sweep_one("pgd/int8-fd", "lock-free SPSA probing; parallel payoff case",
+              *fd_pgd, x, y, fd_cfg.steps);
+  }
+}
+
 }  // namespace
 }  // namespace diva
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (std::getenv("DIVA_SKIP_ENGINE_SWEEP") == nullptr) {
+    diva::run_engine_throughput_sweep();
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

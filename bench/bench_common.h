@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "attack/engine.h"
+#include "attack/registry.h"
 #include "core/evaluation.h"
 #include "core/experiment_defaults.h"
 #include "core/report.h"
@@ -14,10 +16,9 @@ namespace diva::bench {
 
 /// Builds the paper-style eval set: up to `per_class` validation images
 /// per class that every listed model classifies correctly.
-inline Dataset make_eval_set(ModelZoo& zoo, const Dataset& pool,
+inline Dataset make_eval_set(const Dataset& pool,
                              const std::vector<ModelFn>& models,
                              int per_class = ExperimentDefaults::kEvalPerClass) {
-  (void)zoo;
   const auto idx = select_correct(models, pool, per_class);
   DIVA_CHECK(!idx.empty(), "no commonly-correct samples for eval set");
   return pool.subset(idx);

@@ -26,12 +26,14 @@ int main() {
               100.0 * accuracy(q8_fn, zoo.face_val()));
 
   const Dataset eval =
-      make_eval_set(zoo, zoo.face_val(), {orig_fn, q8_fn}, /*per_class=*/5);
+      make_eval_set(zoo.face_val(), {orig_fn, q8_fn}, /*per_class=*/5);
 
-  PgdAttack pgd(qat, cfg);
-  DivaAttack diva(orig, qat, ExperimentDefaults::kC, cfg);
-  const EvasionResult rp = run_attack(pgd, eval, orig_fn, q8_fn);
-  const EvasionResult rd = run_attack(diva, eval, orig_fn, q8_fn);
+  const AttackTargets targets{source(orig), source(qat)};
+  auto pgd = make_attack("pgd", targets, {.cfg = cfg});
+  auto diva = make_attack("diva", targets,
+                          {.cfg = cfg, .c = ExperimentDefaults::kC});
+  const EvasionResult rp = run_attack(*pgd, eval, orig_fn, q8_fn);
+  const EvasionResult rd = run_attack(*diva, eval, orig_fn, q8_fn);
 
   TablePrinter table({"Attack", "top1 evasive", "top5 evasive",
                       "conf delta", "attack-only"});
@@ -64,8 +66,10 @@ int main() {
       }
     }
     Dataset vic = eval.subset(victims);
-    TargetedDivaAttack attack(orig, qat, target, /*c=*/1.0f, /*k=*/2.0f, cfg);
-    const Tensor adv = attack.perturb(vic.images, vic.labels);
+    auto attack = make_attack(
+        "targeted-diva", targets,
+        {.cfg = cfg, .c = 1.0f, .k = 2.0f, .target = target});
+    const Tensor adv = attack->perturb(vic.images, vic.labels);
     const auto pred_a = argmax_rows(q8_fn(adv));
     const auto pred_o = argmax_rows(orig_fn(adv));
     for (std::size_t i = 0; i < pred_a.size(); ++i) {

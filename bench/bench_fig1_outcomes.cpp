@@ -31,15 +31,17 @@ int main() {
   const auto orig_fn = ModelZoo::fn(orig);
   const auto q8_fn = ModelZoo::fn(zoo.quantized(Arch::kResNet));
 
-  const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+  const Dataset eval = make_eval_set(zoo.val_set(), {orig_fn, q8_fn});
   const AttackConfig cfg = ExperimentDefaults::attack();
+  const AttackTargets targets{source(orig), source(qat)};
 
-  PgdAttack pgd(qat, cfg);
-  const Tensor adv_pgd = pgd.perturb(eval.images, eval.labels);
+  auto pgd = make_attack("pgd", targets, {.cfg = cfg});
+  const Tensor adv_pgd = pgd->perturb(eval.images, eval.labels);
   report("PGD", outcome_breakdown(orig_fn, q8_fn, adv_pgd, eval.labels));
 
-  DivaAttack dva(orig, qat, ExperimentDefaults::kC, cfg);
-  const Tensor adv_diva = dva.perturb(eval.images, eval.labels);
+  auto dva = make_attack("diva", targets,
+                         {.cfg = cfg, .c = ExperimentDefaults::kC});
+  const Tensor adv_diva = dva->perturb(eval.images, eval.labels);
   report("DIVA", outcome_breakdown(orig_fn, q8_fn, adv_diva, eval.labels));
 
   std::printf(

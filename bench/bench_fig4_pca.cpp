@@ -72,9 +72,9 @@ int main() {
   cfg.epsilon = 32.0f / 255.0f;
   cfg.alpha = 3.0f / 255.0f;
   cfg.steps = 40;
-  TargetedDivaAttack diva(orig, qat, /*target=*/2, /*c=*/1.0f, /*k=*/2.0f,
-                          cfg);
-  Tensor adv0 = diva.perturb(d0.images, d0.labels);
+  auto diva = make_attack("targeted-diva", {source(orig), source(qat)},
+                          {.cfg = cfg, .c = 1.0f, .k = 2.0f, .target = 2});
+  Tensor adv0 = diva->perturb(d0.images, d0.labels);
   {
     const auto pa_adv = argmax_rows(qat_fn(adv0));
     const auto po_adv = argmax_rows(orig_fn(adv0));

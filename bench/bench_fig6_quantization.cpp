@@ -31,25 +31,29 @@ int main() {
     Sequential& qat = zoo.adapted_qat(arch);
     const auto orig_fn = ModelZoo::fn(orig);
     const auto q8_fn = ModelZoo::fn(zoo.quantized(arch));
-    const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+    const Dataset eval = make_eval_set(zoo.val_set(), {orig_fn, q8_fn});
+    const AttackSpec diva_spec{.cfg = cfg, .c = ExperimentDefaults::kC};
 
     // Whitebox PGD baseline against the adapted model.
-    PgdAttack pgd(qat, cfg);
-    const EvasionResult rp = run_attack(pgd, eval, orig_fn, q8_fn);
+    const AttackTargets whitebox{source(orig), source(qat)};
+    auto pgd = make_attack("pgd", whitebox, {.cfg = cfg});
+    const EvasionResult rp = run_attack(*pgd, eval, orig_fn, q8_fn);
 
     // Whitebox DIVA: both true models.
-    DivaAttack diva(orig, qat, ExperimentDefaults::kC, cfg);
-    const EvasionResult rd = run_attack(diva, eval, orig_fn, q8_fn);
+    auto diva = make_attack("diva", whitebox, diva_spec);
+    const EvasionResult rd = run_attack(*diva, eval, orig_fn, q8_fn);
 
     // Semi-blackbox DIVA: surrogate original + true adapted (§4.3).
     Sequential& surro_fp = zoo.surrogate_original(arch);
-    DivaAttack semi(surro_fp, qat, ExperimentDefaults::kC, cfg);
-    const EvasionResult rs = run_attack(semi, eval, orig_fn, q8_fn);
+    auto semi = make_attack("diva", {source(surro_fp), source(qat)},
+                            diva_spec);
+    const EvasionResult rs = run_attack(*semi, eval, orig_fn, q8_fn);
 
     // Blackbox DIVA: surrogate original + surrogate adapted (§4.4).
     Sequential& surro_qat = zoo.surrogate_adapted_qat(arch);
-    DivaAttack bb(surro_fp, surro_qat, ExperimentDefaults::kC, cfg);
-    const EvasionResult rb = run_attack(bb, eval, orig_fn, q8_fn);
+    auto bb = make_attack("diva", {source(surro_fp), source(surro_qat)},
+                          diva_spec);
+    const EvasionResult rb = run_attack(*bb, eval, orig_fn, q8_fn);
 
     t6a.add_row({arch_name(arch), fmt(rp.top1_rate()), fmt(rb.top1_rate()),
                  fmt(rs.top1_rate()), fmt(rd.top1_rate())});

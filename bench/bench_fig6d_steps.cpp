@@ -14,27 +14,29 @@ int main() {
   Sequential& qat = zoo.adapted_qat(Arch::kResNet);
   const auto orig_fn = ModelZoo::fn(orig);
   const auto q8_fn = ModelZoo::fn(zoo.quantized(Arch::kResNet));
-  const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+  const Dataset eval = make_eval_set(zoo.val_set(), {orig_fn, q8_fn});
 
   AttackConfig cfg = ExperimentDefaults::attack();
   std::vector<float> pgd_curve(static_cast<std::size_t>(cfg.steps));
   std::vector<float> diva_curve(static_cast<std::size_t>(cfg.steps));
+  const AttackTargets targets{source(orig), source(qat)};
 
   cfg.step_callback = [&](int step, const Tensor& x_adv) {
     const EvasionResult r =
         evaluate_evasion(orig_fn, q8_fn, eval.images, x_adv, eval.labels);
     pgd_curve[static_cast<std::size_t>(step - 1)] = r.top1_rate();
   };
-  PgdAttack pgd(qat, cfg);
-  (void)pgd.perturb(eval.images, eval.labels);
+  auto pgd = make_attack("pgd", targets, {.cfg = cfg});
+  (void)pgd->perturb(eval.images, eval.labels);
 
   cfg.step_callback = [&](int step, const Tensor& x_adv) {
     const EvasionResult r =
         evaluate_evasion(orig_fn, q8_fn, eval.images, x_adv, eval.labels);
     diva_curve[static_cast<std::size_t>(step - 1)] = r.top1_rate();
   };
-  DivaAttack diva(orig, qat, ExperimentDefaults::kC, cfg);
-  (void)diva.perturb(eval.images, eval.labels);
+  auto diva = make_attack("diva", targets,
+                          {.cfg = cfg, .c = ExperimentDefaults::kC});
+  (void)diva->perturb(eval.images, eval.labels);
 
   TablePrinter table({"Step", "PGD top1 (%)", "DIVA top1 (%)"});
   for (int s = 0; s < cfg.steps; ++s) {

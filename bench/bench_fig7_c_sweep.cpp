@@ -28,14 +28,15 @@ int main() {
     const auto orig_fn = ModelZoo::fn(orig);
     const auto q8_fn = ModelZoo::fn(zoo.quantized(arch));
     const Dataset eval =
-        make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn}, /*per_class=*/3);
+        make_eval_set(zoo.val_set(), {orig_fn, q8_fn}, /*per_class=*/3);
+    const AttackTargets targets{source(orig), source(qat)};
 
-    PgdAttack pgd(qat, cfg);
-    pgd_ref.push_back(run_attack(pgd, eval, orig_fn, q8_fn).top1_rate());
+    auto pgd = make_attack("pgd", targets, {.cfg = cfg});
+    pgd_ref.push_back(run_attack(*pgd, eval, orig_fn, q8_fn).top1_rate());
 
     for (std::size_t i = 0; i < std::size(c_values); ++i) {
-      DivaAttack diva(orig, qat, c_values[i], cfg);
-      const EvasionResult r = run_attack(diva, eval, orig_fn, q8_fn);
+      auto diva = make_attack("diva", targets, {.cfg = cfg, .c = c_values[i]});
+      const EvasionResult r = run_attack(*diva, eval, orig_fn, q8_fn);
       rows[i].push_back(fmt(r.top1_rate()));
     }
   }

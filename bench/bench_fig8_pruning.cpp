@@ -31,13 +31,14 @@ int main() {
     const auto pruned_fn = ModelZoo::fn(pruned);
 
     const InstabilityStats s = instability(orig_fn, pruned_fn, zoo.val_set());
-    const Dataset eval =
-        make_eval_set(zoo, zoo.val_set(), {orig_fn, pruned_fn});
+    const Dataset eval = make_eval_set(zoo.val_set(), {orig_fn, pruned_fn});
 
-    PgdAttack pgd(pruned, cfg);
-    DivaAttack diva(orig, pruned, ExperimentDefaults::kC, cfg);
-    const EvasionResult rp = run_attack(pgd, eval, orig_fn, pruned_fn);
-    const EvasionResult rd = run_attack(diva, eval, orig_fn, pruned_fn);
+    const AttackTargets targets{source(orig), source(pruned)};
+    auto pgd = make_attack("pgd", targets, {.cfg = cfg});
+    auto diva = make_attack("diva", targets,
+                            {.cfg = cfg, .c = ExperimentDefaults::kC});
+    const EvasionResult rp = run_attack(*pgd, eval, orig_fn, pruned_fn);
+    const EvasionResult rd = run_attack(*diva, eval, orig_fn, pruned_fn);
 
     // Sparsity: measured zero fraction on prunable weights.
     float nat_cd = rd.conf_delta_natural;
@@ -49,12 +50,13 @@ int main() {
     std::printf("  -- %s (pruned+quantized) --\n", arch_name(arch).c_str());
     Sequential& pq_qat = zoo.pruned_qat(arch);
     const auto pq_fn = ModelZoo::fn(zoo.pruned_quantized(arch));
-    const Dataset eval_pq =
-        make_eval_set(zoo, zoo.val_set(), {orig_fn, pq_fn});
-    PgdAttack pgd2(pq_qat, cfg);
-    DivaAttack diva2(orig, pq_qat, ExperimentDefaults::kC, cfg);
-    const EvasionResult rp2 = run_attack(pgd2, eval_pq, orig_fn, pq_fn);
-    const EvasionResult rd2 = run_attack(diva2, eval_pq, orig_fn, pq_fn);
+    const Dataset eval_pq = make_eval_set(zoo.val_set(), {orig_fn, pq_fn});
+    const AttackTargets pq_targets{source(orig), source(pq_qat)};
+    auto pgd2 = make_attack("pgd", pq_targets, {.cfg = cfg});
+    auto diva2 = make_attack("diva", pq_targets,
+                             {.cfg = cfg, .c = ExperimentDefaults::kC});
+    const EvasionResult rp2 = run_attack(*pgd2, eval_pq, orig_fn, pq_fn);
+    const EvasionResult rd2 = run_attack(*diva2, eval_pq, orig_fn, pq_fn);
     t_pq.add_row({arch_name(arch), fmt(rp2.top1_rate()),
                   fmt(rd2.top1_rate()), fmt(rp2.top5_rate()),
                   fmt(rd2.top5_rate()), fmt(rp2.attack_only_rate()),

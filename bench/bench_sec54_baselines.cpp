@@ -23,17 +23,21 @@ int main() {
     Sequential& qat = zoo.adapted_qat(arch);
     const auto orig_fn = ModelZoo::fn(orig);
     const auto q8_fn = ModelZoo::fn(zoo.quantized(arch));
-    const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+    const Dataset eval = make_eval_set(zoo.val_set(), {orig_fn, q8_fn});
+    const AttackTargets targets{source(orig), source(qat)};
 
-    PgdAttack cw(qat, cfg, AttackLoss::kCwMargin);
-    MomentumPgdAttack mpgd(qat, cfg, /*mu=*/0.5f);
-    PgdAttack pgd(qat, cfg);
-    DivaAttack diva(orig, qat, ExperimentDefaults::kC, cfg);
+    AttackConfig mcfg = cfg;
+    mcfg.momentum = 0.5f;
+    auto cw = make_attack("cw", targets, {.cfg = cfg});
+    auto mpgd = make_attack("momentum-pgd", targets, {.cfg = mcfg});
+    auto pgd = make_attack("pgd", targets, {.cfg = cfg});
+    auto diva = make_attack("diva", targets,
+                            {.cfg = cfg, .c = ExperimentDefaults::kC});
 
-    const float r_cw = run_attack(cw, eval, orig_fn, q8_fn).top1_rate();
-    const float r_mp = run_attack(mpgd, eval, orig_fn, q8_fn).top1_rate();
-    const float r_pg = run_attack(pgd, eval, orig_fn, q8_fn).top1_rate();
-    const float r_dv = run_attack(diva, eval, orig_fn, q8_fn).top1_rate();
+    const float r_cw = run_attack(*cw, eval, orig_fn, q8_fn).top1_rate();
+    const float r_mp = run_attack(*mpgd, eval, orig_fn, q8_fn).top1_rate();
+    const float r_pg = run_attack(*pgd, eval, orig_fn, q8_fn).top1_rate();
+    const float r_dv = run_attack(*diva, eval, orig_fn, q8_fn).top1_rate();
     sum_cw += r_cw;
     sum_mpgd += r_mp;
     sum_pgd += r_pg;

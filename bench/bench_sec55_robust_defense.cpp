@@ -28,12 +28,13 @@ int main() {
               100.0 * s.orig_accuracy, 100.0 * s.adapted_accuracy,
               100.0 * s.instability);
 
-  const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+  const Dataset eval = make_eval_set(zoo.val_set(), {orig_fn, q8_fn});
+  const AttackTargets targets{source(orig), source(qat)};
 
   TablePrinter table({"Attack", "top1 evasive", "attack-only",
                       "robust acc (adapted)"});
-  PgdAttack pgd(qat, cfg);
-  const Tensor adv_p = pgd.perturb(eval.images, eval.labels);
+  auto pgd = make_attack("pgd", targets, {.cfg = cfg});
+  const Tensor adv_p = pgd->perturb(eval.images, eval.labels);
   const EvasionResult rp =
       evaluate_evasion(orig_fn, q8_fn, eval.images, adv_p, eval.labels);
   table.add_row({"PGD", fmt(rp.top1_rate()) + "%",
@@ -41,8 +42,8 @@ int main() {
                  fmt(100.0 - rp.attack_only_rate()) + "%"});
 
   for (const float c : {1.5f, 5.0f}) {
-    DivaAttack diva(orig, qat, c, cfg);
-    const Tensor adv_d = diva.perturb(eval.images, eval.labels);
+    auto diva = make_attack("diva", targets, {.cfg = cfg, .c = c});
+    const Tensor adv_d = diva->perturb(eval.images, eval.labels);
     const EvasionResult rd =
         evaluate_evasion(orig_fn, q8_fn, eval.images, adv_d, eval.labels);
     table.add_row({"DIVA c=" + fmt(c, 1), fmt(rd.top1_rate()) + "%",

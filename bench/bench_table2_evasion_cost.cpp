@@ -22,14 +22,15 @@ int main() {
     Sequential& qat = zoo.adapted_qat(arch);
     const auto orig_fn = ModelZoo::fn(orig);
     const auto q8_fn = ModelZoo::fn(zoo.quantized(arch));
-    const Dataset eval = make_eval_set(zoo, zoo.val_set(), {orig_fn, q8_fn});
+    const Dataset eval = make_eval_set(zoo.val_set(), {orig_fn, q8_fn});
+    const AttackTargets targets{source(orig), source(qat)};
 
-    PgdAttack pgd(qat, cfg);
-    const EvasionResult rp = run_attack(pgd, eval, orig_fn, q8_fn);
-    DivaAttack diva1(orig, qat, 1.0f, cfg);
-    const EvasionResult r1 = run_attack(diva1, eval, orig_fn, q8_fn);
-    DivaAttack diva10(orig, qat, 10.0f, cfg);
-    const EvasionResult r10 = run_attack(diva10, eval, orig_fn, q8_fn);
+    auto pgd = make_attack("pgd", targets, {.cfg = cfg});
+    const EvasionResult rp = run_attack(*pgd, eval, orig_fn, q8_fn);
+    auto diva1 = make_attack("diva", targets, {.cfg = cfg, .c = 1.0f});
+    const EvasionResult r1 = run_attack(*diva1, eval, orig_fn, q8_fn);
+    auto diva10 = make_attack("diva", targets, {.cfg = cfg, .c = 10.0f});
+    const EvasionResult r10 = run_attack(*diva10, eval, orig_fn, q8_fn);
 
     table.add_row({arch_name(arch), fmt(rp.attack_only_rate()) + "%",
                    fmt(r1.attack_only_rate()) + "%",

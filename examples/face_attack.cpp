@@ -9,7 +9,7 @@
 // Run from the repository root:  ./build/examples/example_face_attack
 #include <cstdio>
 
-#include "attack/attack.h"
+#include "attack/registry.h"
 #include "core/evaluation.h"
 #include "core/zoo.h"
 
@@ -59,13 +59,16 @@ int main() {
   acfg.steps = 20;
 
   // Untargeted evasive attack: camera misidentifies, cloud does not.
-  DivaAttack diva(cloud, camera_qat, 1.0f, acfg);
-  const Tensor adv = diva.perturb(victim.images, victim.labels);
+  const AttackTargets targets{source(cloud), source(camera_qat)};
+  auto diva = make_attack("diva", targets, {.cfg = acfg, .c = 1.0f});
+  const Tensor adv = diva->perturb(victim.images, victim.labels);
   report("DIVA (untargeted):", adv);
 
   // Targeted: push the camera specifically toward the impostor.
-  TargetedDivaAttack targeted(cloud, camera_qat, impostor, 1.0f, 2.0f, acfg);
-  const Tensor adv_t = targeted.perturb(victim.images, victim.labels);
+  auto targeted = make_attack(
+      "targeted-diva", targets,
+      {.cfg = acfg, .c = 1.0f, .k = 2.0f, .target = impostor});
+  const Tensor adv_t = targeted->perturb(victim.images, victim.labels);
   report("DIVA (targeted):", adv_t);
 
   std::printf(

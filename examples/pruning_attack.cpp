@@ -9,7 +9,7 @@
 // Run from the repository root:  ./build/examples/example_pruning_attack
 #include <cstdio>
 
-#include "attack/attack.h"
+#include "attack/registry.h"
 #include "core/evaluation.h"
 #include "core/zoo.h"
 #include "prune/prune.h"
@@ -48,13 +48,14 @@ int main() {
   acfg.alpha = 2.0f / 255.0f;
   acfg.steps = 20;
 
-  PgdAttack pgd(pruned, acfg);
-  DivaAttack diva(original, pruned, 1.0f, acfg);
+  const AttackTargets targets{source(original), source(pruned)};
+  auto pgd = make_attack("pgd", targets, {.cfg = acfg});
+  auto diva = make_attack("diva", targets, {.cfg = acfg, .c = 1.0f});
   const EvasionResult rp = evaluate_evasion(
-      orig_fn, pruned_fn, eval.images, pgd.perturb(eval.images, eval.labels),
+      orig_fn, pruned_fn, eval.images, pgd->perturb(eval.images, eval.labels),
       eval.labels);
   const EvasionResult rd = evaluate_evasion(
-      orig_fn, pruned_fn, eval.images, diva.perturb(eval.images, eval.labels),
+      orig_fn, pruned_fn, eval.images, diva->perturb(eval.images, eval.labels),
       eval.labels);
 
   std::printf("\n%-6s evasive top-1 %.1f%%   attack-only %.1f%%\n", "PGD:",

@@ -9,7 +9,7 @@
 // Run from the repository root:  ./build/examples/example_quickstart
 #include <cstdio>
 
-#include "attack/attack.h"
+#include "attack/registry.h"
 #include "core/evaluation.h"
 #include "core/zoo.h"
 #include "metrics/dssim.h"
@@ -53,18 +53,20 @@ int main() {
                 100.0f * pe.at(0, top_e));
   };
 
-  // DIVA (Eq. 5/6): maximize p_original[y] - c * p_adapted[y].
+  // DIVA (Eq. 5/6): maximize p_original[y] - c * p_adapted[y]. The
+  // registry wires the objective to gradient sources for both models.
   AttackConfig attack_cfg;
   attack_cfg.epsilon = 16.0f / 255.0f;
   attack_cfg.alpha = 2.0f / 255.0f;
   attack_cfg.steps = 20;
-  DivaAttack diva(original, adapted_qat, /*c=*/1.0f, attack_cfg);
+  auto diva = make_attack("diva", {source(original), source(adapted_qat)},
+                          {.cfg = attack_cfg, .c = 1.0f});
 
   Dataset sample = zoo.val_set().subset({idx[0]});
   Tensor adv;
   for (const int candidate : idx) {
     Dataset trial = zoo.val_set().subset({candidate});
-    const Tensor trial_adv = diva.perturb(trial.images, trial.labels);
+    const Tensor trial_adv = diva->perturb(trial.images, trial.labels);
     const int edge_pred = argmax_rows(edge_fn(trial_adv))[0];
     const int orig_pred = argmax_rows(orig_fn(trial_adv))[0];
     sample = trial;

@@ -10,7 +10,7 @@
 // Run from the repository root:  ./build/examples/example_robust_defense
 #include <cstdio>
 
-#include "attack/attack.h"
+#include "attack/registry.h"
 #include "core/evaluation.h"
 #include "core/zoo.h"
 #include "robust/robust.h"
@@ -51,8 +51,9 @@ int main() {
                      const ModelFn& afn) {
     const auto idx = select_correct({ofn, afn}, zoo.val_set(), 6);
     const Dataset eval = zoo.val_set().subset(idx);
-    DivaAttack diva(o, a, /*c=*/1.5f, acfg);
-    const Tensor adv = diva.perturb(eval.images, eval.labels);
+    auto diva = make_attack("diva", {source(o), source(a)},
+                            {.cfg = acfg, .c = 1.5f});
+    const Tensor adv = diva->perturb(eval.images, eval.labels);
     return evaluate_evasion(ofn, afn, eval.images, adv, eval.labels);
   };
 

@@ -10,7 +10,7 @@
 // Run from the repository root:  ./build/examples/example_surrogate_attack
 #include <cstdio>
 
-#include "attack/attack.h"
+#include "attack/registry.h"
 #include "core/evaluation.h"
 #include "core/zoo.h"
 #include "distill/distill.h"
@@ -46,8 +46,9 @@ int main() {
   acfg.epsilon = 16.0f / 255.0f;
   acfg.alpha = 2.0f / 255.0f;
   acfg.steps = 20;
-  DivaAttack semi(surrogate, adapted, 1.0f, acfg);
-  const Tensor adv = semi.perturb(eval.images, eval.labels);
+  auto semi = make_attack("diva", {source(surrogate), source(adapted)},
+                          {.cfg = acfg, .c = 1.0f});
+  const Tensor adv = semi->perturb(eval.images, eval.labels);
 
   // Step 3: score against the TRUE original + deployed int8 model.
   const EvasionResult r =

@@ -2,250 +2,242 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
-#include "nn/loss.h"
 #include "runtime/rng.h"
 
 namespace diva {
 
 namespace {
 
-/// Freezes a model for attack use: eval mode, no parameter gradients.
-void freeze(Module& m) {
-  m.set_training(false);
-  m.set_param_grads_enabled(false);
-}
-
-/// Restores the default state (training loops re-enable what they need).
-void unfreeze(Module& m) { m.set_param_grads_enabled(true); }
-
-/// RAII guard so attacks leave models as they found them.
-class FreezeGuard {
- public:
-  explicit FreezeGuard(Module& m) : m_(m) { freeze(m_); }
-  ~FreezeGuard() { unfreeze(m_); }
-  FreezeGuard(const FreezeGuard&) = delete;
-  FreezeGuard& operator=(const FreezeGuard&) = delete;
-
- private:
-  Module& m_;
-};
-
-Tensor maybe_random_start(const Tensor& x, const AttackConfig& cfg) {
-  if (!cfg.random_start) return x;
-  Rng rng(cfg.seed == 0 ? 0xA77AC4 : cfg.seed);
-  Tensor noise(x.shape());
-  noise.fill_uniform(rng, -cfg.epsilon, cfg.epsilon);
-  return clamp(add(x, noise), 0.0f, 1.0f);
-}
-
-/// d(CE)/d(logits) = p - onehot (per row; un-normalized across batch so
-/// sign() steps are per-sample, matching the standard attack setup).
-Tensor ce_grad_rows(const Tensor& logits, const std::vector<int>& labels) {
-  Tensor g = softmax_rows(logits);
-  for (std::int64_t i = 0; i < g.dim(0); ++i) {
-    g.at(i, labels[static_cast<std::size_t>(i)]) -= 1.0f;
-  }
-  return g;
-}
-
-/// d(max_{i!=y} z_i - z_y)/d(logits) = e_{i*} - e_y.
-Tensor cw_grad_rows(const Tensor& logits, const std::vector<int>& labels) {
-  Tensor g(logits.shape());
-  const std::int64_t d = logits.dim(1);
-  for (std::int64_t i = 0; i < logits.dim(0); ++i) {
-    const int y = labels[static_cast<std::size_t>(i)];
-    int best = -1;
-    float best_v = -1e30f;
-    for (std::int64_t j = 0; j < d; ++j) {
-      if (static_cast<int>(j) == y) continue;
-      if (logits.at(i, j) > best_v) {
-        best_v = logits.at(i, j);
-        best = static_cast<int>(j);
-      }
-    }
-    g.at(i, best) = 1.0f;
-    g.at(i, y) = -1.0f;
-  }
-  return g;
-}
-
-}  // namespace
-
-Tensor prob_grad_rows(const Tensor& probs, const std::vector<int>& labels) {
-  DIVA_CHECK(probs.rank() == 2, "prob_grad_rows needs [N, D]");
-  const std::int64_t n = probs.dim(0), d = probs.dim(1);
-  DIVA_CHECK(static_cast<std::int64_t>(labels.size()) == n,
-             "labels size mismatch");
-  Tensor g(probs.shape());
+/// Per-sample random start: each sample's noise stream is keyed by its
+/// *global* batch index, so any sharding of the batch reproduces the
+/// sequential result bit-for-bit.
+Tensor per_sample_random_start(const Tensor& x, const AttackConfig& cfg,
+                               std::int64_t first_sample) {
+  const std::uint64_t base = cfg.seed == 0 ? 0xA77AC4ULL : cfg.seed;
+  Tensor out = x;
+  const std::int64_t n = x.dim(0);
+  const std::int64_t per = x.numel() / n;
   for (std::int64_t i = 0; i < n; ++i) {
-    const int y = labels[static_cast<std::size_t>(i)];
-    const float py = probs.at(i, y);
-    for (std::int64_t j = 0; j < d; ++j) {
-      g.at(i, j) = py * ((static_cast<int>(j) == y ? 1.0f : 0.0f) -
-                         probs.at(i, j));
+    Rng rng(hash_combine(base, static_cast<std::uint64_t>(first_sample + i)));
+    float* row = out.raw() + i * per;
+    for (std::int64_t j = 0; j < per; ++j) {
+      const float v = row[j] + rng.uniform(-cfg.epsilon, cfg.epsilon);
+      row[j] = std::min(1.0f, std::max(0.0f, v));
     }
-  }
-  return g;
-}
-
-Tensor project(const Tensor& x_adv, const Tensor& x_natural, float epsilon) {
-  DIVA_CHECK(x_adv.shape() == x_natural.shape(), "project: shape mismatch");
-  Tensor out(x_adv.shape());
-  for (std::int64_t i = 0; i < x_adv.numel(); ++i) {
-    const float lo = std::max(0.0f, x_natural[i] - epsilon);
-    const float hi = std::min(1.0f, x_natural[i] + epsilon);
-    out[i] = std::min(hi, std::max(lo, x_adv[i]));
   }
   return out;
 }
 
-Tensor ascend_and_project(const Tensor& x_adv, const Tensor& grad,
-                          const Tensor& x_natural, float alpha,
-                          float epsilon) {
-  Tensor stepped(x_adv.shape());
-  for (std::int64_t i = 0; i < x_adv.numel(); ++i) {
-    const float s = grad[i] > 0.0f ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
-    stepped[i] = x_adv[i] + alpha * s;
-  }
-  return project(stepped, x_natural, epsilon);
+std::shared_ptr<GradSource> wrap(Module& m) {
+  return std::make_shared<ModuleGradSource>(m);
 }
 
-PgdAttack::PgdAttack(Module& model, AttackConfig cfg, AttackLoss loss)
-    : model_(model), cfg_(cfg), loss_(loss) {
+std::shared_ptr<AttackObjective> single_model_objective(AttackLoss loss) {
+  if (loss == AttackLoss::kCwMargin) {
+    return std::make_shared<CwMarginObjective>();
+  }
+  return std::make_shared<CrossEntropyObjective>();
+}
+
+AttackConfig fgsm_config(float epsilon) {
+  AttackConfig cfg;
+  cfg.epsilon = epsilon;
+  cfg.alpha = epsilon;
+  cfg.steps = 1;
+  return cfg;
+}
+
+AttackConfig with_momentum(AttackConfig cfg, float mu) {
+  cfg.momentum = mu;
+  return cfg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IteratedAttack
+// ---------------------------------------------------------------------------
+
+IteratedAttack::IteratedAttack(std::string name,
+                               std::vector<std::shared_ptr<GradSource>> sources,
+                               std::shared_ptr<AttackObjective> objective,
+                               AttackConfig cfg)
+    : name_(std::move(name)),
+      sources_(std::move(sources)),
+      objective_(std::move(objective)),
+      cfg_(std::move(cfg)) {
+  DIVA_CHECK(objective_ != nullptr, "attack needs an objective");
+  DIVA_CHECK(sources_.size() == objective_->num_sources(),
+             "objective " << objective_->name() << " drives "
+                          << objective_->num_sources() << " sources, got "
+                          << sources_.size());
+  for (const auto& s : sources_) {
+    DIVA_CHECK(s != nullptr, "null gradient source");
+  }
   DIVA_CHECK(cfg_.epsilon > 0 && cfg_.alpha > 0 && cfg_.steps >= 1,
              "bad attack config");
+  DIVA_CHECK(cfg_.momentum >= 0.0f, "momentum must be non-negative");
 }
 
-Tensor PgdAttack::perturb(const Tensor& x, const std::vector<int>& labels) {
-  FreezeGuard guard(model_);
-  Tensor x_adv = maybe_random_start(x, cfg_);
+Tensor IteratedAttack::perturb(const Tensor& x,
+                               const std::vector<int>& labels) {
+  return perturb_indexed(x, labels, 0);
+}
+
+Tensor IteratedAttack::perturb_indexed(const Tensor& x,
+                                       const std::vector<int>& labels,
+                                       std::int64_t first_sample) {
+  DIVA_CHECK(x.rank() == 4, "attack input must be NCHW");
+  const std::int64_t n = x.dim(0);
+  DIVA_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "labels size mismatch");
+  SourcePrepareGuard guard(sources_);
+
+  Tensor x_adv =
+      cfg_.random_start ? per_sample_random_start(x, cfg_, first_sample) : x;
+  const bool use_momentum = cfg_.momentum > 0.0f;
+  Tensor velocity = use_momentum ? Tensor(x.shape()) : Tensor();
+  const std::int64_t per = x.numel() / n;
+
   for (int t = 0; t < cfg_.steps; ++t) {
-    const Tensor logits = model_.forward(x_adv);
-    const Tensor dlogits = loss_ == AttackLoss::kCwMargin
-                               ? cw_grad_rows(logits, labels)
-                               : ce_grad_rows(logits, labels);
-    const Tensor grad = model_.backward(dlogits);
-    x_adv = ascend_and_project(x_adv, grad, x, cfg_.alpha, cfg_.epsilon);
+    Tensor grad;
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+      GradRequest req;
+      req.first_sample = first_sample;
+      req.step = t;
+      req.dlogits = [&, s](const Tensor& logits) {
+        return objective_->grad_logits(s, logits, labels);
+      };
+      req.values = [&, s](const Tensor& logits,
+                          const std::vector<std::int64_t>& rows) {
+        std::vector<int> row_labels;
+        row_labels.reserve(rows.size());
+        for (const std::int64_t r : rows) {
+          row_labels.push_back(labels[static_cast<std::size_t>(r)]);
+        }
+        return objective_->term_values(s, logits, row_labels);
+      };
+      Tensor g = sources_[s]->input_grad(x_adv, req);
+      const float w = objective_->weight(s);
+      if (s == 0) {
+        grad = std::move(g);
+        if (w != 1.0f) {
+          for (std::int64_t i = 0; i < grad.numel(); ++i) grad[i] *= w;
+        }
+      } else if (w == 1.0f) {
+        accumulate(grad, g);
+      } else {
+        axpy(w, g, grad);
+      }
+    }
+
+    if (use_momentum) {
+      // Per-sample L1 normalization before momentum accumulation
+      // (Dong et al.), then the sign step follows the velocity.
+      for (std::int64_t i = 0; i < n; ++i) {
+        double l1 = 0.0;
+        const float* g = grad.raw() + i * per;
+        for (std::int64_t j = 0; j < per; ++j) l1 += std::fabs(g[j]);
+        const float inv = l1 > 0.0 ? static_cast<float>(1.0 / l1) : 0.0f;
+        float* v = velocity.raw() + i * per;
+        for (std::int64_t j = 0; j < per; ++j) {
+          v[j] = cfg_.momentum * v[j] + g[j] * inv;
+        }
+      }
+      x_adv = ascend_and_project(x_adv, velocity, x, cfg_.alpha, cfg_.epsilon);
+    } else {
+      x_adv = ascend_and_project(x_adv, grad, x, cfg_.alpha, cfg_.epsilon);
+    }
     if (cfg_.step_callback) cfg_.step_callback(t + 1, x_adv);
   }
   return x_adv;
 }
 
+// ---------------------------------------------------------------------------
+// Deprecated wrappers
+// ---------------------------------------------------------------------------
+
+PgdAttack::PgdAttack(Module& model, AttackConfig cfg, AttackLoss loss)
+    : impl_(loss == AttackLoss::kCwMargin ? "CW" : "PGD", {wrap(model)},
+            single_model_objective(loss), std::move(cfg)) {}
+
+Tensor PgdAttack::perturb(const Tensor& x, const std::vector<int>& labels) {
+  return impl_.perturb(x, labels);
+}
+
+Tensor PgdAttack::perturb_indexed(const Tensor& x,
+                                  const std::vector<int>& labels,
+                                  std::int64_t first_sample) {
+  return impl_.perturb_indexed(x, labels, first_sample);
+}
+
 FgsmAttack::FgsmAttack(Module& model, float epsilon)
-    : pgd_(model,
-           AttackConfig{.epsilon = epsilon, .alpha = epsilon, .steps = 1}) {}
+    : impl_("FGSM", {wrap(model)}, std::make_shared<CrossEntropyObjective>(),
+            fgsm_config(epsilon)) {}
 
 Tensor FgsmAttack::perturb(const Tensor& x, const std::vector<int>& labels) {
-  return pgd_.perturb(x, labels);
+  return impl_.perturb(x, labels);
+}
+
+Tensor FgsmAttack::perturb_indexed(const Tensor& x,
+                                   const std::vector<int>& labels,
+                                   std::int64_t first_sample) {
+  return impl_.perturb_indexed(x, labels, first_sample);
 }
 
 MomentumPgdAttack::MomentumPgdAttack(Module& model, AttackConfig cfg, float mu)
-    : model_(model), cfg_(cfg), mu_(mu) {}
+    : impl_("MomentumPGD", {wrap(model)},
+            std::make_shared<CrossEntropyObjective>(),
+            with_momentum(std::move(cfg), mu)) {}
 
 Tensor MomentumPgdAttack::perturb(const Tensor& x,
                                   const std::vector<int>& labels) {
-  FreezeGuard guard(model_);
-  Tensor x_adv = maybe_random_start(x, cfg_);
-  Tensor velocity(x.shape());
-  const std::int64_t per = x.numel() / x.dim(0);
-  for (int t = 0; t < cfg_.steps; ++t) {
-    const Tensor logits = model_.forward(x_adv);
-    const Tensor grad = model_.backward(ce_grad_rows(logits, labels));
-    // Per-sample L1 normalization before momentum accumulation.
-    for (std::int64_t n = 0; n < x.dim(0); ++n) {
-      double l1 = 0.0;
-      const float* g = grad.raw() + n * per;
-      for (std::int64_t i = 0; i < per; ++i) l1 += std::fabs(g[i]);
-      const float inv = l1 > 0.0 ? static_cast<float>(1.0 / l1) : 0.0f;
-      float* v = velocity.raw() + n * per;
-      for (std::int64_t i = 0; i < per; ++i) {
-        v[i] = mu_ * v[i] + g[i] * inv;
-      }
-    }
-    x_adv = ascend_and_project(x_adv, velocity, x, cfg_.alpha, cfg_.epsilon);
-  }
-  return x_adv;
+  return impl_.perturb(x, labels);
+}
+
+Tensor MomentumPgdAttack::perturb_indexed(const Tensor& x,
+                                          const std::vector<int>& labels,
+                                          std::int64_t first_sample) {
+  return impl_.perturb_indexed(x, labels, first_sample);
 }
 
 DivaAttack::DivaAttack(Module& original, Module& adapted, float c,
                        AttackConfig cfg)
-    : original_(original), adapted_(adapted), c_(c), cfg_(cfg) {
-  DIVA_CHECK(c >= 0.0f, "DIVA c must be non-negative");
-}
+    : impl_("DIVA", {wrap(original), wrap(adapted)},
+            std::make_shared<DivaObjective>(c), std::move(cfg)) {}
 
 Tensor DivaAttack::perturb(const Tensor& x, const std::vector<int>& labels) {
-  FreezeGuard guard_orig(original_);
-  FreezeGuard guard_adapted(adapted_);
-  Tensor x_adv = maybe_random_start(x, cfg_);
-  for (int t = 0; t < cfg_.steps; ++t) {
-    // Ascent on L = p_orig[y] - c * p_adapted[y].
-    const Tensor p_o = softmax_rows(original_.forward(x_adv));
-    const Tensor p_a = softmax_rows(adapted_.forward(x_adv));
-    const Tensor grad_o = original_.backward(prob_grad_rows(p_o, labels));
-    Tensor dlogits_a = prob_grad_rows(p_a, labels);
-    const Tensor grad_a = adapted_.backward(dlogits_a);
+  return impl_.perturb(x, labels);
+}
 
-    Tensor grad = grad_o;
-    axpy(-c_, grad_a, grad);
-    x_adv = ascend_and_project(x_adv, grad, x, cfg_.alpha, cfg_.epsilon);
-    if (cfg_.step_callback) cfg_.step_callback(t + 1, x_adv);
-  }
-  return x_adv;
+Tensor DivaAttack::perturb_indexed(const Tensor& x,
+                                   const std::vector<int>& labels,
+                                   std::int64_t first_sample) {
+  return impl_.perturb_indexed(x, labels, first_sample);
+}
+
+float DivaAttack::c() const {
+  return static_cast<const DivaObjective&>(impl_.objective()).c();
 }
 
 TargetedDivaAttack::TargetedDivaAttack(Module& original, Module& adapted,
                                        int target_class, float c, float k,
                                        AttackConfig cfg)
-    : original_(original),
-      adapted_(adapted),
-      target_(target_class),
-      c_(c),
-      k_(k),
-      cfg_(cfg) {}
+    : impl_("TargetedDIVA", {wrap(original), wrap(adapted)},
+            std::make_shared<TargetedDivaObjective>(target_class, c, k),
+            std::move(cfg)) {}
 
 Tensor TargetedDivaAttack::perturb(const Tensor& x,
                                    const std::vector<int>& labels) {
-  FreezeGuard guard_orig(original_);
-  FreezeGuard guard_adapted(adapted_);
-  Tensor x_adv = maybe_random_start(x, cfg_);
-  const std::int64_t d_classes = -1;
-  (void)d_classes;
-  for (int t = 0; t < cfg_.steps; ++t) {
-    const Tensor p_o = softmax_rows(original_.forward(x_adv));
-    const Tensor p_a = softmax_rows(adapted_.forward(x_adv));
-    const Tensor grad_o = original_.backward(prob_grad_rows(p_o, labels));
+  return impl_.perturb(x, labels);
+}
 
-    // Adapted-model logit gradient: -c * d(p_a[y]) - k * d(||p_a - t||^2).
-    Tensor dlogits_a = prob_grad_rows(p_a, labels);
-    const std::int64_t n = p_a.dim(0), d = p_a.dim(1);
-    for (std::int64_t i = 0; i < n; ++i) {
-      // J_softmax^T v with v = 2 (p - onehot(t)):
-      //   p .* v - p * (p . v)
-      double pv = 0.0;
-      for (std::int64_t j = 0; j < d; ++j) {
-        const float target_ind = static_cast<int>(j) == target_ ? 1.0f : 0.0f;
-        pv += static_cast<double>(p_a.at(i, j)) * 2.0 *
-              (p_a.at(i, j) - target_ind);
-      }
-      for (std::int64_t j = 0; j < d; ++j) {
-        const float target_ind = static_cast<int>(j) == target_ ? 1.0f : 0.0f;
-        const float dl2 =
-            p_a.at(i, j) * (2.0f * (p_a.at(i, j) - target_ind) -
-                            static_cast<float>(pv));
-        // Combined coefficient: -c on the label-prob term (already in
-        // dlogits_a scaled by +1), -k on the distance term. The caller
-        // ascends on the total, so fold the signs here:
-        dlogits_a.at(i, j) = -c_ * dlogits_a.at(i, j) - k_ * dl2;
-      }
-    }
-    const Tensor grad_a = adapted_.backward(dlogits_a);
-
-    Tensor grad = grad_o;
-    accumulate(grad, grad_a);
-    x_adv = ascend_and_project(x_adv, grad, x, cfg_.alpha, cfg_.epsilon);
-  }
-  return x_adv;
+Tensor TargetedDivaAttack::perturb_indexed(const Tensor& x,
+                                           const std::vector<int>& labels,
+                                           std::int64_t first_sample) {
+  return impl_.perturb_indexed(x, labels, first_sample);
 }
 
 }  // namespace diva

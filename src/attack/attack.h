@@ -1,4 +1,26 @@
-// Adversarial attack interfaces and the gradient-based attack family.
+// The attack layer: gradient sources, composable objectives, and one
+// iterated optimizer.
+//
+// The API is three layers deep:
+//
+//   1. GradSource (grad_source.h) — the differentiable-model concept:
+//      eval-mode logits + an atomic input-gradient closure. Adapters
+//      exist for float/QAT Modules (backprop), and for the deployed
+//      integer-only QuantizedModel via straight-through estimation
+//      (QuantSteGradSource) or finite differences (QuantFdGradSource),
+//      so the edge artifact itself is a first-class attack target.
+//
+//   2. AttackObjective (objective.h) — the scalar function being
+//      ascended, written as weighted per-source terms. Cross-entropy,
+//      CW margin, the DIVA joint objective (Eq. 5/6) and targeted DIVA
+//      are objectives, not attack classes.
+//
+//   3. IteratedAttack (this header) — the single PGD/momentum iterator
+//      that drives any (sources, objective) pair, plus AttackEngine
+//      (engine.h) which shards batches across a runtime::ThreadPool
+//      with per-sample RNG streams (sharded output is bit-identical to
+//      sequential for a fixed seed), and the string-keyed registry
+//      (registry.h): make_attack("diva", targets, spec).
 //
 // All attacks operate on batches of natural images in [0,1] (NCHW) and
 // produce adversarial batches constrained to the L-infinity ball of
@@ -9,6 +31,11 @@
 // Default hyperparameters follow the paper's §5.1: epsilon = 8/255,
 // step size alpha = 1/255, t = 20 steps, natural-sample initialization
 // (no random start).
+//
+// The concrete classes at the bottom (PgdAttack, FgsmAttack,
+// MomentumPgdAttack, DivaAttack, TargetedDivaAttack) are DEPRECATED
+// thin wrappers kept for one release; new code should build attacks
+// through the registry (registry.h) or compose IteratedAttack directly.
 #pragma once
 
 #include <functional>
@@ -16,6 +43,9 @@
 #include <string>
 #include <vector>
 
+#include "attack/attack_math.h"
+#include "attack/grad_source.h"
+#include "attack/objective.h"
 #include "nn/module.h"
 #include "tensor/tensor_ops.h"
 
@@ -27,8 +57,12 @@ struct AttackConfig {
   int steps = 20;
   bool random_start = false;
   std::uint64_t seed = 0;
+  /// Momentum coefficient mu (Dong et al.); 0 disables the velocity
+  /// accumulator and takes plain sign-of-gradient steps.
+  float momentum = 0.0f;
   /// Optional observer invoked after every iteration with (1-based step,
   /// current adversarial batch) — used by the Fig. 6d step sweep.
+  /// Attacks carrying a callback are not sharded by the AttackEngine.
   std::function<void(int, const Tensor&)> step_callback;
 };
 
@@ -39,109 +73,153 @@ class Attack {
   /// Perturbs a batch; returns adversarial images of the same shape.
   virtual Tensor perturb(const Tensor& x, const std::vector<int>& labels) = 0;
 
+  /// Shard entry point for the AttackEngine: like perturb, but sample i
+  /// of `x` is sample `first_sample + i` of the engine-level batch, so
+  /// per-sample RNG streams land on the same values under any sharding.
+  virtual Tensor perturb_indexed(const Tensor& x,
+                                 const std::vector<int>& labels,
+                                 std::int64_t first_sample) {
+    (void)first_sample;
+    return perturb(x, labels);
+  }
+
+  /// True only when sharding cannot change observable behavior: the
+  /// attack honors first_sample, is safe to call concurrently, and has
+  /// no whole-batch coupling (e.g. a step_callback observer). The base
+  /// default is conservative — custom attacks that only implement
+  /// perturb() run sequentially under the engine until they opt in.
+  virtual bool shardable() const { return false; }
+
   virtual std::string name() const = 0;
 };
 
-/// Loss maximized by the single-model attacks.
+/// The unified gradient-ascent iterator: projected sign steps (optional
+/// momentum, optional per-sample random start) on any objective over
+/// any set of gradient sources. Every attack in the library is an
+/// instance of this class.
+class IteratedAttack : public Attack {
+ public:
+  IteratedAttack(std::string name,
+                 std::vector<std::shared_ptr<GradSource>> sources,
+                 std::shared_ptr<AttackObjective> objective,
+                 AttackConfig cfg = {});
+
+  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
+                         std::int64_t first_sample) override;
+  bool shardable() const override { return !cfg_.step_callback; }
+  std::string name() const override { return name_; }
+
+  const AttackConfig& config() const { return cfg_; }
+  const AttackObjective& objective() const { return *objective_; }
+  const std::vector<std::shared_ptr<GradSource>>& sources() const {
+    return sources_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<GradSource>> sources_;
+  std::shared_ptr<AttackObjective> objective_;
+  AttackConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+// Deprecated concrete classes — thin wrappers over IteratedAttack, kept
+// for one release. Migrate to make_attack() (attack/registry.h).
+// ---------------------------------------------------------------------------
+
+/// Loss maximized by the single-model attacks (legacy selector).
 enum class AttackLoss {
   kCrossEntropy,  // standard PGD objective
   kCwMargin,      // max_{i != y} z_i - z_y   (L-inf CW, Madry setup)
 };
 
-/// Projected gradient descent (Madry et al.) against a single model.
+/// DEPRECATED: use make_attack("pgd"|"cw", ...). Projected gradient
+/// descent (Madry et al.) against a single model.
 class PgdAttack : public Attack {
  public:
   PgdAttack(Module& model, AttackConfig cfg = {},
             AttackLoss loss = AttackLoss::kCrossEntropy);
 
   Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
-  std::string name() const override {
-    return loss_ == AttackLoss::kCwMargin ? "CW" : "PGD";
-  }
+  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
+                         std::int64_t first_sample) override;
+  bool shardable() const override { return impl_.shardable(); }
+  std::string name() const override { return impl_.name(); }
 
  private:
-  Module& model_;
-  AttackConfig cfg_;
-  AttackLoss loss_;
+  IteratedAttack impl_;
 };
 
-/// FGSM: single-step PGD with alpha = epsilon (Goodfellow et al.).
+/// DEPRECATED: use make_attack("fgsm", ...). FGSM: single-step PGD with
+/// alpha = epsilon (Goodfellow et al.).
 class FgsmAttack : public Attack {
  public:
   explicit FgsmAttack(Module& model, float epsilon = 8.0f / 255.0f);
   Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
+                         std::int64_t first_sample) override;
+  bool shardable() const override { return impl_.shardable(); }
   std::string name() const override { return "FGSM"; }
 
  private:
-  PgdAttack pgd_;
+  IteratedAttack impl_;
 };
 
-/// Momentum PGD (Dong et al.): accumulates an L1-normalized gradient
-/// moving average before taking the sign step.
+/// DEPRECATED: use make_attack("momentum-pgd", ...). Momentum PGD (Dong
+/// et al.): accumulates an L1-normalized gradient moving average before
+/// taking the sign step.
 class MomentumPgdAttack : public Attack {
  public:
   MomentumPgdAttack(Module& model, AttackConfig cfg = {}, float mu = 0.5f);
   Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
+                         std::int64_t first_sample) override;
+  bool shardable() const override { return impl_.shardable(); }
   std::string name() const override { return "MomentumPGD"; }
 
  private:
-  Module& model_;
-  AttackConfig cfg_;
-  float mu_;
+  IteratedAttack impl_;
 };
 
-/// DIVA (the paper's contribution, Eq. 5/6): jointly maximizes
+/// DEPRECATED: use make_attack("diva", ...). DIVA (the paper's
+/// contribution, Eq. 5/6): jointly maximizes
 ///   L = p_orig(y | x') - c * p_adapted(y | x')
 /// so the adapted model flips while the original model keeps its
-/// prediction. Solved with PGD-style iterations.
+/// prediction.
 class DivaAttack : public Attack {
  public:
   DivaAttack(Module& original, Module& adapted, float c = 1.0f,
              AttackConfig cfg = {});
 
   Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
+                         std::int64_t first_sample) override;
+  bool shardable() const override { return impl_.shardable(); }
   std::string name() const override { return "DIVA"; }
 
-  float c() const { return c_; }
+  float c() const;
 
  private:
-  Module& original_;
-  Module& adapted_;
-  float c_;
-  AttackConfig cfg_;
+  IteratedAttack impl_;
 };
 
-/// Targeted DIVA (§6): adds a pull toward a chosen target class on the
-/// adapted model:  L = p_o[y] - c * p_a[y] - k * || p_a - onehot(t) ||^2.
+/// DEPRECATED: use make_attack("targeted-diva", ...). Targeted DIVA
+/// (§6): adds a pull toward a chosen target class on the adapted model:
+///   L = p_o[y] - c * p_a[y] - k * || p_a - onehot(t) ||^2.
 class TargetedDivaAttack : public Attack {
  public:
   TargetedDivaAttack(Module& original, Module& adapted, int target_class,
                      float c = 1.0f, float k = 2.0f, AttackConfig cfg = {});
 
   Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
+  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
+                         std::int64_t first_sample) override;
+  bool shardable() const override { return impl_.shardable(); }
   std::string name() const override { return "TargetedDIVA"; }
 
  private:
-  Module& original_;
-  Module& adapted_;
-  int target_;
-  float c_, k_;
-  AttackConfig cfg_;
+  IteratedAttack impl_;
 };
-
-// ---------------------------------------------------------------------------
-// Building blocks shared by the attack implementations (exposed for
-// tests and for composing new attacks).
-// ---------------------------------------------------------------------------
-
-/// d(p[y])/d(logits) rows: p[y] * (e_y - p). `probs` is [N, D].
-Tensor prob_grad_rows(const Tensor& probs, const std::vector<int>& labels);
-
-/// Projects x_adv into the epsilon ball around x and into [0,1].
-Tensor project(const Tensor& x_adv, const Tensor& x_natural, float epsilon);
-
-/// One ascent step: x + alpha * sign(grad), then projection.
-Tensor ascend_and_project(const Tensor& x_adv, const Tensor& grad,
-                          const Tensor& x_natural, float alpha, float epsilon);
 
 }  // namespace diva

@@ -1,0 +1,75 @@
+#include "attack/attack_math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diva {
+
+Tensor prob_grad_rows(const Tensor& probs, const std::vector<int>& labels) {
+  DIVA_CHECK(probs.rank() == 2, "prob_grad_rows needs [N, D]");
+  const std::int64_t n = probs.dim(0), d = probs.dim(1);
+  DIVA_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "labels size mismatch");
+  Tensor g(probs.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    const float py = probs.at(i, y);
+    for (std::int64_t j = 0; j < d; ++j) {
+      g.at(i, j) = py * ((static_cast<int>(j) == y ? 1.0f : 0.0f) -
+                         probs.at(i, j));
+    }
+  }
+  return g;
+}
+
+Tensor ce_grad_rows(const Tensor& logits, const std::vector<int>& labels) {
+  Tensor g = softmax_rows(logits);
+  for (std::int64_t i = 0; i < g.dim(0); ++i) {
+    g.at(i, labels[static_cast<std::size_t>(i)]) -= 1.0f;
+  }
+  return g;
+}
+
+Tensor cw_grad_rows(const Tensor& logits, const std::vector<int>& labels) {
+  Tensor g(logits.shape());
+  const std::int64_t d = logits.dim(1);
+  for (std::int64_t i = 0; i < logits.dim(0); ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    int best = -1;
+    float best_v = -1e30f;
+    for (std::int64_t j = 0; j < d; ++j) {
+      if (static_cast<int>(j) == y) continue;
+      if (logits.at(i, j) > best_v) {
+        best_v = logits.at(i, j);
+        best = static_cast<int>(j);
+      }
+    }
+    g.at(i, best) = 1.0f;
+    g.at(i, y) = -1.0f;
+  }
+  return g;
+}
+
+Tensor project(const Tensor& x_adv, const Tensor& x_natural, float epsilon) {
+  DIVA_CHECK(x_adv.shape() == x_natural.shape(), "project: shape mismatch");
+  Tensor out(x_adv.shape());
+  for (std::int64_t i = 0; i < x_adv.numel(); ++i) {
+    const float lo = std::max(0.0f, x_natural[i] - epsilon);
+    const float hi = std::min(1.0f, x_natural[i] + epsilon);
+    out[i] = std::min(hi, std::max(lo, x_adv[i]));
+  }
+  return out;
+}
+
+Tensor ascend_and_project(const Tensor& x_adv, const Tensor& grad,
+                          const Tensor& x_natural, float alpha,
+                          float epsilon) {
+  Tensor stepped(x_adv.shape());
+  for (std::int64_t i = 0; i < x_adv.numel(); ++i) {
+    const float s = grad[i] > 0.0f ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+    stepped[i] = x_adv[i] + alpha * s;
+  }
+  return project(stepped, x_natural, epsilon);
+}
+
+}  // namespace diva

@@ -1,0 +1,30 @@
+// Pure-math building blocks shared by attack objectives and the PGD
+// iterator: loss-gradient rows, the epsilon-ball projection, and the
+// signed ascent step. Exposed for tests and for composing new
+// objectives.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+/// d(p[y])/d(logits) rows: p[y] * (e_y - p). `probs` is [N, D].
+Tensor prob_grad_rows(const Tensor& probs, const std::vector<int>& labels);
+
+/// d(CE)/d(logits) = p - onehot (per row; un-normalized across the batch
+/// so sign() steps are per-sample, matching the standard attack setup).
+Tensor ce_grad_rows(const Tensor& logits, const std::vector<int>& labels);
+
+/// d(max_{i!=y} z_i - z_y)/d(logits) = e_{i*} - e_y.
+Tensor cw_grad_rows(const Tensor& logits, const std::vector<int>& labels);
+
+/// Projects x_adv into the epsilon ball around x and into [0,1].
+Tensor project(const Tensor& x_adv, const Tensor& x_natural, float epsilon);
+
+/// One ascent step: x + alpha * sign(grad), then projection.
+Tensor ascend_and_project(const Tensor& x_adv, const Tensor& grad,
+                          const Tensor& x_natural, float alpha, float epsilon);
+
+}  // namespace diva

@@ -1,0 +1,92 @@
+#include "attack/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace diva {
+
+AttackEngine::AttackEngine(EngineConfig cfg) : cfg_(cfg) {
+  if (cfg_.threads == 0) {
+    cfg_.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  DIVA_CHECK(cfg_.shard_size >= 1, "shard_size must be at least 1");
+  if (cfg_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+  }
+}
+
+AttackEngine::~AttackEngine() = default;
+
+unsigned AttackEngine::threads() const { return cfg_.threads; }
+
+Tensor AttackEngine::run(Attack& attack, const Tensor& x,
+                         const std::vector<int>& labels) const {
+  DIVA_CHECK(x.rank() == 4, "engine input must be NCHW");
+  const std::int64_t n = x.dim(0);
+  DIVA_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "labels size mismatch");
+  if (!attack.shardable() || n <= cfg_.shard_size) {
+    return attack.perturb_indexed(x, labels, 0);
+  }
+
+  const std::int64_t per = x.numel() / n;
+  const std::int64_t num_shards = (n + cfg_.shard_size - 1) / cfg_.shard_size;
+  Tensor out(x.shape());
+
+  // Each shard perturbs samples [lo, hi) and writes its rows into the
+  // disjoint slice of `out`; `first_sample = lo` keys per-sample RNG
+  // streams to global indices so sharding is invisible to the result.
+  auto run_shard = [&](std::int64_t shard) {
+    const std::int64_t lo = shard * cfg_.shard_size;
+    const std::int64_t hi = std::min(n, lo + cfg_.shard_size);
+    std::vector<int> idx;
+    idx.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::int64_t i = lo; i < hi; ++i) idx.push_back(static_cast<int>(i));
+    const Tensor shard_x = gather_batch(x, idx);
+    const std::vector<int> shard_labels(
+        labels.begin() + static_cast<std::ptrdiff_t>(lo),
+        labels.begin() + static_cast<std::ptrdiff_t>(hi));
+    const Tensor adv = attack.perturb_indexed(shard_x, shard_labels, lo);
+    std::memcpy(out.raw() + lo * per, adv.raw(),
+                sizeof(float) * static_cast<std::size_t>((hi - lo) * per));
+  };
+
+  if (!pool_) {
+    for (std::int64_t s = 0; s < num_shards; ++s) run_shard(s);
+    return out;
+  }
+
+  std::atomic<std::int64_t> remaining(num_shards);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    pool_->submit([&, s] {
+      try {
+        run_shard(s);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace diva

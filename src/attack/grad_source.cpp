@@ -1,0 +1,187 @@
+#include "attack/grad_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace diva {
+
+namespace {
+
+/// Attack mode: eval, no parameter gradients (input gradients only).
+void freeze(Module& m) {
+  m.set_training(false);
+  m.set_param_grads_enabled(false);
+}
+
+/// Restores the default state (training loops re-enable what they need).
+void unfreeze(Module& m) { m.set_param_grads_enabled(true); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ModuleGradSource
+// ---------------------------------------------------------------------------
+
+ModuleGradSource::ModuleGradSource(Module& module, std::string label)
+    : module_(module),
+      label_(label.empty() ? module.name() : std::move(label)) {}
+
+Tensor ModuleGradSource::logits(const Tensor& x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return module_.forward(x);
+}
+
+Tensor ModuleGradSource::input_grad(const Tensor& x, const GradRequest& req) {
+  DIVA_CHECK(req.dlogits, "ModuleGradSource needs a dlogits closure");
+  std::lock_guard<std::mutex> lock(mu_);
+  const Tensor l = module_.forward(x);
+  return module_.backward(req.dlogits(l));
+}
+
+void ModuleGradSource::prepare() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (prepared_++ == 0) freeze(module_);
+}
+
+void ModuleGradSource::restore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--prepared_ == 0) unfreeze(module_);
+}
+
+// ---------------------------------------------------------------------------
+// QuantSteGradSource
+// ---------------------------------------------------------------------------
+
+QuantSteGradSource::QuantSteGradSource(const QuantizedModel& model,
+                                       Module& shadow, std::string label)
+    : model_(model), shadow_(shadow), label_(std::move(label)) {}
+
+Tensor QuantSteGradSource::logits(const Tensor& x) { return model_.forward(x); }
+
+Tensor QuantSteGradSource::input_grad(const Tensor& x,
+                                      const GradRequest& req) {
+  DIVA_CHECK(req.dlogits, "QuantSteGradSource needs a dlogits closure");
+  // dlogits is computed from the *integer* model's logits, then pushed
+  // through the float shadow as if quantization were the identity.
+  const Tensor ql = model_.forward(x);
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)shadow_.forward(x);  // populate the shadow's backward caches
+  return shadow_.backward(req.dlogits(ql));
+}
+
+void QuantSteGradSource::prepare() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (prepared_++ == 0) freeze(shadow_);
+}
+
+void QuantSteGradSource::restore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--prepared_ == 0) unfreeze(shadow_);
+}
+
+// ---------------------------------------------------------------------------
+// QuantFdGradSource
+// ---------------------------------------------------------------------------
+
+QuantFdGradSource::QuantFdGradSource(const QuantizedModel& model,
+                                     FdConfig cfg, std::string label)
+    : model_(model), cfg_(cfg), label_(std::move(label)) {
+  DIVA_CHECK(cfg.h > 0.0f, "finite-difference step must be positive");
+  DIVA_CHECK(cfg.samples >= 1, "need at least one SPSA probe pair");
+}
+
+Tensor QuantFdGradSource::logits(const Tensor& x) { return model_.forward(x); }
+
+Tensor QuantFdGradSource::input_grad(const Tensor& x, const GradRequest& req) {
+  DIVA_CHECK(req.values, "QuantFdGradSource needs a scalar-values closure");
+  DIVA_CHECK(x.rank() == 4, "QuantFdGradSource expects NCHW input");
+  return cfg_.coordinate ? coordinate_grad(x, req) : spsa_grad(x, req);
+}
+
+Tensor QuantFdGradSource::coordinate_grad(const Tensor& x,
+                                          const GradRequest& req) const {
+  const std::int64_t n = x.dim(0);
+  const std::int64_t per = x.numel() / n;
+
+  // Probes run in chunks so the probe batch stays small: each chunk is
+  // [2 * kChunk, C, H, W] with the +h and -h probe for each pixel.
+  constexpr std::int64_t kChunk = 256;
+  Tensor grad(x.shape());
+
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* base = x.raw() + s * per;
+    for (std::int64_t p0 = 0; p0 < per; p0 += kChunk) {
+      const std::int64_t chunk = std::min(kChunk, per - p0);
+      Tensor probes(Shape{2 * chunk, x.dim(1), x.dim(2), x.dim(3)});
+      float* pr = probes.raw();
+      for (std::int64_t p = 0; p < chunk; ++p) {
+        float* plus = pr + (2 * p) * per;
+        float* minus = pr + (2 * p + 1) * per;
+        std::memcpy(plus, base, sizeof(float) * static_cast<std::size_t>(per));
+        std::memcpy(minus, base, sizeof(float) * static_cast<std::size_t>(per));
+        plus[p0 + p] += cfg_.h;
+        minus[p0 + p] -= cfg_.h;
+      }
+      const Tensor probe_logits = model_.forward(probes);
+      const std::vector<std::int64_t> rows(
+          static_cast<std::size_t>(2 * chunk), s);
+      const std::vector<float> v = req.values(probe_logits, rows);
+      for (std::int64_t p = 0; p < chunk; ++p) {
+        grad[s * per + p0 + p] =
+            (v[static_cast<std::size_t>(2 * p)] -
+             v[static_cast<std::size_t>(2 * p + 1)]) /
+            (2.0f * cfg_.h);
+      }
+    }
+  }
+  return grad;
+}
+
+Tensor QuantFdGradSource::spsa_grad(const Tensor& x,
+                                    const GradRequest& req) const {
+  const std::int64_t n = x.dim(0);
+  const std::int64_t per = x.numel() / n;
+  const std::int64_t k = cfg_.samples;
+  Tensor grad(x.shape());
+  std::vector<float> deltas(static_cast<std::size_t>(k * per));
+
+  for (std::int64_t s = 0; s < n; ++s) {
+    // One probe-direction stream per (sample, step): sharding the batch
+    // or replaying a step reproduces the exact same directions.
+    Rng rng(hash_combine(
+        hash_combine(cfg_.seed,
+                     static_cast<std::uint64_t>(req.first_sample + s)),
+        static_cast<std::uint64_t>(req.step)));
+    const float* base = x.raw() + s * per;
+
+    Tensor probes(Shape{2 * k, x.dim(1), x.dim(2), x.dim(3)});
+    float* pr = probes.raw();
+    for (std::int64_t j = 0; j < k; ++j) {
+      float* delta = deltas.data() + j * per;
+      float* plus = pr + (2 * j) * per;
+      float* minus = pr + (2 * j + 1) * per;
+      for (std::int64_t i = 0; i < per; ++i) {
+        delta[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+        plus[i] = base[i] + cfg_.h * delta[i];
+        minus[i] = base[i] - cfg_.h * delta[i];
+      }
+    }
+    const Tensor probe_logits = model_.forward(probes);
+    const std::vector<std::int64_t> rows(static_cast<std::size_t>(2 * k), s);
+    const std::vector<float> v = req.values(probe_logits, rows);
+
+    float* g = grad.raw() + s * per;
+    const float scale = 1.0f / (2.0f * cfg_.h * static_cast<float>(k));
+    for (std::int64_t j = 0; j < k; ++j) {
+      const float diff = v[static_cast<std::size_t>(2 * j)] -
+                         v[static_cast<std::size_t>(2 * j + 1)];
+      const float* delta = deltas.data() + j * per;
+      for (std::int64_t i = 0; i < per; ++i) {
+        g[i] += diff * scale * delta[i];
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace diva

@@ -1,0 +1,160 @@
+#include "attack/objective.h"
+
+#include <cmath>
+
+#include "attack/attack_math.h"
+#include "runtime/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace diva {
+
+namespace {
+
+void check_source(std::size_t s, std::size_t n) {
+  DIVA_CHECK(s < n, "objective source index " << s << " out of range");
+}
+
+/// p[y] per row of a probability matrix.
+std::vector<float> label_probs(const Tensor& probs,
+                               const std::vector<int>& labels) {
+  std::vector<float> out(static_cast<std::size_t>(probs.dim(0)));
+  for (std::int64_t i = 0; i < probs.dim(0); ++i) {
+    out[static_cast<std::size_t>(i)] =
+        probs.at(i, labels[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CrossEntropyObjective
+// ---------------------------------------------------------------------------
+
+Tensor CrossEntropyObjective::grad_logits(
+    std::size_t s, const Tensor& logits,
+    const std::vector<int>& labels) const {
+  check_source(s, 1);
+  return ce_grad_rows(logits, labels);
+}
+
+std::vector<float> CrossEntropyObjective::term_values(
+    std::size_t s, const Tensor& logits,
+    const std::vector<int>& labels) const {
+  check_source(s, 1);
+  const Tensor p = softmax_rows(logits);
+  std::vector<float> out = label_probs(p, labels);
+  for (auto& v : out) v = -std::log(std::max(v, 1e-12f));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CwMarginObjective
+// ---------------------------------------------------------------------------
+
+Tensor CwMarginObjective::grad_logits(std::size_t s, const Tensor& logits,
+                                      const std::vector<int>& labels) const {
+  check_source(s, 1);
+  return cw_grad_rows(logits, labels);
+}
+
+std::vector<float> CwMarginObjective::term_values(
+    std::size_t s, const Tensor& logits,
+    const std::vector<int>& labels) const {
+  check_source(s, 1);
+  const std::int64_t d = logits.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(logits.dim(0)));
+  for (std::int64_t i = 0; i < logits.dim(0); ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    float best = -1e30f;
+    for (std::int64_t j = 0; j < d; ++j) {
+      if (static_cast<int>(j) == y) continue;
+      best = std::max(best, logits.at(i, j));
+    }
+    out[static_cast<std::size_t>(i)] = best - logits.at(i, y);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DivaObjective
+// ---------------------------------------------------------------------------
+
+DivaObjective::DivaObjective(float c) : c_(c) {
+  DIVA_CHECK(c >= 0.0f, "DIVA c must be non-negative");
+}
+
+Tensor DivaObjective::grad_logits(std::size_t s, const Tensor& logits,
+                                  const std::vector<int>& labels) const {
+  check_source(s, 2);
+  return prob_grad_rows(softmax_rows(logits), labels);
+}
+
+std::vector<float> DivaObjective::term_values(
+    std::size_t s, const Tensor& logits,
+    const std::vector<int>& labels) const {
+  check_source(s, 2);
+  return label_probs(softmax_rows(logits), labels);
+}
+
+// ---------------------------------------------------------------------------
+// TargetedDivaObjective
+// ---------------------------------------------------------------------------
+
+TargetedDivaObjective::TargetedDivaObjective(int target_class, float c,
+                                             float k)
+    : target_(target_class), c_(c), k_(k) {
+  DIVA_CHECK(target_class >= 0, "target class must be non-negative");
+}
+
+Tensor TargetedDivaObjective::grad_logits(
+    std::size_t s, const Tensor& logits,
+    const std::vector<int>& labels) const {
+  check_source(s, 2);
+  const Tensor p = softmax_rows(logits);
+  if (s == 0) return prob_grad_rows(p, labels);
+
+  // Adapted-model logit gradient: -c * d(p_a[y]) - k * d(||p_a - t||^2).
+  Tensor dlogits = prob_grad_rows(p, labels);
+  const std::int64_t n = p.dim(0), d = p.dim(1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    // J_softmax^T v with v = 2 (p - onehot(t)):
+    //   p .* v - p * (p . v)
+    double pv = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float target_ind = static_cast<int>(j) == target_ ? 1.0f : 0.0f;
+      pv += static_cast<double>(p.at(i, j)) * 2.0 * (p.at(i, j) - target_ind);
+    }
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float target_ind = static_cast<int>(j) == target_ ? 1.0f : 0.0f;
+      const float dl2 = p.at(i, j) * (2.0f * (p.at(i, j) - target_ind) -
+                                      static_cast<float>(pv));
+      // The iterator ascends on the weighted sum, so fold the signs here:
+      dlogits.at(i, j) = -c_ * dlogits.at(i, j) - k_ * dl2;
+    }
+  }
+  return dlogits;
+}
+
+std::vector<float> TargetedDivaObjective::term_values(
+    std::size_t s, const Tensor& logits,
+    const std::vector<int>& labels) const {
+  check_source(s, 2);
+  const Tensor p = softmax_rows(logits);
+  std::vector<float> out = label_probs(p, labels);
+  if (s == 0) return out;
+  const std::int64_t d = p.dim(1);
+  for (std::int64_t i = 0; i < p.dim(0); ++i) {
+    double dist2 = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float target_ind = static_cast<int>(j) == target_ ? 1.0f : 0.0f;
+      const double diff = p.at(i, j) - target_ind;
+      dist2 += diff * diff;
+    }
+    auto& v = out[static_cast<std::size_t>(i)];
+    v = -c_ * v - k_ * static_cast<float>(dist2);
+  }
+  return out;
+}
+
+}  // namespace diva

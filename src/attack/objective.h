@@ -1,0 +1,124 @@
+// AttackObjective: the scalar function an iterated attack ascends.
+//
+// An objective is a weighted sum of per-source terms
+//   L(x) = sum_s weight(s) * term_s(logits_s(x))
+// over the logits of one or more GradSources. Each term is exposed in
+// two interchangeable forms so every source kind can consume it:
+//   grad_logits(s, ...)  — d(term_s)/d(logits_s), for backprop sources;
+//   term_values(s, ...)  — the per-row scalar term_s itself, for
+//                          derivative-free (finite-difference) sources.
+// The PGD/momentum iterator in attack.h combines the per-source input
+// gradients with the weights; objectives never touch models directly,
+// which is what makes "DIVA against the int8 artifact" the same code
+// path as "DIVA against a float twin".
+//
+// Provided objectives (source order in brackets):
+//   CrossEntropyObjective [model]            — standard PGD loss.
+//   CwMarginObjective     [model]            — max_{i!=y} z_i - z_y.
+//   DivaObjective         [original, adapted]— p_o[y] - c * p_a[y] (Eq. 5).
+//   TargetedDivaObjective [original, adapted]— adds -k*||p_a - onehot(t)||^2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diva {
+
+class AttackObjective {
+ public:
+  virtual ~AttackObjective() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of GradSources this objective drives.
+  virtual std::size_t num_sources() const = 0;
+
+  /// d(term_s)/d(logits of source s), unweighted. Row r of `logits`
+  /// carries the logits for labels[r].
+  virtual Tensor grad_logits(std::size_t s, const Tensor& logits,
+                             const std::vector<int>& labels) const = 0;
+
+  /// Per-row scalar value of term s (unweighted), for derivative-free
+  /// sources. Row r of `logits` carries the logits for labels[r].
+  virtual std::vector<float> term_values(
+      std::size_t s, const Tensor& logits,
+      const std::vector<int>& labels) const = 0;
+
+  /// Linear weight of source s's contribution to the total gradient.
+  virtual float weight(std::size_t s) const {
+    (void)s;
+    return 1.0f;
+  }
+};
+
+/// Cross-entropy ascent against a single model (PGD's objective).
+class CrossEntropyObjective : public AttackObjective {
+ public:
+  std::string name() const override { return "cross-entropy"; }
+  std::size_t num_sources() const override { return 1; }
+  Tensor grad_logits(std::size_t s, const Tensor& logits,
+                     const std::vector<int>& labels) const override;
+  std::vector<float> term_values(std::size_t s, const Tensor& logits,
+                                 const std::vector<int>& labels) const override;
+};
+
+/// L-inf CW margin: max_{i != y} z_i - z_y (Madry setup).
+class CwMarginObjective : public AttackObjective {
+ public:
+  std::string name() const override { return "cw-margin"; }
+  std::size_t num_sources() const override { return 1; }
+  Tensor grad_logits(std::size_t s, const Tensor& logits,
+                     const std::vector<int>& labels) const override;
+  std::vector<float> term_values(std::size_t s, const Tensor& logits,
+                                 const std::vector<int>& labels) const override;
+};
+
+/// DIVA joint objective (paper Eq. 5/6):
+///   L = p_orig(y|x') - c * p_adapted(y|x')
+/// Source 0 is the original model (weight +1), source 1 the adapted
+/// model (weight -c).
+class DivaObjective : public AttackObjective {
+ public:
+  explicit DivaObjective(float c);
+
+  std::string name() const override { return "diva"; }
+  std::size_t num_sources() const override { return 2; }
+  Tensor grad_logits(std::size_t s, const Tensor& logits,
+                     const std::vector<int>& labels) const override;
+  std::vector<float> term_values(std::size_t s, const Tensor& logits,
+                                 const std::vector<int>& labels) const override;
+  float weight(std::size_t s) const override { return s == 0 ? 1.0f : -c_; }
+
+  float c() const { return c_; }
+
+ private:
+  float c_;
+};
+
+/// Targeted DIVA (paper §6): source 0 as in DIVA; source 1's term is
+///   -c * p_a[y] - k * || p_a - onehot(target) ||^2
+/// with the balance constants folded into the term (weight +1), exactly
+/// as the seed implementation combined them.
+class TargetedDivaObjective : public AttackObjective {
+ public:
+  TargetedDivaObjective(int target_class, float c, float k);
+
+  std::string name() const override { return "targeted-diva"; }
+  std::size_t num_sources() const override { return 2; }
+  Tensor grad_logits(std::size_t s, const Tensor& logits,
+                     const std::vector<int>& labels) const override;
+  std::vector<float> term_values(std::size_t s, const Tensor& logits,
+                                 const std::vector<int>& labels) const override;
+
+  int target_class() const { return target_; }
+
+ private:
+  int target_;
+  float c_, k_;
+};
+
+}  // namespace diva

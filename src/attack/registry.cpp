@@ -1,0 +1,138 @@
+#include "attack/registry.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace diva {
+
+namespace {
+
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, AttackFactory>& registry();
+
+std::shared_ptr<GradSource> require_adapted(const AttackTargets& t,
+                                            const std::string& kind) {
+  DIVA_CHECK(t.adapted != nullptr, kind << " needs an adapted-model source");
+  return t.adapted;
+}
+
+std::shared_ptr<GradSource> require_original(const AttackTargets& t,
+                                             const std::string& kind) {
+  DIVA_CHECK(t.original != nullptr, kind << " needs an original-model source");
+  return t.original;
+}
+
+std::unique_ptr<Attack> make_single(const std::string& display,
+                                    std::shared_ptr<AttackObjective> objective,
+                                    const AttackTargets& t,
+                                    AttackConfig cfg) {
+  return std::make_unique<IteratedAttack>(
+      display,
+      std::vector<std::shared_ptr<GradSource>>{require_adapted(t, display)},
+      std::move(objective), std::move(cfg));
+}
+
+std::unique_ptr<Attack> make_pair(const std::string& display,
+                                  std::shared_ptr<AttackObjective> objective,
+                                  const AttackTargets& t, AttackConfig cfg) {
+  return std::make_unique<IteratedAttack>(
+      display,
+      std::vector<std::shared_ptr<GradSource>>{require_original(t, display),
+                                               require_adapted(t, display)},
+      std::move(objective), std::move(cfg));
+}
+
+std::map<std::string, AttackFactory> builtin_attacks() {
+  std::map<std::string, AttackFactory> reg;
+  reg["pgd"] = [](const AttackTargets& t, const AttackSpec& s) {
+    return make_single("PGD", std::make_shared<CrossEntropyObjective>(), t,
+                       s.cfg);
+  };
+  reg["cw"] = [](const AttackTargets& t, const AttackSpec& s) {
+    return make_single("CW", std::make_shared<CwMarginObjective>(), t, s.cfg);
+  };
+  reg["fgsm"] = [](const AttackTargets& t, const AttackSpec& s) {
+    AttackConfig cfg = s.cfg;
+    cfg.alpha = cfg.epsilon;
+    cfg.steps = 1;
+    return make_single("FGSM", std::make_shared<CrossEntropyObjective>(), t,
+                       std::move(cfg));
+  };
+  reg["momentum-pgd"] = [](const AttackTargets& t, const AttackSpec& s) {
+    AttackConfig cfg = s.cfg;
+    if (cfg.momentum <= 0.0f) cfg.momentum = 0.5f;
+    return make_single("MomentumPGD",
+                       std::make_shared<CrossEntropyObjective>(), t,
+                       std::move(cfg));
+  };
+  reg["diva"] = [](const AttackTargets& t, const AttackSpec& s) {
+    return make_pair("DIVA", std::make_shared<DivaObjective>(s.c), t, s.cfg);
+  };
+  reg["targeted-diva"] = [](const AttackTargets& t, const AttackSpec& s) {
+    return make_pair(
+        "TargetedDIVA",
+        std::make_shared<TargetedDivaObjective>(s.target, s.c, s.k), t,
+        s.cfg);
+  };
+  return reg;
+}
+
+std::map<std::string, AttackFactory>& registry() {
+  static std::map<std::string, AttackFactory> reg = builtin_attacks();
+  return reg;
+}
+
+}  // namespace
+
+std::shared_ptr<GradSource> source(Module& module, std::string label) {
+  return std::make_shared<ModuleGradSource>(module, std::move(label));
+}
+
+std::shared_ptr<GradSource> source(const QuantizedModel& model, Module& shadow,
+                                   std::string label) {
+  return std::make_shared<QuantSteGradSource>(model, shadow, std::move(label));
+}
+
+std::shared_ptr<GradSource> fd_source(const QuantizedModel& model,
+                                      FdConfig cfg, std::string label) {
+  return std::make_shared<QuantFdGradSource>(model, cfg, std::move(label));
+}
+
+void register_attack(const std::string& kind, AttackFactory factory) {
+  DIVA_CHECK(factory != nullptr, "null attack factory");
+  std::lock_guard<std::mutex> lock(registry_mu());
+  registry()[kind] = std::move(factory);
+}
+
+std::unique_ptr<Attack> make_attack(const std::string& kind,
+                                    const AttackTargets& targets,
+                                    const AttackSpec& spec) {
+  AttackFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu());
+    auto it = registry().find(kind);
+    DIVA_CHECK(it != registry().end(), "unknown attack kind '" << kind << "'");
+    factory = it->second;
+  }
+  return factory(targets, spec);
+}
+
+bool attack_registered(const std::string& kind) {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  return registry().count(kind) > 0;
+}
+
+std::vector<std::string> registered_attack_names() {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace diva

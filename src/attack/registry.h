@@ -1,0 +1,81 @@
+// String-keyed attack registry: the one construction path for every
+// attack in the library.
+//
+//   AttackTargets t{source(original), source(adapted_qat)};
+//   auto diva = make_attack("diva", t, {.cfg = cfg, .c = 1.0f});
+//   Tensor adv = diva->perturb(images, labels);
+//
+// AttackTargets is the model-pool indirection: each side is a
+// GradSource, so "adapted" can be a float Module, a QAT twin, or the
+// deployed int8 QuantizedModel (via the STE or finite-difference
+// adapters) — swapping the target model never changes attack code.
+//
+// Built-in attack kinds:
+//   "pgd"            cross-entropy PGD on the adapted model
+//   "cw"             CW-margin PGD on the adapted model
+//   "fgsm"           single-step PGD with alpha = epsilon
+//   "momentum-pgd"   momentum PGD (spec.cfg.momentum; 0.5 if unset)
+//   "diva"           DIVA joint objective over (original, adapted)
+//   "targeted-diva"  targeted DIVA (spec.target, spec.c, spec.k)
+//
+// New kinds can be added at runtime with register_attack(), e.g. from
+// experiment drivers that compose custom objectives.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+
+namespace diva {
+
+/// The models an attack is aimed at. Single-model attacks use only
+/// `adapted`; evasive attacks drive both sides.
+struct AttackTargets {
+  std::shared_ptr<GradSource> original;  // evasion constraint (may be null)
+  std::shared_ptr<GradSource> adapted;   // the model being fooled
+};
+
+/// Everything a factory needs besides the targets. Fields beyond `cfg`
+/// are objective hyperparameters; kinds ignore the ones they don't use.
+struct AttackSpec {
+  AttackConfig cfg;
+  float c = 1.0f;  // DIVA balance (Eq. 5)
+  float k = 2.0f;  // targeted-DIVA pull strength
+  int target = 0;  // targeted-DIVA target class
+};
+
+/// Builds a backprop gradient source for a float or QAT module.
+std::shared_ptr<GradSource> source(Module& module, std::string label = "");
+
+/// Builds a straight-through source: int8 forward, float-shadow backward.
+std::shared_ptr<GradSource> source(const QuantizedModel& model, Module& shadow,
+                                   std::string label = "int8+ste");
+
+/// Builds a derivative-free source for the int8 artifact alone (SPSA by
+/// default; see FdConfig for the exact coordinate-wise estimator).
+std::shared_ptr<GradSource> fd_source(const QuantizedModel& model,
+                                      FdConfig cfg = {},
+                                      std::string label = "int8+fd");
+
+using AttackFactory = std::function<std::unique_ptr<Attack>(
+    const AttackTargets&, const AttackSpec&)>;
+
+/// Registers (or replaces) an attack kind.
+void register_attack(const std::string& kind, AttackFactory factory);
+
+/// Instantiates a registered attack kind. Throws diva::Error for unknown
+/// kinds or missing targets.
+std::unique_ptr<Attack> make_attack(const std::string& kind,
+                                    const AttackTargets& targets,
+                                    const AttackSpec& spec = {});
+
+/// True if `kind` is registered.
+bool attack_registered(const std::string& kind);
+
+/// All registered kinds, sorted.
+std::vector<std::string> registered_attack_names();
+
+}  // namespace diva

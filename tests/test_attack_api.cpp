@@ -1,0 +1,326 @@
+// Tests for the three-layer attack API: registry round-trips, engine
+// sharding determinism, objective/source composition, and the
+// quantized-model gradient sources (STE and finite differences).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/engine.h"
+#include "attack/registry.h"
+#include "core/trainer.h"
+#include "data/synth_digits.h"
+#include "metrics/metrics.h"
+#include "models/factory.h"
+#include "nn/fold_bn.h"
+#include "nn/init.h"
+#include "quant/qat.h"
+#include "quant/quantized_model.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+/// Tiny trained digit pair + a compiled int8 artifact, shared by all
+/// tests in this file.
+struct ApiFixture {
+  Dataset train, val;
+  std::unique_ptr<Sequential> model;  // "original"
+  std::unique_ptr<Sequential> twin;   // "adapted" float stand-in
+  std::unique_ptr<Sequential> qat;    // calibrated QAT twin
+  std::unique_ptr<QuantizedModel> quantized;
+
+  ApiFixture() {
+    SynthDigits gen(77);
+    train = gen.generate(40, 0);
+    val = gen.generate(8, 4000);
+
+    model = make_digit_net(NetMode::kFloat);
+    init_parameters(*model, 11);
+    TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.seed = 12;
+    train_classifier(*model, train, cfg);
+
+    twin = make_digit_net(NetMode::kFloat);
+    init_parameters(*twin, 13);
+    TrainConfig cfg2 = cfg;
+    cfg2.seed = 14;
+    cfg2.epochs = 6;
+    train_classifier(*twin, train, cfg2);
+
+    // Fold the trained float weights into the QAT skeleton (the
+    // standard fold-then-quantize flow), so the int8 artifact has a
+    // meaningful decision surface rather than random-weight noise.
+    qat = make_digit_net(NetMode::kQat);
+    fold_batchnorm_into(*model, *qat);
+    calibrate(*qat, {train.images});
+    quantized = std::make_unique<QuantizedModel>(QuantizedModel::compile(
+        *qat, Shape{SynthDigits::kChannels, SynthDigits::kHeight,
+                    SynthDigits::kWidth}));
+  }
+};
+
+ApiFixture& fixture() {
+  static ApiFixture f;
+  return f;
+}
+
+Dataset small_eval(int n) {
+  std::vector<int> idx;
+  for (int i = 0; i < n; ++i) idx.push_back(i);
+  return fixture().val.subset(idx);
+}
+
+AttackSpec quick_spec(int steps = 4) {
+  AttackSpec spec;
+  spec.cfg.epsilon = 8.0f / 255.0f;
+  spec.cfg.alpha = 2.0f / 255.0f;
+  spec.cfg.steps = steps;
+  spec.target = 3;
+  return spec;
+}
+
+AttackTargets float_targets() {
+  auto& f = fixture();
+  return {source(*f.model), source(*f.twin)};
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(AttackRegistry, ListsAllBuiltinKinds) {
+  for (const char* kind : {"pgd", "cw", "fgsm", "momentum-pgd", "diva",
+                           "targeted-diva"}) {
+    EXPECT_TRUE(attack_registered(kind)) << kind;
+  }
+  EXPECT_GE(registered_attack_names().size(), 6u);
+}
+
+TEST(AttackRegistry, RoundTripEveryKind) {
+  const Dataset eval = small_eval(4);
+  const AttackSpec spec = quick_spec();
+  for (const std::string& kind : registered_attack_names()) {
+    auto attack = make_attack(kind, float_targets(), spec);
+    ASSERT_NE(attack, nullptr) << kind;
+    EXPECT_FALSE(attack->name().empty()) << kind;
+    const Tensor adv = attack->perturb(eval.images, eval.labels);
+    ASSERT_EQ(adv.shape(), eval.images.shape()) << kind;
+    EXPECT_LE(max_abs(sub(adv, eval.images)), spec.cfg.epsilon + 1e-5f)
+        << kind;
+    EXPECT_GE(min_value(adv), -1e-6f) << kind;
+    EXPECT_LE(max_value(adv), 1.0f + 1e-6f) << kind;
+  }
+}
+
+TEST(AttackRegistry, UnknownKindThrows) {
+  EXPECT_THROW(make_attack("no-such-attack", float_targets(), quick_spec()),
+               Error);
+}
+
+TEST(AttackRegistry, MissingTargetThrows) {
+  AttackTargets only_adapted{nullptr, source(*fixture().twin)};
+  EXPECT_NO_THROW(make_attack("pgd", only_adapted, quick_spec()));
+  EXPECT_THROW(make_attack("diva", only_adapted, quick_spec()), Error);
+  AttackTargets empty;
+  EXPECT_THROW(make_attack("pgd", empty, quick_spec()), Error);
+}
+
+TEST(AttackRegistry, CustomKindsCanBeRegistered) {
+  register_attack("test-custom-pgd",
+                  [](const AttackTargets& t, const AttackSpec& s) {
+                    return std::make_unique<IteratedAttack>(
+                        "CustomPGD",
+                        std::vector<std::shared_ptr<GradSource>>{t.adapted},
+                        std::make_shared<CrossEntropyObjective>(), s.cfg);
+                  });
+  ASSERT_TRUE(attack_registered("test-custom-pgd"));
+  auto attack = make_attack("test-custom-pgd", float_targets(), quick_spec());
+  EXPECT_EQ(attack->name(), "CustomPGD");
+}
+
+TEST(AttackRegistry, MatchesDeprecatedWrapperBitExact) {
+  const Dataset eval = small_eval(5);
+  const AttackSpec spec = quick_spec();
+  auto& f = fixture();
+
+  PgdAttack legacy_pgd(*f.twin, spec.cfg);
+  auto pgd = make_attack("pgd", float_targets(), spec);
+  EXPECT_EQ(max_abs(sub(legacy_pgd.perturb(eval.images, eval.labels),
+                        pgd->perturb(eval.images, eval.labels))),
+            0.0f);
+
+  DivaAttack legacy_diva(*f.model, *f.twin, 1.0f, spec.cfg);
+  auto diva = make_attack("diva", float_targets(), spec);
+  EXPECT_EQ(max_abs(sub(legacy_diva.perturb(eval.images, eval.labels),
+                        diva->perturb(eval.images, eval.labels))),
+            0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// AttackEngine determinism.
+// ---------------------------------------------------------------------------
+
+TEST(AttackEngine2, ShardedEqualsSequentialAcrossThreadCounts) {
+  const Dataset eval = small_eval(8);
+  for (const char* kind : {"pgd", "diva", "momentum-pgd"}) {
+    auto attack = make_attack(kind, float_targets(), quick_spec(3));
+    const Tensor sequential =
+        attack->perturb(eval.images, eval.labels);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      const AttackEngine engine({.threads = threads, .shard_size = 3});
+      const Tensor sharded = engine.run(*attack, eval.images, eval.labels);
+      EXPECT_EQ(max_abs(sub(sequential, sharded)), 0.0f)
+          << kind << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(AttackEngine2, RandomStartIsShardInvariant) {
+  const Dataset eval = small_eval(8);
+  AttackSpec spec = quick_spec(2);
+  spec.cfg.random_start = true;
+  spec.cfg.seed = 99;
+  auto attack = make_attack("diva", float_targets(), spec);
+  const Tensor sequential = attack->perturb(eval.images, eval.labels);
+  for (const unsigned threads : {2u, 4u}) {
+    const AttackEngine engine({.threads = threads, .shard_size = 3});
+    EXPECT_EQ(max_abs(sub(sequential,
+                          engine.run(*attack, eval.images, eval.labels))),
+              0.0f)
+        << threads << " threads";
+  }
+}
+
+TEST(AttackEngine2, CallbackAttacksFallBackToSequential) {
+  const Dataset eval = small_eval(6);
+  AttackSpec spec = quick_spec(3);
+  int calls = 0;
+  spec.cfg.step_callback = [&calls](int, const Tensor& batch) {
+    // Whole-batch iterates: sharding would hand the callback fragments.
+    EXPECT_EQ(batch.dim(0), 6);
+    ++calls;
+  };
+  auto attack = make_attack("pgd", float_targets(), spec);
+  EXPECT_FALSE(attack->shardable());
+  const AttackEngine engine({.threads = 2, .shard_size = 2});
+  (void)engine.run(*attack, eval.images, eval.labels);
+  EXPECT_EQ(calls, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized-model gradient sources: the edge artifact as attack target.
+// ---------------------------------------------------------------------------
+
+TEST(QuantTarget, SteDivaCompletesEndToEnd) {
+  auto& f = fixture();
+  const Dataset eval = small_eval(3);
+  AttackSpec spec = quick_spec(4);
+  // Adapted side: int8 forward, STE backward through the QAT shadow.
+  const AttackTargets targets{source(*f.model),
+                              source(*f.quantized, *f.qat)};
+  auto diva = make_attack("diva", targets, spec);
+  const Tensor adv = diva->perturb(eval.images, eval.labels);
+  ASSERT_EQ(adv.shape(), eval.images.shape());
+  EXPECT_LE(max_abs(sub(adv, eval.images)), spec.cfg.epsilon + 1e-5f);
+  EXPECT_GE(min_value(adv), -1e-6f);
+  EXPECT_LE(max_value(adv), 1.0f + 1e-6f);
+}
+
+TEST(QuantTarget, FiniteDifferenceDivaCompletesEndToEnd) {
+  auto& f = fixture();
+  const Dataset eval = small_eval(2);
+  AttackSpec spec = quick_spec(2);
+  // Adapted side: derivative-free probing of the int8 artifact alone.
+  const AttackTargets targets{source(*f.model), fd_source(*f.quantized)};
+  auto diva = make_attack("diva", targets, spec);
+  const Tensor adv = diva->perturb(eval.images, eval.labels);
+  ASSERT_EQ(adv.shape(), eval.images.shape());
+  EXPECT_LE(max_abs(sub(adv, eval.images)), spec.cfg.epsilon + 1e-5f);
+  EXPECT_GE(min_value(adv), -1e-6f);
+  EXPECT_LE(max_value(adv), 1.0f + 1e-6f);
+}
+
+TEST(QuantTarget, SpsaGradientDescendsTheIntegerSurface) {
+  // Functional check of the derivative-free estimator: one full-budget
+  // descent step along -sign(g_fd) must reduce the int8 model's label
+  // probability well beyond staircase noise.
+  auto& f = fixture();
+  const Dataset eval = small_eval(1);
+  const int y = eval.labels[0];
+  FdConfig fd_cfg;
+  fd_cfg.samples = 256;
+  auto fd = fd_source(*f.quantized, fd_cfg);
+
+  DivaObjective obj(1.0f);
+  GradRequest req;
+  req.values = [&](const Tensor& l, const std::vector<std::int64_t>& rows) {
+    std::vector<int> labels;
+    labels.reserve(rows.size());
+    for (auto r : rows) {
+      labels.push_back(eval.labels[static_cast<std::size_t>(r)]);
+    }
+    return obj.term_values(1, l, labels);
+  };
+  const Tensor g = fd->input_grad(eval.images, req);
+
+  auto label_prob = [&](const Tensor& x) {
+    return softmax_rows(f.quantized->forward(x)).at(0, y);
+  };
+  Tensor stepped = eval.images;
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    const float s = g[i] > 0 ? 1.0f : (g[i] < 0 ? -1.0f : 0.0f);
+    stepped[i] = std::min(1.0f, std::max(0.0f, stepped[i] - 8.0f / 255.0f * s));
+  }
+  EXPECT_LT(label_prob(stepped), label_prob(eval.images) - 0.02f);
+}
+
+TEST(QuantTarget, FdProbesAreShardAndReplayInvariant) {
+  // The SPSA probe stream is keyed by (seed, global sample, step), so
+  // the same sample produces the same gradient whether it enters as
+  // batch row 0 with first_sample=2 or as row 2 of the full batch.
+  auto& f = fixture();
+  const Dataset eval = small_eval(3);
+  auto fd = fd_source(*f.quantized, {.samples = 8});
+  DivaObjective obj(1.0f);
+  auto values_for = [&](const std::vector<int>& labels) {
+    return [&obj, labels](const Tensor& l,
+                          const std::vector<std::int64_t>& rows) {
+      std::vector<int> row_labels;
+      row_labels.reserve(rows.size());
+      for (auto r : rows) {
+        row_labels.push_back(labels[static_cast<std::size_t>(r)]);
+      }
+      return obj.term_values(1, l, row_labels);
+    };
+  };
+
+  GradRequest full;
+  full.first_sample = 0;
+  full.values = values_for(eval.labels);
+  const Tensor g_full = fd->input_grad(eval.images, full);
+
+  const Dataset last = eval.subset({2});
+  GradRequest shard;
+  shard.first_sample = 2;
+  shard.values = values_for(last.labels);
+  const Tensor g_shard = fd->input_grad(last.images, shard);
+
+  const std::int64_t per = g_full.numel() / 3;
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < per; ++i) {
+    diff = std::max(diff, std::fabs(g_full[2 * per + i] - g_shard[i]));
+  }
+  EXPECT_EQ(diff, 0.0f);
+}
+
+TEST(QuantTarget, SteLogitsComeFromIntegerModel) {
+  auto& f = fixture();
+  const Dataset eval = small_eval(2);
+  auto ste = source(*f.quantized, *f.qat);
+  const Tensor expected = f.quantized->forward(eval.images);
+  EXPECT_EQ(max_abs(sub(ste->logits(eval.images), expected)), 0.0f);
+}
+
+}  // namespace
+}  // namespace diva
