@@ -30,30 +30,6 @@ Tensor per_sample_random_start(const Tensor& x, const AttackConfig& cfg,
   return out;
 }
 
-std::shared_ptr<GradSource> wrap(Module& m) {
-  return std::make_shared<ModuleGradSource>(m);
-}
-
-std::shared_ptr<AttackObjective> single_model_objective(AttackLoss loss) {
-  if (loss == AttackLoss::kCwMargin) {
-    return std::make_shared<CwMarginObjective>();
-  }
-  return std::make_shared<CrossEntropyObjective>();
-}
-
-AttackConfig fgsm_config(float epsilon) {
-  AttackConfig cfg;
-  cfg.epsilon = epsilon;
-  cfg.alpha = epsilon;
-  cfg.steps = 1;
-  return cfg;
-}
-
-AttackConfig with_momentum(AttackConfig cfg, float mu) {
-  cfg.momentum = mu;
-  return cfg;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -153,91 +129,6 @@ Tensor IteratedAttack::perturb_indexed(const Tensor& x,
     if (cfg_.step_callback) cfg_.step_callback(t + 1, x_adv);
   }
   return x_adv;
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated wrappers
-// ---------------------------------------------------------------------------
-
-PgdAttack::PgdAttack(Module& model, AttackConfig cfg, AttackLoss loss)
-    : impl_(loss == AttackLoss::kCwMargin ? "CW" : "PGD", {wrap(model)},
-            single_model_objective(loss), std::move(cfg)) {}
-
-Tensor PgdAttack::perturb(const Tensor& x, const std::vector<int>& labels) {
-  return impl_.perturb(x, labels);
-}
-
-Tensor PgdAttack::perturb_indexed(const Tensor& x,
-                                  const std::vector<int>& labels,
-                                  std::int64_t first_sample) {
-  return impl_.perturb_indexed(x, labels, first_sample);
-}
-
-FgsmAttack::FgsmAttack(Module& model, float epsilon)
-    : impl_("FGSM", {wrap(model)}, std::make_shared<CrossEntropyObjective>(),
-            fgsm_config(epsilon)) {}
-
-Tensor FgsmAttack::perturb(const Tensor& x, const std::vector<int>& labels) {
-  return impl_.perturb(x, labels);
-}
-
-Tensor FgsmAttack::perturb_indexed(const Tensor& x,
-                                   const std::vector<int>& labels,
-                                   std::int64_t first_sample) {
-  return impl_.perturb_indexed(x, labels, first_sample);
-}
-
-MomentumPgdAttack::MomentumPgdAttack(Module& model, AttackConfig cfg, float mu)
-    : impl_("MomentumPGD", {wrap(model)},
-            std::make_shared<CrossEntropyObjective>(),
-            with_momentum(std::move(cfg), mu)) {}
-
-Tensor MomentumPgdAttack::perturb(const Tensor& x,
-                                  const std::vector<int>& labels) {
-  return impl_.perturb(x, labels);
-}
-
-Tensor MomentumPgdAttack::perturb_indexed(const Tensor& x,
-                                          const std::vector<int>& labels,
-                                          std::int64_t first_sample) {
-  return impl_.perturb_indexed(x, labels, first_sample);
-}
-
-DivaAttack::DivaAttack(Module& original, Module& adapted, float c,
-                       AttackConfig cfg)
-    : impl_("DIVA", {wrap(original), wrap(adapted)},
-            std::make_shared<DivaObjective>(c), std::move(cfg)) {}
-
-Tensor DivaAttack::perturb(const Tensor& x, const std::vector<int>& labels) {
-  return impl_.perturb(x, labels);
-}
-
-Tensor DivaAttack::perturb_indexed(const Tensor& x,
-                                   const std::vector<int>& labels,
-                                   std::int64_t first_sample) {
-  return impl_.perturb_indexed(x, labels, first_sample);
-}
-
-float DivaAttack::c() const {
-  return static_cast<const DivaObjective&>(impl_.objective()).c();
-}
-
-TargetedDivaAttack::TargetedDivaAttack(Module& original, Module& adapted,
-                                       int target_class, float c, float k,
-                                       AttackConfig cfg)
-    : impl_("TargetedDIVA", {wrap(original), wrap(adapted)},
-            std::make_shared<TargetedDivaObjective>(target_class, c, k),
-            std::move(cfg)) {}
-
-Tensor TargetedDivaAttack::perturb(const Tensor& x,
-                                   const std::vector<int>& labels) {
-  return impl_.perturb(x, labels);
-}
-
-Tensor TargetedDivaAttack::perturb_indexed(const Tensor& x,
-                                           const std::vector<int>& labels,
-                                           std::int64_t first_sample) {
-  return impl_.perturb_indexed(x, labels, first_sample);
 }
 
 }  // namespace diva

@@ -32,10 +32,11 @@
 // step size alpha = 1/255, t = 20 steps, natural-sample initialization
 // (no random start).
 //
-// The concrete classes at the bottom (PgdAttack, FgsmAttack,
-// MomentumPgdAttack, DivaAttack, TargetedDivaAttack) are DEPRECATED
-// thin wrappers kept for one release; new code should build attacks
-// through the registry (registry.h) or compose IteratedAttack directly.
+// The PR-1 concrete wrapper classes (PgdAttack, FgsmAttack,
+// MomentumPgdAttack, DivaAttack, TargetedDivaAttack) were removed after
+// their one-release deprecation window; build attacks through the
+// registry (registry.h) or compose IteratedAttack directly — see the
+// migration table in CHANGES.md.
 #pragma once
 
 #include <functional>
@@ -121,105 +122,6 @@ class IteratedAttack : public Attack {
   std::vector<std::shared_ptr<GradSource>> sources_;
   std::shared_ptr<AttackObjective> objective_;
   AttackConfig cfg_;
-};
-
-// ---------------------------------------------------------------------------
-// Deprecated concrete classes — thin wrappers over IteratedAttack, kept
-// for one release. Migrate to make_attack() (attack/registry.h).
-// ---------------------------------------------------------------------------
-
-/// Loss maximized by the single-model attacks (legacy selector).
-enum class AttackLoss {
-  kCrossEntropy,  // standard PGD objective
-  kCwMargin,      // max_{i != y} z_i - z_y   (L-inf CW, Madry setup)
-};
-
-/// DEPRECATED: use make_attack("pgd"|"cw", ...). Projected gradient
-/// descent (Madry et al.) against a single model.
-class PgdAttack : public Attack {
- public:
-  PgdAttack(Module& model, AttackConfig cfg = {},
-            AttackLoss loss = AttackLoss::kCrossEntropy);
-
-  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
-  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
-                         std::int64_t first_sample) override;
-  bool shardable() const override { return impl_.shardable(); }
-  std::string name() const override { return impl_.name(); }
-
- private:
-  IteratedAttack impl_;
-};
-
-/// DEPRECATED: use make_attack("fgsm", ...). FGSM: single-step PGD with
-/// alpha = epsilon (Goodfellow et al.).
-class FgsmAttack : public Attack {
- public:
-  explicit FgsmAttack(Module& model, float epsilon = 8.0f / 255.0f);
-  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
-  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
-                         std::int64_t first_sample) override;
-  bool shardable() const override { return impl_.shardable(); }
-  std::string name() const override { return "FGSM"; }
-
- private:
-  IteratedAttack impl_;
-};
-
-/// DEPRECATED: use make_attack("momentum-pgd", ...). Momentum PGD (Dong
-/// et al.): accumulates an L1-normalized gradient moving average before
-/// taking the sign step.
-class MomentumPgdAttack : public Attack {
- public:
-  MomentumPgdAttack(Module& model, AttackConfig cfg = {}, float mu = 0.5f);
-  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
-  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
-                         std::int64_t first_sample) override;
-  bool shardable() const override { return impl_.shardable(); }
-  std::string name() const override { return "MomentumPGD"; }
-
- private:
-  IteratedAttack impl_;
-};
-
-/// DEPRECATED: use make_attack("diva", ...). DIVA (the paper's
-/// contribution, Eq. 5/6): jointly maximizes
-///   L = p_orig(y | x') - c * p_adapted(y | x')
-/// so the adapted model flips while the original model keeps its
-/// prediction.
-class DivaAttack : public Attack {
- public:
-  DivaAttack(Module& original, Module& adapted, float c = 1.0f,
-             AttackConfig cfg = {});
-
-  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
-  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
-                         std::int64_t first_sample) override;
-  bool shardable() const override { return impl_.shardable(); }
-  std::string name() const override { return "DIVA"; }
-
-  float c() const;
-
- private:
-  IteratedAttack impl_;
-};
-
-/// DEPRECATED: use make_attack("targeted-diva", ...). Targeted DIVA
-/// (§6): adds a pull toward a chosen target class on the adapted model:
-///   L = p_o[y] - c * p_a[y] - k * || p_a - onehot(t) ||^2.
-class TargetedDivaAttack : public Attack {
- public:
-  TargetedDivaAttack(Module& original, Module& adapted, int target_class,
-                     float c = 1.0f, float k = 2.0f, AttackConfig cfg = {});
-
-  Tensor perturb(const Tensor& x, const std::vector<int>& labels) override;
-  Tensor perturb_indexed(const Tensor& x, const std::vector<int>& labels,
-                         std::int64_t first_sample) override;
-  bool shardable() const override { return impl_.shardable(); }
-  std::string name() const override { return "TargetedDIVA"; }
-
- private:
-  IteratedAttack impl_;
 };
 
 }  // namespace diva

@@ -1,0 +1,21 @@
+// Geometry of a 2-D convolution / pooling window. Lives in the kernel
+// layer so both the float (tensor/nn) and int8 (quant) worlds can share
+// the im2col lowering and the GEMM-backed kernels without depending on
+// each other.
+#pragma once
+
+#include <cstdint>
+
+namespace diva {
+
+struct ConvGeom {
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::int64_t kernel_h = 0, kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+};
+
+}  // namespace diva

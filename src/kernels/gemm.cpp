@@ -1,0 +1,205 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+
+#include "kernels/workspace.h"
+#include "runtime/thread_pool.h"
+
+namespace diva {
+
+namespace {
+
+// Register microkernel footprint and cache blocking. MR*NR floats of
+// accumulator fit comfortably in vector registers once the
+// compiler vectorizes the NR loop; KC keeps one packed A strip plus one
+// packed B strip resident in L1, MC keeps the packed A block in L2.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 32;
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kMc = 64;
+constexpr std::int64_t kNc = 512;
+
+/// Reads element (i, j) of the logical matrix backed by `p`.
+inline float at(const float* p, std::int64_t ld, bool trans, std::int64_t i,
+                std::int64_t j) {
+  return trans ? p[j * ld + i] : p[i * ld + j];
+}
+
+/// Packs rows [i0, i0+mc) x cols [p0, p0+kc) of logical A into MR-row
+/// panels: out[strip][p][r] with zero padding to full MR.
+void pack_a(const float* a, std::int64_t lda, bool trans, std::int64_t i0,
+            std::int64_t mc, std::int64_t p0, std::int64_t kc, float* out) {
+  for (std::int64_t i = 0; i < mc; i += kMr) {
+    const std::int64_t mr = std::min(kMr, mc - i);
+    float* panel = out + i * kc;
+    if (!trans && mr == kMr) {
+      const float* r0 = a + (i0 + i) * lda + p0;
+      const float* r1 = r0 + lda;
+      const float* r2 = r1 + lda;
+      const float* r3 = r2 + lda;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        panel[p * kMr + 0] = r0[p];
+        panel[p * kMr + 1] = r1[p];
+        panel[p * kMr + 2] = r2[p];
+        panel[p * kMr + 3] = r3[p];
+      }
+      continue;
+    }
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t r = 0; r < kMr; ++r) {
+        panel[p * kMr + r] =
+            r < mr ? at(a, lda, trans, i0 + i + r, p0 + p) : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs rows [p0, p0+kc) x cols [j0, j0+nc) of logical B into NR-col
+/// panels: out[strip][p][cc] with zero padding to full NR.
+void pack_b(const float* b, std::int64_t ldb, bool trans, std::int64_t p0,
+            std::int64_t kc, std::int64_t j0, std::int64_t nc, float* out) {
+  for (std::int64_t j = 0; j < nc; j += kNr) {
+    const std::int64_t nr = std::min(kNr, nc - j);
+    float* panel = out + j * kc;
+    if (!trans && nr == kNr) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * ldb + j0 + j;
+        float* dst = panel + p * kNr;
+        for (std::int64_t cc = 0; cc < kNr; ++cc) dst[cc] = src[cc];
+      }
+      continue;
+    }
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t cc = 0; cc < kNr; ++cc) {
+        panel[p * kNr + cc] =
+            cc < nr ? at(b, ldb, trans, p0 + p, j0 + j + cc) : 0.0f;
+      }
+    }
+  }
+}
+
+/// acc[MR][NR] += Ap[kc][MR] x Bp[kc][NR]. Plain loops; the NR loop
+/// vectorizes and the MR loop unrolls.
+inline void micro_kernel(const float* ap, const float* bp, std::int64_t kc,
+                         float* acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kNr;
+    const float* arow = ap + p * kMr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      float* accrow = acc + r * kNr;
+      for (std::int64_t cc = 0; cc < kNr; ++cc) accrow[cc] += av * brow[cc];
+    }
+  }
+}
+
+/// Small-problem fallback: packing costs more than it saves.
+void sgemm_small(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t lda, bool trans_a,
+                 const float* b, std::int64_t ldb, bool trans_b, float* c,
+                 std::int64_t ldc, const SgemmEpilogue& ep) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    const float bias_i = ep.bias_row != nullptr ? ep.bias_row[i] : 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      float base = ep.beta == 0.0f ? 0.0f : crow[j] * ep.beta;
+      base += bias_i;
+      if (ep.bias_col != nullptr) base += ep.bias_col[j];
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += at(a, lda, trans_a, i, p) * at(b, ldb, trans_b, p, j);
+      }
+      crow[j] = base + acc;
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+           std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
+           bool trans_b, float* c, std::int64_t ldc, const SgemmEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    // Degenerate: only the epilogue applies.
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        float v = ep.beta == 0.0f ? 0.0f : c[i * ldc + j] * ep.beta;
+        if (ep.bias_row != nullptr) v += ep.bias_row[i];
+        if (ep.bias_col != nullptr) v += ep.bias_col[j];
+        c[i * ldc + j] = v;
+      }
+    }
+    return;
+  }
+  if (m * n * k < (1 << 13)) {
+    sgemm_small(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, ep);
+    return;
+  }
+
+  auto frame = Workspace::tls().frame();
+  const std::int64_t nc_max = std::min(n, kNc);
+  const std::int64_t kc_max = std::min(k, kKc);
+  const std::int64_t nc_strips = (nc_max + kNr - 1) / kNr;
+  float* bpack = frame.alloc<float>(nc_strips * kNr * kc_max);
+
+  for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
+    const std::int64_t nc = std::min(kNc, n - j0);
+    const std::int64_t strips_n = (nc + kNr - 1) / kNr;
+    for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::int64_t kc = std::min(kKc, k - p0);
+      const bool first_k = p0 == 0;
+      pack_b(b, ldb, trans_b, p0, kc, j0, nc, bpack);
+
+      parallel_for_chunked(0, (m + kMc - 1) / kMc, [&](std::int64_t blk_lo,
+                                                       std::int64_t blk_hi) {
+        auto wframe = Workspace::tls().frame();
+        float* apack = wframe.alloc<float>(((kMc + kMr - 1) / kMr) * kMr * kc);
+        float acc[kMr * kNr];
+        for (std::int64_t blk = blk_lo; blk < blk_hi; ++blk) {
+          const std::int64_t i0 = blk * kMc;
+          const std::int64_t mc = std::min(kMc, m - i0);
+          pack_a(a, lda, trans_a, i0, mc, p0, kc, apack);
+          for (std::int64_t js = 0; js < strips_n; ++js) {
+            const std::int64_t j = j0 + js * kNr;
+            const std::int64_t nr = std::min(kNr, n - j);
+            const float* bp = bpack + js * kNr * kc;
+            for (std::int64_t is = 0; is * kMr < mc; ++is) {
+              const std::int64_t i = i0 + is * kMr;
+              const std::int64_t mr = std::min(kMr, m - i);
+              std::fill(acc, acc + kMr * kNr, 0.0f);
+              micro_kernel(apack + is * kMr * kc, bp, kc, acc);
+              for (std::int64_t r = 0; r < mr; ++r) {
+                float* crow = c + (i + r) * ldc + j;
+                const float* arow = acc + r * kNr;
+                if (first_k) {
+                  float base = ep.bias_row != nullptr ? ep.bias_row[i + r]
+                                                      : 0.0f;
+                  if (ep.beta == 0.0f) {
+                    for (std::int64_t cc = 0; cc < nr; ++cc) {
+                      crow[cc] = base + arow[cc] +
+                                 (ep.bias_col != nullptr
+                                      ? ep.bias_col[j + cc]
+                                      : 0.0f);
+                    }
+                  } else {
+                    for (std::int64_t cc = 0; cc < nr; ++cc) {
+                      crow[cc] = crow[cc] * ep.beta + base + arow[cc] +
+                                 (ep.bias_col != nullptr
+                                      ? ep.bias_col[j + cc]
+                                      : 0.0f);
+                    }
+                  }
+                } else {
+                  for (std::int64_t cc = 0; cc < nr; ++cc) crow[cc] += arow[cc];
+                }
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace diva

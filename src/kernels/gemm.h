@@ -1,0 +1,40 @@
+// Cache-blocked single-precision GEMM.
+//
+// C[m,n] = A[m,k] x B[k,n] with optional accumulation (beta), optional
+// logical transposition of either operand (handled during packing, so
+// callers never materialize a transpose), and a fused bias epilogue
+// (per-row for conv layouts, per-column for dense layouts).
+//
+// Structure is the classic three-level blocking: B is packed into
+// [KC x NR] column panels, A into [KC x MR] row panels, and a 4xNR
+// register microkernel written as plain scalar loops the compiler
+// auto-vectorizes. The M dimension is sharded across the global thread
+// pool (nested calls from inside pool workers degrade to serial, so
+// batch-level parallel_for callers compose safely). Packing buffers
+// come from the thread-local Workspace arena — steady-state calls do
+// not touch the heap.
+#pragma once
+
+#include <cstdint>
+
+namespace diva {
+
+/// What happens to the int32-free accumulators on writeback.
+struct SgemmEpilogue {
+  /// 0 overwrites C, 1 accumulates into C (other values scale old C).
+  float beta = 0.0f;
+  /// Added to every element of row i (length m). Conv bias layout.
+  const float* bias_row = nullptr;
+  /// Added to every element of column j (length n). Dense bias layout.
+  const float* bias_col = nullptr;
+};
+
+/// C[m,n] (+)= op(A) x op(B). `a` holds a row-major matrix with leading
+/// dimension lda: the logical A[m,k] itself, or — when trans_a — the
+/// stored k x m matrix whose transpose is A. Likewise for B.
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+           std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
+           bool trans_b, float* c, std::int64_t ldc,
+           const SgemmEpilogue& ep = {});
+
+}  // namespace diva

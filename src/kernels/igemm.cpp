@@ -1,0 +1,149 @@
+#include "kernels/igemm.h"
+
+#include <algorithm>
+
+#include "kernels/fixedpoint.h"
+#include "kernels/workspace.h"
+#include "runtime/check.h"
+
+namespace diva {
+
+namespace {
+
+// int32 accumulators: MR x NR tile. int8 operands are widened to int16
+// during packing so the microkernel is a plain int16 x int16 -> int32
+// multiply-add the compiler vectorizes (pmaddwd-shaped). igemm itself is
+// serial — callers parallelize at the batch/image level.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 32;
+constexpr std::int64_t kKc = 512;
+
+void pack_a16(const std::int8_t* a, std::int64_t lda, std::int64_t i0,
+              std::int64_t mr, std::int64_t p0, std::int64_t kc,
+              std::int16_t* out) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      out[p * kMr + r] =
+          r < mr ? static_cast<std::int16_t>(a[(i0 + r) * lda + p0 + p]) : 0;
+    }
+  }
+}
+
+void pack_b16(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
+              std::int64_t kc, std::int64_t j0, std::int64_t nr,
+              std::int16_t* out) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const std::int8_t* src = b + (p0 + p) * ldb + j0;
+    std::int16_t* dst = out + p * kNr;
+    for (std::int64_t cc = 0; cc < kNr; ++cc) {
+      dst[cc] = cc < nr ? static_cast<std::int16_t>(src[cc]) : 0;
+    }
+  }
+}
+
+inline void micro_kernel(const std::int16_t* ap, const std::int16_t* bp,
+                         std::int64_t kc, std::int32_t* acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const std::int16_t* brow = bp + p * kNr;
+    const std::int16_t* arow = ap + p * kMr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const std::int32_t av = arow[r];
+      std::int32_t* accrow = acc + r * kNr;
+      for (std::int64_t cc = 0; cc < kNr; ++cc) {
+        accrow[cc] += av * static_cast<std::int32_t>(brow[cc]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+           std::int64_t ldb, std::int32_t b_zp, const IgemmEpilogue& ep,
+           std::int8_t* out, std::int64_t ldo) {
+  if (m <= 0 || n <= 0) return;
+  DIVA_CHECK(ep.multiplier != nullptr && ep.shift != nullptr,
+             "igemm needs a per-row requant epilogue");
+
+  auto frame = Workspace::tls().frame();
+  if (m == 1) {
+    // Single-row fast path (depthwise layers call igemm once per
+    // channel): B rows stream with unit stride, so packing and the
+    // 4-row microkernel would only multiply padding. Same integer sums,
+    // still bit-exact.
+    std::int32_t* raw = frame.alloc_zeroed<std::int32_t>(n);
+    std::int32_t rowsum = 0;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const std::int32_t av = a[p];
+      rowsum += av;
+      if (av == 0) continue;
+      const std::int8_t* brow = b + p * ldb;
+      for (std::int64_t j = 0; j < n; ++j) {
+        raw[j] += av * static_cast<std::int32_t>(brow[j]);
+      }
+    }
+    const std::int32_t base =
+        (ep.bias != nullptr ? ep.bias[0] : 0) - b_zp * rowsum;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int32_t scaled = multiply_by_quantized_multiplier(
+          base + raw[j], ep.multiplier[0], ep.shift[0]);
+      out[j] = static_cast<std::int8_t>(
+          std::clamp(scaled + ep.out_zp, ep.act_min, ep.act_max));
+    }
+    return;
+  }
+
+  const std::int64_t kc_max = std::min(std::max<std::int64_t>(k, 1), kKc);
+  const std::int64_t n_strips = (n + kNr - 1) / kNr;
+  std::int16_t* apack = frame.alloc<std::int16_t>(kMr * kc_max);
+  std::int16_t* bpack = frame.alloc<std::int16_t>(n_strips * kNr * kc_max);
+  // Raw (pre-epilogue) int32 accumulators for the whole output, so K
+  // blocking can accumulate before the requantization epilogue runs.
+  std::int32_t* raw = frame.alloc_zeroed<std::int32_t>(m * n);
+  std::int32_t acc[kMr * kNr];
+
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::int64_t kc = std::min(kKc, k - p0);
+    for (std::int64_t js = 0; js < n_strips; ++js) {
+      pack_b16(b, ldb, p0, kc, js * kNr, std::min(kNr, n - js * kNr),
+               bpack + js * kNr * kc);
+    }
+    for (std::int64_t i0 = 0; i0 < m; i0 += kMr) {
+      const std::int64_t mr = std::min(kMr, m - i0);
+      pack_a16(a, lda, i0, mr, p0, kc, apack);
+      for (std::int64_t js = 0; js < n_strips; ++js) {
+        const std::int64_t j0 = js * kNr;
+        const std::int64_t nr = std::min(kNr, n - j0);
+        std::fill(acc, acc + kMr * kNr, 0);
+        micro_kernel(apack, bpack + js * kNr * kc, kc, acc);
+        for (std::int64_t r = 0; r < mr; ++r) {
+          std::int32_t* rawrow = raw + (i0 + r) * n + j0;
+          const std::int32_t* accrow = acc + r * kNr;
+          for (std::int64_t cc = 0; cc < nr; ++cc) rawrow[cc] += accrow[cc];
+        }
+      }
+    }
+  }
+
+  // Epilogue: zero-point correction, bias, fixed-point requantization.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * lda;
+    std::int32_t rowsum = 0;
+    for (std::int64_t p = 0; p < k; ++p) rowsum += arow[p];
+    const std::int32_t base =
+        (ep.bias != nullptr ? ep.bias[i] : 0) - b_zp * rowsum;
+    const std::int32_t mult = ep.multiplier[i];
+    const int shift = ep.shift[i];
+    const std::int32_t* rawrow = raw + i * n;
+    std::int8_t* orow = out + i * ldo;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int32_t scaled =
+          multiply_by_quantized_multiplier(base + rawrow[j], mult, shift);
+      orow[j] = static_cast<std::int8_t>(
+          std::clamp(scaled + ep.out_zp, ep.act_min, ep.act_max));
+    }
+  }
+}
+
+}  // namespace diva

@@ -1,0 +1,37 @@
+// Cache-blocked int8 x int8 -> int32 GEMM with a fused requantization
+// epilogue.
+//
+// Computes out[m,n] = requant(A[m,k] x (B[k,n] - b_zp) + bias[m]) where
+// A holds int8 weights (per-row = per-output-channel quantized), B holds
+// int8 activations on an affine grid with zero point b_zp (im2col
+// panels fill padding with b_zp so padded taps contribute exactly
+// zero), accumulation is int32, and the epilogue applies the TFLite
+// fixed-point per-row multiplier, output zero point, and activation
+// clamp. The zero-point correction is hoisted out of the inner loop:
+//   sum_p a[i,p] * (b[p,j] - zp) = raw[i,j] - zp * rowsum_a[i]
+// which is exact in integer arithmetic, so results are bit-identical to
+// the naive scalar kernels for any loop order or blocking.
+#pragma once
+
+#include <cstdint>
+
+namespace diva {
+
+/// Per-row requantization epilogue. All pointers have length m.
+struct IgemmEpilogue {
+  const std::int32_t* bias = nullptr;  // int32 bias at scale s_in*s_w[row]
+  const std::int32_t* multiplier = nullptr;  // Q31 fixed-point multiplier
+  const int* shift = nullptr;                // power-of-two shift
+  std::int32_t out_zp = 0;
+  std::int32_t act_min = -128;
+  std::int32_t act_max = 127;
+};
+
+/// out[m,n] = requant(A[m,k] x (B[k,n] - b_zp)). A has leading dim lda,
+/// B ldb, out ldo (all row-major).
+void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+           std::int64_t ldb, std::int32_t b_zp, const IgemmEpilogue& ep,
+           std::int8_t* out, std::int64_t ldo);
+
+}  // namespace diva

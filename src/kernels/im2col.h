@@ -1,0 +1,55 @@
+// Convolution lowering shared by the float and int8 worlds.
+//
+// im2col lowers one CHW image into a [C*Kh*Kw, OH*OW] patch matrix so a
+// convolution becomes a single GEMM against the [OC, C*Kh*Kw] weight
+// matrix. The template is instantiated for float (pad value 0.0f) and
+// int8 (pad value = input zero point, which represents real zero on the
+// affine grid). col2im is the float-only adjoint used by conv backward.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "kernels/conv_geom.h"
+
+namespace diva {
+
+/// Lowers one CHW image to [C*Kh*Kw, OH*OW]; out-of-bounds taps read as
+/// `pad_value`. `out` must hold C*Kh*Kw*OH*OW elements.
+template <typename T>
+void im2col(const T* image, const ConvGeom& g, T pad_value, T* out) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const T* chan = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        T* orow = out + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride - g.pad + kh;
+          if (iy < 0 || iy >= g.in_h) {
+            std::fill(orow + y * ow, orow + (y + 1) * ow, pad_value);
+            continue;
+          }
+          const T* irow = chan + iy * g.in_w;
+          if (g.pad == 0 && g.stride == 1 && kw + ow <= g.in_w) {
+            // Common fast case: contiguous unit-stride row copy.
+            std::copy_n(irow + kw, ow, orow + y * ow);
+            continue;
+          }
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride - g.pad + kw;
+            orow[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? irow[ix] : pad_value;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Adjoint of im2col: scatters a patch matrix back into a CHW image
+/// (accumulating). `image` must hold C*H*W floats, pre-zeroed by caller.
+void col2im(const float* cols, const ConvGeom& g, float* image);
+
+}  // namespace diva

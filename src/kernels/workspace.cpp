@@ -1,0 +1,71 @@
+#include "kernels/workspace.h"
+
+#include <algorithm>
+
+namespace diva {
+
+namespace {
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kMinBlock = 1 << 16;  // 64 KiB
+
+std::size_t align_up(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::Block Workspace::make_block(std::size_t size) {
+  Block blk;
+  blk.size = size;
+  // new[] only guarantees 16-byte alignment; over-allocate and keep an
+  // aligned base so every bump offset stays 64-byte aligned.
+  blk.data = std::make_unique<std::byte[]>(size + kAlign);
+  const auto raw = reinterpret_cast<std::uintptr_t>(blk.data.get());
+  blk.base = blk.data.get() + (align_up(raw) - raw);
+  return blk;
+}
+
+void* Workspace::bump(std::size_t bytes) {
+  bytes = align_up(std::max<std::size_t>(bytes, 1));
+  // Try the active block, then any later (previously rewound) block.
+  for (std::size_t b = active_; b < blocks_.size(); ++b) {
+    Block& blk = blocks_[b];
+    if (blk.size - blk.used >= bytes) {
+      void* p = blk.base + blk.used;
+      blk.used += bytes;
+      active_ = b;
+      return p;
+    }
+    // A block we skip past counts as fully used until the frame unwinds.
+    blk.used = blk.size;
+  }
+  // Chain a new block; existing allocations never move.
+  blocks_.push_back(make_block(std::max({bytes, kMinBlock, capacity()})));
+  active_ = blocks_.size() - 1;
+  blocks_.back().used = bytes;
+  return blocks_.back().base;
+}
+
+void Workspace::release(std::size_t block, std::size_t used) {
+  DIVA_CHECK(depth_ > 0, "Workspace frame release without open frame");
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.used;
+  high_water_ = std::max(high_water_, total);
+
+  // Rewind to the frame's mark.
+  for (std::size_t b = blocks_.size(); b-- > block + 1;) blocks_[b].used = 0;
+  if (block < blocks_.size()) blocks_[block].used = used;
+  active_ = block;
+
+  if (--depth_ == 0 && blocks_.size() > 1) {
+    // Coalesce: replace the chain with one block sized to the high-water
+    // mark so the next outermost frame runs allocation-free.
+    blocks_.clear();
+    blocks_.push_back(make_block(align_up(high_water_) + kAlign));
+    active_ = 0;
+  }
+}
+
+}  // namespace diva

@@ -1,0 +1,109 @@
+// Workspace: a thread-local bump allocator for kernel scratch memory.
+//
+// Every hot path in this library used to allocate fresh Tensors or
+// vectors per forward (im2col panels, packed GEMM blocks, int8 slot
+// buffers) — thousands of heap round-trips per attack step. A Workspace
+// instead hands out aligned slices of one arena that is reset, not
+// freed, between uses:
+//
+//   auto frame = Workspace::tls().frame();   // RAII mark/release
+//   float* cols = frame.alloc<float>(k2 * ohw);
+//   ...                                      // frame destructor rewinds
+//
+// Allocation is a pointer bump. When the arena runs out mid-frame a new
+// block is chained on (existing pointers stay valid); once the
+// outermost frame unwinds, the blocks are coalesced into one allocation
+// sized to the high-water mark, so steady-state loops (attack steps,
+// bench iterations) allocate nothing after the first pass.
+//
+// The arena is thread-local: pool workers each own one, so kernels
+// running under parallel_for need no locking. Frames nest; memory
+// obtained from a frame must not outlive it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/check.h"
+
+namespace diva {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The calling thread's arena.
+  static Workspace& tls();
+
+  /// RAII scope: records the bump position on entry, rewinds on exit.
+  class Frame {
+   public:
+    explicit Frame(Workspace& ws)
+        : ws_(ws), block_(ws.active_), used_(ws.current_used()) {
+      ++ws_.depth_;
+    }
+    ~Frame() { ws_.release(block_, used_); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+    /// Uninitialized, 64-byte-aligned scratch of `n` elements.
+    template <typename T>
+    T* alloc(std::int64_t n) {
+      return static_cast<T*>(
+          ws_.bump(static_cast<std::size_t>(n) * sizeof(T)));
+    }
+
+    /// Zero-filled variant (int32 GEMM accumulators, col2im targets).
+    template <typename T>
+    T* alloc_zeroed(std::int64_t n) {
+      T* p = alloc<T>(n);
+      for (std::int64_t i = 0; i < n; ++i) p[i] = T{};
+      return p;
+    }
+
+   private:
+    Workspace& ws_;
+    std::size_t block_;
+    std::size_t used_;
+  };
+
+  Frame frame() { return Frame(*this); }
+
+  /// Bytes currently held by the arena (all blocks).
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Number of backing blocks (1 in steady state after coalescing).
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::byte* base = nullptr;  // 64-byte-aligned start within data
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static Block make_block(std::size_t size);
+
+  std::size_t current_used() const {
+    return active_ < blocks_.size() ? blocks_[active_].used : 0;
+  }
+
+  void* bump(std::size_t bytes);
+  void release(std::size_t block, std::size_t used);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // block currently being bumped
+  int depth_ = 0;           // open frame count
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace diva

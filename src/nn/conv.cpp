@@ -1,7 +1,10 @@
 #include "nn/conv.h"
 
 #include <algorithm>
+#include <mutex>
 
+#include "kernels/gemm.h"
+#include "kernels/workspace.h"
 #include "runtime/thread_pool.h"
 
 namespace diva {
@@ -39,35 +42,31 @@ Tensor Conv2d::forward(const Tensor& x) {
   const std::int64_t k2 = in_c_ * kernel_ * kernel_;
   const std::int64_t ohw = oh * ow;
 
-  cached_weff_ = effective_weight();
-  const Tensor wmat = cached_weff_.reshaped(Shape{out_c_, k2});
-
-  cached_cols_ = Tensor(Shape{batch_, k2, ohw});
+  weff_ = &effective_weight();  // [out_c, k2] once flattened row-major
+  // The input is only needed to recompute im2col panels for dW; frozen
+  // models (attack mode) skip the copy entirely.
+  cached_input_ = param_grads_enabled() ? x : Tensor();
   Tensor out(Shape{batch_, out_c_, oh, ow});
 
   const std::int64_t in_stride = in_c_ * geom_.in_h * geom_.in_w;
+  const float* bias = with_bias_ ? bias_.value.raw() : nullptr;
   parallel_for(0, batch_, [&](std::int64_t n) {
-    float* cols = cached_cols_.raw() + n * k2 * ohw;
+    auto frame = Workspace::tls().frame();
+    float* cols = frame.alloc<float>(k2 * ohw);
     im2col(x.raw() + n * in_stride, geom_, cols);
-    // out_n[out_c, ohw] = wmat[out_c, k2] x cols[k2, ohw]
-    float* on = out.raw() + n * out_c_ * ohw;
-    for (std::int64_t oc = 0; oc < out_c_; ++oc) {
-      float* orow = on + oc * ohw;
-      const float b = with_bias_ ? bias_.value[oc] : 0.0f;
-      std::fill(orow, orow + ohw, b);
-      const float* wrow = wmat.raw() + oc * k2;
-      for (std::int64_t kk = 0; kk < k2; ++kk) {
-        const float w = wrow[kk];
-        if (w == 0.0f) continue;
-        const float* crow = cols + kk * ohw;
-        for (std::int64_t j = 0; j < ohw; ++j) orow[j] += w * crow[j];
-      }
-    }
+    // out_n[out_c, ohw] = W[out_c, k2] x cols[k2, ohw] + bias
+    sgemm(out_c_, ohw, k2, weff_->raw(), k2, false, cols, ohw, false,
+          out.raw() + n * out_c_ * ohw, ohw, {.bias_row = bias});
   });
   return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  DIVA_CHECK(weff_ != nullptr,
+             name() << ": backward without a preceding forward");
+  DIVA_CHECK(!param_grads_enabled() || !cached_input_.empty(),
+             name() << ": parameter gradients were enabled after a frozen "
+                       "forward; rerun forward first");
   const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
   const std::int64_t ohw = oh * ow;
   const std::int64_t k2 = in_c_ * kernel_ * kernel_;
@@ -78,64 +77,59 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   Tensor grad_in(Shape{batch_, in_c_, geom_.in_h, geom_.in_w});
   const std::int64_t in_stride = in_c_ * geom_.in_h * geom_.in_w;
-  const Tensor wmat = cached_weff_.reshaped(Shape{out_c_, k2});
+  const float* wraw = weff_->raw();
 
   // Per-chunk weight/bias gradient accumulators avoid a shared-write race.
   const bool want_param_grads = param_grads_enabled();
   std::mutex reduce_mu;
   parallel_for_chunked(0, batch_, [&](std::int64_t lo, std::int64_t hi) {
-    Tensor dw_local(Shape{out_c_, k2});
-    Tensor db_local(Shape{out_c_});
-    std::vector<float> dcol(static_cast<std::size_t>(k2 * ohw));
+    auto frame = Workspace::tls().frame();
+    float* dcol = frame.alloc<float>(k2 * ohw);
+    float* cols = want_param_grads ? frame.alloc<float>(k2 * ohw) : nullptr;
+    float* dw_local =
+        want_param_grads ? frame.alloc_zeroed<float>(out_c_ * k2) : nullptr;
+    double* db_local =
+        want_param_grads ? frame.alloc_zeroed<double>(out_c_) : nullptr;
 
     for (std::int64_t n = lo; n < hi; ++n) {
       const float* gy = grad_out.raw() + n * out_c_ * ohw;
-      const float* cols = cached_cols_.raw() + n * k2 * ohw;
 
-      // dW[oc, kk] += sum_j gy[oc, j] * cols[kk, j]; db[oc] += sum_j gy.
       if (want_param_grads) {
+        // dW[out_c, k2] += gy[out_c, ohw] x colsT[ohw, k2]; the im2col
+        // panels are recomputed from the cached input rather than
+        // retained across the step.
+        im2col(cached_input_.raw() + n * in_stride, geom_, cols);
+        sgemm(out_c_, k2, ohw, gy, ohw, false, cols, ohw, true, dw_local, k2,
+              {.beta = 1.0f});
         for (std::int64_t oc = 0; oc < out_c_; ++oc) {
           const float* gyrow = gy + oc * ohw;
-          float* dwrow = dw_local.raw() + oc * k2;
           double bsum = 0.0;
           for (std::int64_t j = 0; j < ohw; ++j) bsum += gyrow[j];
-          db_local[oc] += static_cast<float>(bsum);
-          for (std::int64_t kk = 0; kk < k2; ++kk) {
-            const float* crow = cols + kk * ohw;
-            float acc = 0.0f;
-            for (std::int64_t j = 0; j < ohw; ++j) acc += gyrow[j] * crow[j];
-            dwrow[kk] += acc;
-          }
+          db_local[oc] += bsum;
         }
       }
 
-      // dcol[kk, j] = sum_oc W[oc, kk] * gy[oc, j]; then scatter to dx.
-      std::fill(dcol.begin(), dcol.end(), 0.0f);
-      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
-        const float* wrow = wmat.raw() + oc * k2;
-        const float* gyrow = gy + oc * ohw;
-        for (std::int64_t kk = 0; kk < k2; ++kk) {
-          const float w = wrow[kk];
-          if (w == 0.0f) continue;
-          float* drow = dcol.data() + kk * ohw;
-          for (std::int64_t j = 0; j < ohw; ++j) drow[j] += w * gyrow[j];
-        }
-      }
-      col2im(dcol.data(), geom_, grad_in.raw() + n * in_stride);
+      // dcol[k2, ohw] = WT[k2, out_c] x gy[out_c, ohw]; scatter to dX.
+      sgemm(k2, ohw, out_c_, wraw, k2, true, gy, ohw, false, dcol, ohw, {});
+      col2im(dcol, geom_, grad_in.raw() + n * in_stride);
     }
 
     if (want_param_grads) {
       std::lock_guard<std::mutex> lock(reduce_mu);
       float* dw = weight_.grad.raw();
-      for (std::int64_t i = 0; i < dw_local.numel(); ++i) dw[i] += dw_local[i];
+      for (std::int64_t i = 0; i < out_c_ * k2; ++i) dw[i] += dw_local[i];
       if (with_bias_) {
         for (std::int64_t oc = 0; oc < out_c_; ++oc) {
-          bias_.grad[oc] += db_local[oc];
+          bias_.grad[oc] += static_cast<float>(db_local[oc]);
         }
       }
     }
   });
 
+  // Step over: drop the forward caches so attack loops don't carry
+  // per-layer buffers between iterations.
+  cached_input_ = Tensor();
+  weff_ = nullptr;
   return grad_in;
 }
 
@@ -171,14 +165,14 @@ Tensor DepthwiseConv2d::forward(const Tensor& x) {
   const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
   DIVA_CHECK(oh > 0 && ow > 0, name() << ": output collapses to zero size");
 
-  cached_input_ = x;
-  cached_weff_ = effective_weight();
+  cached_input_ = param_grads_enabled() ? x : Tensor();
+  weff_ = &effective_weight();
   Tensor out(Shape{batch, channels_, oh, ow});
 
   parallel_for(0, batch * channels_, [&](std::int64_t nc) {
     const std::int64_t n = nc / channels_, c = nc % channels_;
     const float* in = x.raw() + (n * channels_ + c) * geom_.in_h * geom_.in_w;
-    const float* w = cached_weff_.raw() + c * kernel_ * kernel_;
+    const float* w = weff_->raw() + c * kernel_ * kernel_;
     float* o = out.raw() + (n * channels_ + c) * oh * ow;
     const float b = with_bias_ ? bias_.value[c] : 0.0f;
     for (std::int64_t y = 0; y < oh; ++y) {
@@ -201,14 +195,22 @@ Tensor DepthwiseConv2d::forward(const Tensor& x) {
 }
 
 Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
-  const std::int64_t batch = cached_input_.dim(0);
-  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
-  DIVA_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == batch &&
-                 grad_out.dim(1) == channels_,
-             name() << ": bad grad shape " << grad_out.shape().str());
-
-  Tensor grad_in(cached_input_.shape());
+  DIVA_CHECK(weff_ != nullptr,
+             name() << ": backward without a preceding forward");
   const bool want_param_grads = param_grads_enabled();
+  DIVA_CHECK(!want_param_grads || !cached_input_.empty(),
+             name() << ": parameter gradients were enabled after a frozen "
+                       "forward; rerun forward first");
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  DIVA_CHECK(grad_out.rank() == 4 && grad_out.dim(1) == channels_ &&
+                 grad_out.dim(2) == oh && grad_out.dim(3) == ow,
+             name() << ": bad grad shape " << grad_out.shape().str());
+  const std::int64_t batch = grad_out.dim(0);
+  DIVA_CHECK(!want_param_grads || cached_input_.dim(0) == batch,
+             name() << ": grad batch " << batch << " != forward batch "
+                    << cached_input_.dim(0));
+
+  Tensor grad_in(Shape{batch, channels_, geom_.in_h, geom_.in_w});
   std::mutex reduce_mu;
 
   parallel_for_chunked(0, batch, [&](std::int64_t lo, std::int64_t hi) {
@@ -216,10 +218,12 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
     Tensor db_local(Shape{channels_});
     for (std::int64_t n = lo; n < hi; ++n) {
       for (std::int64_t c = 0; c < channels_; ++c) {
-        const float* in = cached_input_.raw() +
-                          (n * channels_ + c) * geom_.in_h * geom_.in_w;
+        const float* in = want_param_grads
+                              ? cached_input_.raw() +
+                                    (n * channels_ + c) * geom_.in_h * geom_.in_w
+                              : nullptr;
         const float* gy = grad_out.raw() + (n * channels_ + c) * oh * ow;
-        const float* w = cached_weff_.raw() + c * kernel_ * kernel_;
+        const float* w = weff_->raw() + c * kernel_ * kernel_;
         float* gi =
             grad_in.raw() + (n * channels_ + c) * geom_.in_h * geom_.in_w;
         float* dw = dw_local.raw() + c * kernel_ * kernel_;
@@ -259,6 +263,8 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
     }
   });
 
+  cached_input_ = Tensor();
+  weff_ = nullptr;
   return grad_in;
 }
 

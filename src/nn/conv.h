@@ -1,11 +1,18 @@
 // 2-D convolution layers (standard and depthwise), NCHW, square kernels.
 //
-// Conv2d lowers each image with im2col and runs a GEMM against the
+// Conv2d lowers each image with im2col into thread-local Workspace
+// scratch and runs the blocked kernels/gemm.h sgemm against the
 // [out_c, in_c*k*k] weight matrix; batches are parallelized across the
-// thread pool. The `effective_weight()` hook lets quantization-aware
-// subclasses (quant/QatConv2d) substitute fake-quantized weights while
-// reusing all of the forward/backward machinery — gradients then flow
-// to the float master weights via the straight-through estimator.
+// thread pool. Backward is two more GEMMs over the same panels (dX via
+// the transposed weights + col2im, dW via gy x colsT, recomputed from
+// the cached input only when parameter gradients are enabled). All
+// forward caches are released when backward finishes, so attack loops
+// don't retain per-layer im2col buffers between steps.
+//
+// The `effective_weight()` hook lets quantization-aware subclasses
+// (quant/QatConv2d) substitute fake-quantized weights while reusing all
+// of the forward/backward machinery — gradients then flow to the float
+// master weights via the straight-through estimator.
 #pragma once
 
 #include <cstdint>
@@ -50,9 +57,9 @@ class Conv2d : public Module {
   Parameter weight_;  // [out_c, in_c, k, k]
   Parameter bias_;    // [out_c]
 
-  // Cached state for backward.
-  Tensor cached_cols_;   // [N, in_c*k*k, oh*ow] flattened as rank-2 per image
-  Tensor cached_weff_;   // weights actually used in the last forward
+  // Cached state for backward; released when backward completes.
+  Tensor cached_input_;          // forward input (for the dW im2col)
+  const Tensor* weff_ = nullptr; // weights used by the last forward
   ConvGeom geom_;
   std::int64_t batch_ = 0;
 };
@@ -86,8 +93,9 @@ class DepthwiseConv2d : public Module {
   Parameter weight_;  // [C, 1, k, k]
   Parameter bias_;    // [C]
 
+  // Released when backward completes.
   Tensor cached_input_;
-  Tensor cached_weff_;
+  const Tensor* weff_ = nullptr;
   ConvGeom geom_;
 };
 

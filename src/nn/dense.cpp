@@ -1,5 +1,6 @@
 #include "nn/dense.h"
 
+#include "kernels/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace diva {
@@ -25,34 +26,46 @@ Tensor Dense::forward(const Tensor& x) {
   DIVA_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
              name() << ": expected [N," << in_f_ << "], got "
                     << x.shape().str());
-  cached_input_ = x;
-  cached_weff_ = effective_weight();
-  Tensor out = matmul(x, cached_weff_);
-  if (with_bias_) {
-    const std::int64_t n = out.dim(0);
-    for (std::int64_t i = 0; i < n; ++i) {
-      float* row = out.raw() + i * out_f_;
-      for (std::int64_t j = 0; j < out_f_; ++j) row[j] += bias_.value[j];
-    }
-  }
+  // The input is only needed for dW; frozen models skip the copy.
+  cached_input_ = param_grads_enabled() ? x : Tensor();
+  weff_ = &effective_weight();
+  const std::int64_t n = x.dim(0);
+  Tensor out(Shape{n, out_f_});
+  // out[N, out_f] = x[N, in_f] x W[in_f, out_f] + bias (per column).
+  sgemm(n, out_f_, in_f_, x.raw(), in_f_, false, weff_->raw(), out_f_, false,
+        out.raw(), out_f_,
+        {.bias_col = with_bias_ ? bias_.value.raw() : nullptr});
   return out;
 }
 
 Tensor Dense::backward(const Tensor& grad_out) {
+  DIVA_CHECK(weff_ != nullptr,
+             name() << ": backward without a preceding forward");
+  DIVA_CHECK(!param_grads_enabled() || !cached_input_.empty(),
+             name() << ": parameter gradients were enabled after a frozen "
+                       "forward; rerun forward first");
   DIVA_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_f_,
              name() << ": bad grad shape " << grad_out.shape().str());
-  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T
+  const std::int64_t n = grad_out.dim(0);
+  // dW += XT dY ; db += colsum(dY) ; dX = dY WT — transposes are
+  // handled inside sgemm packing, nothing is materialized.
   if (param_grads_enabled()) {
-    matmul_acc(transpose2d(cached_input_), grad_out, weight_.grad);
+    sgemm(in_f_, out_f_, n, cached_input_.raw(), in_f_, true, grad_out.raw(),
+          out_f_, false, weight_.grad.raw(), out_f_, {.beta = 1.0f});
     if (with_bias_) {
-      const std::int64_t n = grad_out.dim(0);
       for (std::int64_t i = 0; i < n; ++i) {
         const float* row = grad_out.raw() + i * out_f_;
         for (std::int64_t j = 0; j < out_f_; ++j) bias_.grad[j] += row[j];
       }
     }
   }
-  return matmul(grad_out, transpose2d(cached_weff_));
+  Tensor grad_in(Shape{n, in_f_});
+  sgemm(n, in_f_, out_f_, grad_out.raw(), out_f_, false, weff_->raw(), out_f_,
+        true, grad_in.raw(), in_f_, {});
+
+  cached_input_ = Tensor();
+  weff_ = nullptr;
+  return grad_in;
 }
 
 }  // namespace diva

@@ -1,4 +1,6 @@
-// Fully-connected layer on rank-2 [N, D] inputs.
+// Fully-connected layer on rank-2 [N, D] inputs. Forward and both
+// backward products run on the blocked kernels/gemm.h sgemm (bias and
+// transposes fused); forward caches are released after backward.
 #pragma once
 
 #include <string>
@@ -34,8 +36,9 @@ class Dense : public Module {
   Parameter weight_;  // [in_f, out_f]
   Parameter bias_;    // [out_f]
 
+  // Released when backward completes.
   Tensor cached_input_;
-  Tensor cached_weff_;
+  const Tensor* weff_ = nullptr;
 };
 
 }  // namespace diva

@@ -56,12 +56,16 @@ Tensor MaxPool2d::forward(const Tensor& x) {
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  DIVA_CHECK(!argmax_.empty(), name() << ": backward without a preceding forward");
   DIVA_CHECK(grad_out.shape() == output_shape_, name() << ": bad grad shape");
   Tensor grad_in(input_shape_);
   for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
     const std::int64_t idx = argmax_[static_cast<std::size_t>(i)];
     if (idx >= 0) grad_in[idx] += grad_out[i];
   }
+  // Release the argmax cache (one int64 per output element) so attack
+  // loops don't hold it across steps.
+  std::vector<std::int64_t>().swap(argmax_);
   return grad_in;
 }
 

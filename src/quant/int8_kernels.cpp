@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "kernels/igemm.h"
+#include "kernels/im2col.h"
+#include "kernels/workspace.h"
+
 namespace diva {
 
 namespace {
@@ -13,6 +17,13 @@ std::int8_t clamp_to_int8(std::int32_t v, std::int32_t lo, std::int32_t hi) {
 /// Rounding signed division by a positive non-power-of-two count.
 std::int32_t rounding_div(std::int32_t x, std::int32_t d) {
   return x >= 0 ? (x + d / 2) / d : -((-x + d / 2) / d);
+}
+
+IgemmEpilogue epilogue(const std::int32_t* bias, const RequantChannel& rq,
+                       std::size_t row0, std::int32_t out_zp,
+                       std::int32_t act_min, std::int32_t act_max) {
+  return {bias, rq.multiplier.data() + row0, rq.shift.data() + row0, out_zp,
+          act_min, act_max};
 }
 
 }  // namespace
@@ -34,6 +45,85 @@ void qconv2d(const std::int8_t* in, const ConvGeom& g, std::int32_t in_zp,
              const std::int32_t* bias, const RequantChannel& rq,
              std::int32_t out_zp, std::int32_t act_min, std::int32_t act_max,
              std::int8_t* out) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t k2 = g.in_c * g.kernel_h * g.kernel_w;
+  const std::int64_t ohw = oh * ow;
+  // Lower to a GEMM: padded taps read the input zero point, which is
+  // exactly real zero, so the igemm zero-point correction is exact.
+  auto frame = Workspace::tls().frame();
+  std::int8_t* cols = frame.alloc<std::int8_t>(k2 * ohw);
+  im2col<std::int8_t>(in, g, static_cast<std::int8_t>(in_zp), cols);
+  igemm(out_c, ohw, k2, w, k2, cols, ohw, in_zp,
+        epilogue(bias, rq, 0, out_zp, act_min, act_max), out, ohw);
+}
+
+void qdepthwise_conv2d(const std::int8_t* in, const ConvGeom& g,
+                       std::int32_t in_zp, const std::int8_t* w,
+                       const std::int32_t* bias, const RequantChannel& rq,
+                       std::int32_t out_zp, std::int32_t act_min,
+                       std::int32_t act_max, std::int8_t* out) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t k2 = g.kernel_h * g.kernel_w;
+  const std::int64_t ohw = oh * ow;
+  // One single-channel im2col + 1-row GEMM per channel; the requant
+  // epilogue pointers are offset to the channel's row.
+  ConvGeom chan_geom = g;
+  chan_geom.in_c = 1;
+  auto frame = Workspace::tls().frame();
+  std::int8_t* cols = frame.alloc<std::int8_t>(k2 * ohw);
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    im2col<std::int8_t>(in + c * g.in_h * g.in_w, chan_geom,
+                        static_cast<std::int8_t>(in_zp), cols);
+    igemm(1, ohw, k2, w + c * k2, k2, cols, ohw, in_zp,
+          epilogue(bias != nullptr ? bias + c : nullptr, rq,
+                   static_cast<std::size_t>(c), out_zp, act_min, act_max),
+          out + c * ohw, ohw);
+  }
+}
+
+void qdense(const std::int8_t* in, std::int64_t in_f, std::int32_t in_zp,
+            const std::int8_t* w, std::int64_t out_f,
+            const std::int32_t* bias, const RequantChannel& rq,
+            std::int32_t out_zp, std::int32_t act_min, std::int32_t act_max,
+            std::int8_t* out) {
+  // The input vector is a [in_f, 1] column; output channels are rows.
+  igemm(out_f, 1, in_f, w, in_f, in, 1, in_zp,
+        epilogue(bias, rq, 0, out_zp, act_min, act_max), out, 1);
+}
+
+void qdense_batched(const std::int8_t* in, std::int64_t n, std::int64_t in_f,
+                    std::int32_t in_zp, const std::int8_t* w,
+                    std::int64_t out_f, const std::int32_t* bias,
+                    const RequantChannel& rq, std::int32_t out_zp,
+                    std::int32_t act_min, std::int32_t act_max,
+                    std::int8_t* out) {
+  auto frame = Workspace::tls().frame();
+  // Transpose activations so samples become GEMM columns, run one GEMM
+  // over the whole batch, transpose back into [n, out_f] slot layout.
+  std::int8_t* in_t = frame.alloc<std::int8_t>(in_f * n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int8_t* row = in + i * in_f;
+    for (std::int64_t j = 0; j < in_f; ++j) in_t[j * n + i] = row[j];
+  }
+  std::int8_t* out_t = frame.alloc<std::int8_t>(out_f * n);
+  igemm(out_f, n, in_f, w, in_f, in_t, n, in_zp,
+        epilogue(bias, rq, 0, out_zp, act_min, act_max), out_t, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int8_t* row = out + i * out_f;
+    for (std::int64_t j = 0; j < out_f; ++j) row[j] = out_t[j * n + i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.
+// ---------------------------------------------------------------------------
+
+void qconv2d_reference(const std::int8_t* in, const ConvGeom& g,
+                       std::int32_t in_zp, const std::int8_t* w,
+                       std::int64_t out_c, const std::int32_t* bias,
+                       const RequantChannel& rq, std::int32_t out_zp,
+                       std::int32_t act_min, std::int32_t act_max,
+                       std::int8_t* out) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t k2 = g.in_c * g.kernel_h * g.kernel_w;
   for (std::int64_t oc = 0; oc < out_c; ++oc) {
@@ -68,11 +158,12 @@ void qconv2d(const std::int8_t* in, const ConvGeom& g, std::int32_t in_zp,
   }
 }
 
-void qdepthwise_conv2d(const std::int8_t* in, const ConvGeom& g,
-                       std::int32_t in_zp, const std::int8_t* w,
-                       const std::int32_t* bias, const RequantChannel& rq,
-                       std::int32_t out_zp, std::int32_t act_min,
-                       std::int32_t act_max, std::int8_t* out) {
+void qdepthwise_conv2d_reference(const std::int8_t* in, const ConvGeom& g,
+                                 std::int32_t in_zp, const std::int8_t* w,
+                                 const std::int32_t* bias,
+                                 const RequantChannel& rq, std::int32_t out_zp,
+                                 std::int32_t act_min, std::int32_t act_max,
+                                 std::int8_t* out) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t k2 = g.kernel_h * g.kernel_w;
   for (std::int64_t c = 0; c < g.in_c; ++c) {
@@ -102,11 +193,12 @@ void qdepthwise_conv2d(const std::int8_t* in, const ConvGeom& g,
   }
 }
 
-void qdense(const std::int8_t* in, std::int64_t in_f, std::int32_t in_zp,
-            const std::int8_t* w, std::int64_t out_f,
-            const std::int32_t* bias, const RequantChannel& rq,
-            std::int32_t out_zp, std::int32_t act_min, std::int32_t act_max,
-            std::int8_t* out) {
+void qdense_reference(const std::int8_t* in, std::int64_t in_f,
+                      std::int32_t in_zp, const std::int8_t* w,
+                      std::int64_t out_f, const std::int32_t* bias,
+                      const RequantChannel& rq, std::int32_t out_zp,
+                      std::int32_t act_min, std::int32_t act_max,
+                      std::int8_t* out) {
   for (std::int64_t o = 0; o < out_f; ++o) {
     const std::int8_t* wrow = w + o * in_f;
     std::int32_t acc = bias != nullptr ? bias[o] : 0;

@@ -6,6 +6,12 @@
 // s_input * s_weight[c]; int32 accumulation; and fixed-point
 // requantization via multiply_by_quantized_multiplier. Activation
 // clamps (ReLU / ReLU6) are fused into the requantization clamp.
+//
+// The conv/dense/depthwise kernels lower onto the shared kernels/igemm
+// core (int8 im2col panels + blocked GEMM with the requantization
+// epilogue fused). The original naive scalar loops are retained as
+// `*_reference` — integer arithmetic is exact, so the GEMM-backed
+// kernels are pinned bit-identical against them in tests.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +57,43 @@ void qdense(const std::int8_t* in, std::int64_t in_f, std::int32_t in_zp,
             const std::int32_t* bias, const RequantChannel& rq,
             std::int32_t out_zp, std::int32_t act_min, std::int32_t act_max,
             std::int8_t* out);
+
+/// Whole-batch int8 fully-connected: in is [n, in_f] row-major, out is
+/// [n, out_f]. One GEMM over the batch (activations transposed into
+/// workspace scratch so output channels become GEMM rows).
+void qdense_batched(const std::int8_t* in, std::int64_t n, std::int64_t in_f,
+                    std::int32_t in_zp, const std::int8_t* w,
+                    std::int64_t out_f, const std::int32_t* bias,
+                    const RequantChannel& rq, std::int32_t out_zp,
+                    std::int32_t act_min, std::int32_t act_max,
+                    std::int8_t* out);
+
+// ---------------------------------------------------------------------------
+// Naive scalar reference kernels (the pre-GEMM implementations). Used
+// by parity tests to pin the igemm-backed kernels bit-exactly; not hot
+// paths.
+// ---------------------------------------------------------------------------
+
+void qconv2d_reference(const std::int8_t* in, const ConvGeom& g,
+                       std::int32_t in_zp, const std::int8_t* w,
+                       std::int64_t out_c, const std::int32_t* bias,
+                       const RequantChannel& rq, std::int32_t out_zp,
+                       std::int32_t act_min, std::int32_t act_max,
+                       std::int8_t* out);
+
+void qdepthwise_conv2d_reference(const std::int8_t* in, const ConvGeom& g,
+                                 std::int32_t in_zp, const std::int8_t* w,
+                                 const std::int32_t* bias,
+                                 const RequantChannel& rq, std::int32_t out_zp,
+                                 std::int32_t act_min, std::int32_t act_max,
+                                 std::int8_t* out);
+
+void qdense_reference(const std::int8_t* in, std::int64_t in_f,
+                      std::int32_t in_zp, const std::int8_t* w,
+                      std::int64_t out_f, const std::int32_t* bias,
+                      const RequantChannel& rq, std::int32_t out_zp,
+                      std::int32_t act_min, std::int32_t act_max,
+                      std::int8_t* out);
 
 /// Elementwise add with requantization of both operands to the output
 /// scale: out = clamp(zp_o + requant(a - zp_a) + requant(b - zp_b)).

@@ -100,34 +100,4 @@ void quantize_multiplier(double m, std::int32_t* multiplier, int* shift) {
   *multiplier = static_cast<std::int32_t>(q_fixed);
 }
 
-std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
-                                                   std::int32_t b) {
-  const bool overflow = a == b && a == std::numeric_limits<std::int32_t>::min();
-  if (overflow) return std::numeric_limits<std::int32_t>::max();
-  const std::int64_t ab = static_cast<std::int64_t>(a) * b;
-  const std::int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
-  return static_cast<std::int32_t>((ab + nudge) / (1LL << 31));
-}
-
-std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent) {
-  if (exponent == 0) return x;
-  const std::int32_t mask = (1 << exponent) - 1;
-  const std::int32_t remainder = x & mask;
-  std::int32_t result = x >> exponent;
-  std::int32_t threshold = mask >> 1;
-  if (x < 0) threshold += 1;
-  if (remainder > threshold) ++result;
-  return result;
-}
-
-std::int32_t multiply_by_quantized_multiplier(std::int32_t x,
-                                              std::int32_t multiplier,
-                                              int shift) {
-  const int left_shift = shift > 0 ? shift : 0;
-  const int right_shift = shift > 0 ? 0 : -shift;
-  return rounding_divide_by_pot(
-      saturating_rounding_doubling_high_mul(x * (1 << left_shift), multiplier),
-      right_shift);
-}
-
 }  // namespace diva

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "kernels/fixedpoint.h"
 #include "tensor/tensor.h"
 
 namespace diva {
@@ -54,24 +55,16 @@ Tensor dequantize_tensor(std::span<const std::int8_t> q, const Shape& shape,
                          const QuantParams& qp);
 
 // ---------------------------------------------------------------------------
-// Fixed-point requantization (gemmlowp / TFLite arithmetic).
+// Fixed-point requantization (gemmlowp / TFLite arithmetic). The
+// runtime primitives (saturating_rounding_doubling_high_mul,
+// rounding_divide_by_pot, multiply_by_quantized_multiplier) moved to
+// kernels/fixedpoint.h, included above, so the int8 GEMM epilogue can
+// use them without a quant dependency.
 // ---------------------------------------------------------------------------
 
 /// Decomposes a positive real multiplier into a Q31 fixed-point
 /// multiplier and a (possibly negative) power-of-two shift such that
 /// m ~= multiplier * 2^shift / 2^31.
 void quantize_multiplier(double m, std::int32_t* multiplier, int* shift);
-
-/// Saturating rounding doubling high multiplication (gemmlowp).
-std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
-                                                   std::int32_t b);
-
-/// Rounding arithmetic right shift by a power of two.
-std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent);
-
-/// x * multiplier * 2^shift in fixed point (TFLite semantics).
-std::int32_t multiply_by_quantized_multiplier(std::int32_t x,
-                                              std::int32_t multiplier,
-                                              int shift);
 
 }  // namespace diva

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/workspace.h"
 #include "nn/activations.h"
 #include "nn/composite.h"
 #include "nn/flatten.h"
@@ -378,76 +379,139 @@ QuantizedModel QuantizedModel::compile(Sequential& qat_model,
   return qm;
 }
 
-std::vector<std::int8_t> QuantizedModel::forward_single_int8(
-    const float* image) const {
-  std::vector<std::vector<std::int8_t>> buffers(slots_.size());
-  // Quantize the input image at the input grid.
-  const QSlot& in = slots_[static_cast<std::size_t>(input_slot_)];
-  buffers[static_cast<std::size_t>(input_slot_)].resize(
-      static_cast<std::size_t>(in.shape.numel()));
-  for (std::int64_t i = 0; i < in.shape.numel(); ++i) {
-    buffers[static_cast<std::size_t>(input_slot_)][static_cast<std::size_t>(
-        i)] = in.qp.quantize(image[i]);
+void QuantizedModel::run_batch_int8(const float* images, std::int64_t n,
+                                    std::int8_t* out_logits) const {
+  // Cap the slot-buffer width so one huge probe batch (the coordinate-FD
+  // source submits 512 images at a time) can't pin the thread's arena at
+  // batch x sum-of-all-slots bytes forever; chunks are still wide enough
+  // that the per-layer GEMMs amortize.
+  constexpr std::int64_t kMaxChunk = 64;
+  if (n > kMaxChunk) {
+    const QSlot& in0 = slots_[static_cast<std::size_t>(input_slot_)];
+    const std::int64_t classes =
+        slots_[static_cast<std::size_t>(output_slot_)].shape.numel();
+    for (std::int64_t at = 0; at < n; at += kMaxChunk) {
+      const std::int64_t take = std::min(kMaxChunk, n - at);
+      run_batch_int8(images + at * in0.shape.numel(), take,
+                     out_logits + at * classes);
+    }
+    return;
   }
 
+  // One workspace frame holds every slot buffer at batch width: buffer
+  // for slot s is [n, slot_numel] row-major. The graph executes layer by
+  // layer over the whole batch — convolutions fan the batch across the
+  // thread pool (each worker lowers+GEMMs its images with thread-local
+  // scratch), the dense head runs as a single whole-batch GEMM, and
+  // elementwise ops stream over the full [n * numel] span.
+  auto frame = Workspace::tls().frame();
+  std::vector<std::int8_t*> buffers(slots_.size(), nullptr);
+  std::vector<std::int64_t> sizes(slots_.size(), 0);
+  // Arena memory is uninitialized; track writes so a miswired graph
+  // fails fast instead of consuming stale bytes.
+  std::vector<bool> written(slots_.size(), false);
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    sizes[s] = slots_[s].shape.numel();
+    buffers[s] = frame.alloc<std::int8_t>(n * sizes[s]);
+  }
+
+  const QSlot& in = slots_[static_cast<std::size_t>(input_slot_)];
+  const std::int64_t per = in.shape.numel();
+  std::int8_t* qin = buffers[static_cast<std::size_t>(input_slot_)];
+  parallel_for_chunked(0, n * per, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) qin[i] = in.qp.quantize(images[i]);
+  }, /*grain=*/4096);
+  written[static_cast<std::size_t>(input_slot_)] = true;
+
   for (const QOp& op : ops_) {
-    const auto& src = buffers[static_cast<std::size_t>(op.in0)];
-    DIVA_CHECK(!src.empty(), "int8 executor: dangling input slot");
-    auto& dst = buffers[static_cast<std::size_t>(op.out)];
-    const QSlot& out_slot = slots_[static_cast<std::size_t>(op.out)];
-    dst.resize(static_cast<std::size_t>(out_slot.shape.numel()));
+    DIVA_CHECK(written[static_cast<std::size_t>(op.in0)] &&
+                   (op.in1 < 0 || written[static_cast<std::size_t>(op.in1)]),
+               "int8 executor: dangling input slot");
+    written[static_cast<std::size_t>(op.out)] = true;
+    const std::int8_t* src = buffers[static_cast<std::size_t>(op.in0)];
+    std::int8_t* dst = buffers[static_cast<std::size_t>(op.out)];
     const QSlot& in_slot = slots_[static_cast<std::size_t>(op.in0)];
+    const QSlot& out_slot = slots_[static_cast<std::size_t>(op.out)];
+    const std::int64_t in_n = sizes[static_cast<std::size_t>(op.in0)];
+    const std::int64_t out_n = sizes[static_cast<std::size_t>(op.out)];
 
     switch (op.kind) {
       case QOp::Kind::kConv:
-        qconv2d(src.data(), op.geom, in_slot.qp.zero_point, op.weights.data(),
-                op.out_c, op.bias.data(), op.rq, out_slot.qp.zero_point,
-                op.act_min, op.act_max, dst.data());
+        parallel_for(0, n, [&](std::int64_t i) {
+          qconv2d(src + i * in_n, op.geom, in_slot.qp.zero_point,
+                  op.weights.data(), op.out_c, op.bias.data(), op.rq,
+                  out_slot.qp.zero_point, op.act_min, op.act_max,
+                  dst + i * out_n);
+        });
         break;
       case QOp::Kind::kDepthwiseConv:
-        qdepthwise_conv2d(src.data(), op.geom, in_slot.qp.zero_point,
-                          op.weights.data(), op.bias.data(), op.rq,
-                          out_slot.qp.zero_point, op.act_min, op.act_max,
-                          dst.data());
+        parallel_for(0, n, [&](std::int64_t i) {
+          qdepthwise_conv2d(src + i * in_n, op.geom, in_slot.qp.zero_point,
+                            op.weights.data(), op.bias.data(), op.rq,
+                            out_slot.qp.zero_point, op.act_min, op.act_max,
+                            dst + i * out_n);
+        });
         break;
       case QOp::Kind::kDense:
-        qdense(src.data(), op.geom.in_c, in_slot.qp.zero_point,
-               op.weights.data(), op.out_c, op.bias.data(), op.rq,
-               out_slot.qp.zero_point, op.act_min, op.act_max, dst.data());
+        qdense_batched(src, n, op.geom.in_c, in_slot.qp.zero_point,
+                       op.weights.data(), op.out_c, op.bias.data(), op.rq,
+                       out_slot.qp.zero_point, op.act_min, op.act_max, dst);
         break;
       case QOp::Kind::kMaxPool:
-        qmaxpool2d(src.data(), op.geom, dst.data());
+        parallel_for(0, n, [&](std::int64_t i) {
+          qmaxpool2d(src + i * in_n, op.geom, dst + i * out_n);
+        });
         break;
       case QOp::Kind::kAvgPool:
-        qavgpool2d(src.data(), op.geom, dst.data());
+        parallel_for(0, n, [&](std::int64_t i) {
+          qavgpool2d(src + i * in_n, op.geom, dst + i * out_n);
+        });
         break;
       case QOp::Kind::kGlobalAvgPool:
-        qglobal_avgpool(src.data(), op.geom.in_c,
-                        op.geom.in_h * op.geom.in_w, dst.data());
+        parallel_for(0, n, [&](std::int64_t i) {
+          qglobal_avgpool(src + i * in_n, op.geom.in_c,
+                          op.geom.in_h * op.geom.in_w, dst + i * out_n);
+        });
         break;
       case QOp::Kind::kFlatten:
-        dst = src;
+        std::copy_n(src, n * in_n, dst);
         break;
       case QOp::Kind::kRequantize:
-        qrequantize(src, in_slot.qp, out_slot.qp, dst);
+        qrequantize({src, static_cast<std::size_t>(n * in_n)}, in_slot.qp,
+                    out_slot.qp, {dst, static_cast<std::size_t>(n * out_n)});
         break;
       case QOp::Kind::kAdd: {
-        const auto& src1 = buffers[static_cast<std::size_t>(op.in1)];
-        qadd(src, in_slot.qp, src1,
+        const std::int8_t* src1 = buffers[static_cast<std::size_t>(op.in1)];
+        qadd({src, static_cast<std::size_t>(n * in_n)}, in_slot.qp,
+             {src1, static_cast<std::size_t>(n * in_n)},
              slots_[static_cast<std::size_t>(op.in1)].qp, out_slot.qp,
-             op.act_min, op.act_max, dst);
+             op.act_min, op.act_max,
+             {dst, static_cast<std::size_t>(n * out_n)});
         break;
       }
       case QOp::Kind::kConcat: {
-        const auto& src1 = buffers[static_cast<std::size_t>(op.in1)];
-        std::copy(src.begin(), src.end(), dst.begin());
-        std::copy(src1.begin(), src1.end(),
-                  dst.begin() + static_cast<std::ptrdiff_t>(src.size()));
+        const std::int8_t* src1 = buffers[static_cast<std::size_t>(op.in1)];
+        const std::int64_t in1_n = sizes[static_cast<std::size_t>(op.in1)];
+        for (std::int64_t i = 0; i < n; ++i) {
+          std::copy_n(src + i * in_n, in_n, dst + i * out_n);
+          std::copy_n(src1 + i * in1_n, in1_n, dst + i * out_n + in_n);
+        }
         break;
       }
     }
   }
-  return buffers[static_cast<std::size_t>(output_slot_)];
+
+  const std::int64_t classes = sizes[static_cast<std::size_t>(output_slot_)];
+  std::copy_n(buffers[static_cast<std::size_t>(output_slot_)], n * classes,
+              out_logits);
+}
+
+std::vector<std::int8_t> QuantizedModel::forward_single_int8(
+    const float* image) const {
+  const QSlot& out = slots_[static_cast<std::size_t>(output_slot_)];
+  std::vector<std::int8_t> logits(static_cast<std::size_t>(out.shape.numel()));
+  run_batch_int8(image, 1, logits.data());
+  return logits;
 }
 
 Tensor QuantizedModel::forward(const Tensor& x) const {
@@ -458,15 +522,15 @@ Tensor QuantizedModel::forward(const Tensor& x) const {
   const std::int64_t n = x.dim(0);
   const QSlot& out = slots_[static_cast<std::size_t>(output_slot_)];
   const std::int64_t classes = out.shape[0];
-  Tensor logits(Shape{n, classes});
-  const std::int64_t per = in.shape.numel();
 
-  parallel_for(0, n, [&](std::int64_t i) {
-    const std::vector<std::int8_t> q = forward_single_int8(x.raw() + i * per);
-    for (std::int64_t j = 0; j < classes; ++j) {
-      logits.at(i, j) = out.qp.dequantize(q[static_cast<std::size_t>(j)]);
-    }
-  });
+  auto frame = Workspace::tls().frame();
+  std::int8_t* q = frame.alloc<std::int8_t>(n * classes);
+  run_batch_int8(x.raw(), n, q);
+
+  Tensor logits(Shape{n, classes});
+  for (std::int64_t i = 0; i < n * classes; ++i) {
+    logits[i] = out.qp.dequantize(q[i]);
+  }
   return logits;
 }
 

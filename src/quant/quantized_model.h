@@ -74,12 +74,22 @@ class QuantizedModel {
                                 const Shape& image_shape);
 
   /// Runs float [N,C,H,W] inputs through the int8 graph and returns
-  /// dequantized float logits [N, classes]. Batch items run in parallel.
+  /// dequantized float logits [N, classes]. True batched execution: the
+  /// graph runs layer by layer over the whole batch (slot buffers sized
+  /// N x slot in workspace scratch, convs batch-parallel over the
+  /// thread pool, the dense head one whole-batch GEMM) — this is the
+  /// path the AttackEngine and the FD/SPSA gradient probes drive.
   Tensor forward(const Tensor& x) const;
 
   /// Integer-only path for one image (CHW floats are quantized at the
-  /// input grid first). Returns raw int8 logits.
+  /// input grid first). Returns raw int8 logits. Thin wrapper over the
+  /// batched executor with N = 1.
   std::vector<std::int8_t> forward_single_int8(const float* image) const;
+
+  /// Integer-only batched executor: `images` holds n contiguous CHW
+  /// float images; writes n x classes raw int8 logits.
+  void run_batch_int8(const float* images, std::int64_t n,
+                      std::int8_t* out_logits) const;
 
   const QuantParams& input_qparams() const { return slots_[0].qp; }
   const QSlot& output_slot() const { return slots_[output_slot_]; }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "attack/registry.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 
@@ -25,8 +26,8 @@ float adversarial_train(Sequential& model, const Dataset& train,
       AttackConfig inner = cfg.inner_attack;
       inner.seed = cfg.train.seed + static_cast<std::uint64_t>(epoch) * 1000 +
                    static_cast<std::uint64_t>(step);
-      PgdAttack pgd(model, inner);
-      const Tensor x_adv = pgd.perturb(batch.images, batch.labels);
+      auto pgd = make_attack("pgd", {nullptr, source(model)}, {.cfg = inner});
+      const Tensor x_adv = pgd->perturb(batch.images, batch.labels);
 
       // Outer minimization on the adversarial batch.
       model.set_training(true);
@@ -53,6 +54,7 @@ float robust_accuracy(Sequential& model, const Dataset& data,
   model.set_training(false);
   const std::int64_t n = data.size();
   std::int64_t correct = 0;
+  auto pgd = make_attack("pgd", {nullptr, source(model)}, {.cfg = attack_cfg});
   for (std::int64_t at = 0; at < n; at += batch_size) {
     const std::int64_t take = std::min(batch_size, n - at);
     std::vector<int> idx(static_cast<std::size_t>(take));
@@ -62,8 +64,7 @@ float robust_accuracy(Sequential& model, const Dataset& data,
       labels[static_cast<std::size_t>(i)] =
           data.labels[static_cast<std::size_t>(at + i)];
     }
-    PgdAttack pgd(model, attack_cfg);
-    const Tensor x_adv = pgd.perturb(gather_batch(data.images, idx), labels);
+    const Tensor x_adv = pgd->perturb(gather_batch(data.images, idx), labels);
     const auto preds = argmax_rows(model.forward(x_adv));
     for (std::size_t i = 0; i < preds.size(); ++i) {
       correct += preds[i] == labels[i];

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "kernels/gemm.h"
 #include "runtime/thread_pool.h"
 
 namespace diva {
@@ -91,7 +92,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                                          << " x "
                                                          << b.shape().str());
   Tensor c(Shape{a.dim(0), b.dim(1)});
-  matmul_acc(a, b, c);
+  sgemm(a.dim(0), b.dim(1), a.dim(1), a.raw(), a.dim(1), false, b.raw(),
+        b.dim(1), false, c.raw(), b.dim(1), {});
   return c;
 }
 
@@ -103,30 +105,31 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
              "matmul_acc shapes: " << a.shape().str() << " x "
                                    << b.shape().str() << " -> "
                                    << c.shape().str());
+  sgemm(m, n, k, a.raw(), k, false, b.raw(), n, false, c.raw(), n,
+        {.beta = 1.0f});
+}
+
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  DIVA_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
+             "matmul_reference shapes: " << a.shape().str() << " x "
+                                         << b.shape().str());
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c(Shape{m, n});
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
-
   // i-k-j loop order: unit-stride inner loops over B and C rows.
-  auto run_rows = [&](std::int64_t row_lo, std::int64_t row_hi) {
-    for (std::int64_t i = row_lo; i < row_hi; ++i) {
-      float* crow = pc + i * n;
-      const float* arow = pa + i * k;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float aik = arow[kk];
-        if (aik == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    const float* arow = pa + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
     }
-  };
-
-  // Only parallelize when the work is worth the fork/join overhead.
-  if (m * k * n >= (1 << 16)) {
-    parallel_for_chunked(0, m, run_rows, /*grain=*/4);
-  } else {
-    run_rows(0, m);
   }
+  return c;
 }
 
 Tensor transpose2d(const Tensor& a) {
@@ -137,54 +140,6 @@ Tensor transpose2d(const Tensor& a) {
     for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
   }
   return out;
-}
-
-void im2col(const float* image, const ConvGeom& g, float* out) {
-  const std::int64_t oh = g.out_h(), ow = g.out_w();
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_c; ++c) {
-    const float* chan = image + c * g.in_h * g.in_w;
-    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* orow = out + row * oh * ow;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t iy = y * g.stride - g.pad + kh;
-          if (iy < 0 || iy >= g.in_h) {
-            std::fill(orow + y * ow, orow + (y + 1) * ow, 0.0f);
-            continue;
-          }
-          const float* irow = chan + iy * g.in_w;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * g.stride - g.pad + kw;
-            orow[y * ow + x] =
-                (ix >= 0 && ix < g.in_w) ? irow[ix] : 0.0f;
-          }
-        }
-      }
-    }
-  }
-}
-
-void col2im(const float* cols, const ConvGeom& g, float* image) {
-  const std::int64_t oh = g.out_h(), ow = g.out_w();
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_c; ++c) {
-    float* chan = image + c * g.in_h * g.in_w;
-    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        const float* crow = cols + row * oh * ow;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t iy = y * g.stride - g.pad + kh;
-          if (iy < 0 || iy >= g.in_h) continue;
-          float* irow = chan + iy * g.in_w;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * g.stride - g.pad + kw;
-            if (ix >= 0 && ix < g.in_w) irow[ix] += crow[y * ow + x];
-          }
-        }
-      }
-    }
-  }
 }
 
 Tensor softmax_rows(const Tensor& logits) {

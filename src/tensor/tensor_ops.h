@@ -1,13 +1,15 @@
 // Dense tensor operations: elementwise math, GEMM, im2col, row-wise
 // softmax/argmax/top-k, and reductions. These are the primitives the NN
-// layer builds on. GEMM and im2col parallelize across the global thread
-// pool; everything else is single-threaded (callers parallelize at the
-// batch level).
+// layer builds on. matmul routes through the blocked kernels/gemm.h
+// sgemm (packed panels, thread-pool sharded); everything else is
+// single-threaded (callers parallelize at the batch level).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "kernels/conv_geom.h"
+#include "kernels/im2col.h"
 #include "tensor/tensor.h"
 
 namespace diva {
@@ -37,37 +39,30 @@ Tensor abs(const Tensor& a);
 // Linear algebra.
 // ---------------------------------------------------------------------------
 
-/// C[M,N] = A[M,K] x B[K,N]. Parallelized over rows of A.
+/// C[M,N] = A[M,K] x B[K,N] via the blocked kernels/gemm.h sgemm.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C[M,N] += A[M,K] x B[K,N] (accumulating GEMM).
 void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
 
+/// Naive i-k-j reference GEMM. Kept as the ground truth the blocked
+/// sgemm is pinned against in tests; not a hot path.
+Tensor matmul_reference(const Tensor& a, const Tensor& b);
+
 /// Transpose of a rank-2 tensor.
 Tensor transpose2d(const Tensor& a);
 
 // ---------------------------------------------------------------------------
-// Convolution lowering (single image, CHW).
+// Convolution lowering (single image, CHW). ConvGeom and the templated
+// im2col/col2im live in kernels/; this float wrapper keeps the
+// historical zero-padding signature.
 // ---------------------------------------------------------------------------
-
-/// Geometry of a 2-D convolution / pooling window.
-struct ConvGeom {
-  std::int64_t in_c = 0, in_h = 0, in_w = 0;
-  std::int64_t kernel_h = 0, kernel_w = 0;
-  std::int64_t stride = 1;
-  std::int64_t pad = 0;
-
-  std::int64_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
-  std::int64_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
-};
 
 /// Lowers one CHW image to a [C*Kh*Kw, OH*OW] patch matrix (zero padding).
 /// `image` points at C*H*W floats; `out` must hold C*Kh*Kw*OH*OW floats.
-void im2col(const float* image, const ConvGeom& g, float* out);
-
-/// Adjoint of im2col: scatters a patch matrix back into a CHW image
-/// (accumulating). `image` must hold C*H*W floats, pre-zeroed by caller.
-void col2im(const float* cols, const ConvGeom& g, float* image);
+inline void im2col(const float* image, const ConvGeom& g, float* out) {
+  im2col<float>(image, g, 0.0f, out);
+}
 
 // ---------------------------------------------------------------------------
 // Row-wise ops on rank-2 [N, D] tensors.

@@ -139,20 +139,29 @@ TEST(AttackRegistry, CustomKindsCanBeRegistered) {
   EXPECT_EQ(attack->name(), "CustomPGD");
 }
 
-TEST(AttackRegistry, MatchesDeprecatedWrapperBitExact) {
+TEST(AttackRegistry, KindsMatchDirectlyComposedIteratedAttacks) {
+  // Pin the registry wiring (kind -> objective, source order, spec
+  // plumbing) against attacks composed by hand from the primitives,
+  // bit-for-bit. Successor of the removed wrapper-parity test: a bug in
+  // the factory mapping cannot cancel out here because the right-hand
+  // side never goes through the registry.
   const Dataset eval = small_eval(5);
   const AttackSpec spec = quick_spec();
   auto& f = fixture();
 
-  PgdAttack legacy_pgd(*f.twin, spec.cfg);
+  IteratedAttack direct_pgd(
+      "PGD", {source(*f.twin)}, std::make_shared<CrossEntropyObjective>(),
+      spec.cfg);
   auto pgd = make_attack("pgd", float_targets(), spec);
-  EXPECT_EQ(max_abs(sub(legacy_pgd.perturb(eval.images, eval.labels),
+  EXPECT_EQ(max_abs(sub(direct_pgd.perturb(eval.images, eval.labels),
                         pgd->perturb(eval.images, eval.labels))),
             0.0f);
 
-  DivaAttack legacy_diva(*f.model, *f.twin, 1.0f, spec.cfg);
+  IteratedAttack direct_diva(
+      "DIVA", {source(*f.model), source(*f.twin)},
+      std::make_shared<DivaObjective>(spec.c), spec.cfg);
   auto diva = make_attack("diva", float_targets(), spec);
-  EXPECT_EQ(max_abs(sub(legacy_diva.perturb(eval.images, eval.labels),
+  EXPECT_EQ(max_abs(sub(direct_diva.perturb(eval.images, eval.labels),
                         diva->perturb(eval.images, eval.labels))),
             0.0f);
 }

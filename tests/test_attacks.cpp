@@ -2,7 +2,7 @@
 // loss-gradient math, and behavioral invariants on tiny trained models.
 #include <gtest/gtest.h>
 
-#include "attack/attack.h"
+#include "attack/registry.h"
 #include "core/trainer.h"
 #include "data/synth_digits.h"
 #include "metrics/metrics.h"
@@ -113,25 +113,25 @@ class AttackProperties : public ::testing::TestWithParam<float> {};
 
 std::vector<AttackCase> all_attacks() {
   auto& f = fixture();
+  const AttackTargets single{nullptr, source(*f.model)};
+  const AttackTargets pair{source(*f.model), source(*f.twin)};
   return {
       {"PGD",
-       [&](AttackConfig c) { return std::make_unique<PgdAttack>(*f.model, c); }},
+       [=](AttackConfig c) { return make_attack("pgd", single, {.cfg = c}); }},
       {"CW",
-       [&](AttackConfig c) {
-         return std::make_unique<PgdAttack>(*f.model, c, AttackLoss::kCwMargin);
-       }},
+       [=](AttackConfig c) { return make_attack("cw", single, {.cfg = c}); }},
       {"MomentumPGD",
-       [&](AttackConfig c) {
-         return std::make_unique<MomentumPgdAttack>(*f.model, c);
+       [=](AttackConfig c) {
+         return make_attack("momentum-pgd", single, {.cfg = c});
        }},
       {"DIVA",
-       [&](AttackConfig c) {
-         return std::make_unique<DivaAttack>(*f.model, *f.twin, 1.0f, c);
+       [=](AttackConfig c) {
+         return make_attack("diva", pair, {.cfg = c, .c = 1.0f});
        }},
       {"TargetedDIVA",
-       [&](AttackConfig c) {
-         return std::make_unique<TargetedDivaAttack>(*f.model, *f.twin, 3,
-                                                     1.0f, 2.0f, c);
+       [=](AttackConfig c) {
+         return make_attack("targeted-diva", pair,
+                            {.cfg = c, .c = 1.0f, .k = 2.0f, .target = 3});
        }},
   };
 }
@@ -173,14 +173,17 @@ TEST(AttackProperties2, Deterministic) {
 TEST(AttackProperties2, FgsmEqualsOneStepFullAlphaPgd) {
   auto& f = fixture();
   const Dataset eval = small_eval(5);
-  FgsmAttack fgsm(*f.model, 8.0f / 255.0f);
+  AttackConfig fgsm_cfg;
+  fgsm_cfg.epsilon = 8.0f / 255.0f;
+  auto fgsm =
+      make_attack("fgsm", {nullptr, source(*f.model)}, {.cfg = fgsm_cfg});
   AttackConfig cfg;
   cfg.epsilon = 8.0f / 255.0f;
   cfg.alpha = 8.0f / 255.0f;
   cfg.steps = 1;
-  PgdAttack pgd(*f.model, cfg);
-  const Tensor a = fgsm.perturb(eval.images, eval.labels);
-  const Tensor b = pgd.perturb(eval.images, eval.labels);
+  auto pgd = make_attack("pgd", {nullptr, source(*f.model)}, {.cfg = cfg});
+  const Tensor a = fgsm->perturb(eval.images, eval.labels);
+  const Tensor b = pgd->perturb(eval.images, eval.labels);
   EXPECT_EQ(max_abs(sub(a, b)), 0.0f);
 }
 
@@ -191,11 +194,11 @@ TEST(AttackProperties2, RandomStartStaysInBallAndVariesWithSeed) {
   cfg.steps = 2;
   cfg.seed = 1;
   const Dataset eval = small_eval(3);
-  PgdAttack a1(*f.model, cfg);
+  auto a1 = make_attack("pgd", {nullptr, source(*f.model)}, {.cfg = cfg});
   cfg.seed = 2;
-  PgdAttack a2(*f.model, cfg);
-  const Tensor r1 = a1.perturb(eval.images, eval.labels);
-  const Tensor r2 = a2.perturb(eval.images, eval.labels);
+  auto a2 = make_attack("pgd", {nullptr, source(*f.model)}, {.cfg = cfg});
+  const Tensor r1 = a1->perturb(eval.images, eval.labels);
+  const Tensor r2 = a2->perturb(eval.images, eval.labels);
   EXPECT_LE(max_abs(sub(r1, eval.images)), cfg.epsilon + 1e-5f);
   EXPECT_GT(max_abs(sub(r1, r2)), 0.0f);
 }
@@ -209,8 +212,8 @@ TEST(AttackProperties2, StepCallbackFiresEveryStep) {
     EXPECT_EQ(step, calls + 1);
     ++calls;
   };
-  PgdAttack pgd(*f.model, cfg);
-  (void)pgd.perturb(small_eval(2).images, small_eval(2).labels);
+  auto pgd = make_attack("pgd", {nullptr, source(*f.model)}, {.cfg = cfg});
+  (void)pgd->perturb(small_eval(2).images, small_eval(2).labels);
   EXPECT_EQ(calls, 7);
 }
 
@@ -219,8 +222,9 @@ TEST(AttackProperties2, ModelsLeftInCleanState) {
   AttackConfig cfg;
   cfg.steps = 2;
   const Dataset eval = small_eval(2);
-  DivaAttack diva(*f.model, *f.twin, 1.0f, cfg);
-  (void)diva.perturb(eval.images, eval.labels);
+  auto diva = make_attack("diva", {source(*f.model), source(*f.twin)},
+                          {.cfg = cfg, .c = 1.0f});
+  (void)diva->perturb(eval.images, eval.labels);
   EXPECT_TRUE(f.model->param_grads_enabled());
   EXPECT_TRUE(f.twin->param_grads_enabled());
   EXPECT_FALSE(f.model->training());
@@ -241,8 +245,8 @@ TEST(AttackBehavior, PgdReducesAccuracySubstantially) {
   cfg.epsilon = 16.0f / 255.0f;
   cfg.alpha = 2.0f / 255.0f;
   cfg.steps = 10;
-  PgdAttack pgd(*f.model, cfg);
-  const Tensor adv = pgd.perturb(f.val.images, f.val.labels);
+  auto pgd = make_attack("pgd", {nullptr, source(*f.model)}, {.cfg = cfg});
+  const Tensor adv = pgd->perturb(f.val.images, f.val.labels);
   const auto preds = argmax_rows(f.model->forward(adv));
   int correct = 0;
   for (std::size_t i = 0; i < preds.size(); ++i) {
@@ -260,8 +264,8 @@ TEST(AttackBehavior, MoreStepsNeverMuchWorse) {
     cfg.epsilon = 16.0f / 255.0f;
     cfg.alpha = 2.0f / 255.0f;
     cfg.steps = steps;
-    PgdAttack pgd(*f.model, cfg);
-    const Tensor adv = pgd.perturb(eval.images, eval.labels);
+    auto pgd = make_attack("pgd", {nullptr, source(*f.model)}, {.cfg = cfg});
+    const Tensor adv = pgd->perturb(eval.images, eval.labels);
     const auto preds = argmax_rows(f.model->forward(adv));
     int correct = 0;
     for (std::size_t i = 0; i < preds.size(); ++i) {
@@ -282,8 +286,9 @@ TEST(AttackBehavior, DivaWithZeroCNeverAttacks) {
   cfg.epsilon = 16.0f / 255.0f;
   cfg.alpha = 2.0f / 255.0f;
   cfg.steps = 8;
-  DivaAttack diva(*f.model, *f.twin, 0.0f, cfg);
-  const Tensor adv = diva.perturb(eval.images, eval.labels);
+  auto diva = make_attack("diva", {source(*f.model), source(*f.twin)},
+                          {.cfg = cfg, .c = 0.0f});
+  const Tensor adv = diva->perturb(eval.images, eval.labels);
   f.model->set_training(false);
   const auto preds = argmax_rows(f.model->forward(adv));
   int correct = 0;
@@ -301,8 +306,10 @@ TEST(AttackBehavior, TargetedDivaSteersTowardTarget) {
   cfg.epsilon = 24.0f / 255.0f;
   cfg.alpha = 3.0f / 255.0f;
   cfg.steps = 12;
-  TargetedDivaAttack attack(*f.model, *f.twin, target, 0.2f, 4.0f, cfg);
-  const Tensor adv = attack.perturb(eval.images, eval.labels);
+  auto attack =
+      make_attack("targeted-diva", {source(*f.model), source(*f.twin)},
+                  {.cfg = cfg, .c = 0.2f, .k = 4.0f, .target = target});
+  const Tensor adv = attack->perturb(eval.images, eval.labels);
   f.twin->set_training(false);
   const Tensor p_nat = softmax_rows(f.twin->forward(eval.images));
   const Tensor p_adv = softmax_rows(f.twin->forward(adv));

@@ -1,0 +1,349 @@
+// Kernel-runtime tests: the blocked sgemm pinned against the naive
+// matmul reference, the igemm-backed int8 kernels pinned bit-exactly
+// against the retained scalar references, workspace arena behavior, and
+// batched gradchecks for the GEMM-backed Conv2d/Dense backward.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "kernels/igemm.h"
+#include "kernels/workspace.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "quant/int8_kernels.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using testing::check_gradients;
+using testing::random_tensor;
+
+// ---------------------------------------------------------------------------
+// sgemm vs the naive reference.
+// ---------------------------------------------------------------------------
+
+void expect_close(const Tensor& got, const Tensor& want, float tol,
+                  const char* what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << what << " at flat index " << i;
+  }
+}
+
+TEST(Sgemm, MatchesNaiveReferenceAcrossShapes) {
+  // Shapes straddle the small-problem cutoff, the MR/NR tile edges, and
+  // the KC/MC/NC block boundaries.
+  const std::int64_t shapes[][3] = {
+      {1, 1, 1},    {3, 5, 2},     {4, 32, 8},    {5, 33, 7},
+      {16, 1024, 27}, {33, 65, 17}, {64, 64, 288}, {70, 130, 260},
+      {128, 31, 515},
+  };
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    const Tensor a = random_tensor(Shape{m, k}, 7 * m + n);
+    const Tensor b = random_tensor(Shape{k, n}, 13 * n + k);
+    const Tensor want = matmul_reference(a, b);
+    Tensor got(Shape{m, n});
+    sgemm(m, n, k, a.raw(), k, false, b.raw(), n, false, got.raw(), n, {});
+    // Accumulation order differs from the reference, so exact equality
+    // is not guaranteed — 1e-4 absolute on O(1) inputs is ample.
+    expect_close(got, want, 1e-4f, "sgemm");
+  }
+}
+
+TEST(Sgemm, TransposedOperandsMatchMaterializedTranspose) {
+  const std::int64_t m = 37, n = 41, k = 23;
+  const Tensor a = random_tensor(Shape{m, k}, 1);
+  const Tensor b = random_tensor(Shape{k, n}, 2);
+  const Tensor want = matmul_reference(a, b);
+  const Tensor at = transpose2d(a);  // stored [k, m]
+  const Tensor bt = transpose2d(b);  // stored [n, k]
+
+  Tensor got(Shape{m, n});
+  sgemm(m, n, k, at.raw(), m, true, b.raw(), n, false, got.raw(), n, {});
+  expect_close(got, want, 1e-4f, "sgemm trans_a");
+
+  got.fill(0.0f);
+  sgemm(m, n, k, a.raw(), k, false, bt.raw(), k, true, got.raw(), n, {});
+  expect_close(got, want, 1e-4f, "sgemm trans_b");
+
+  got.fill(0.0f);
+  sgemm(m, n, k, at.raw(), m, true, bt.raw(), k, true, got.raw(), n, {});
+  expect_close(got, want, 1e-4f, "sgemm trans_a trans_b");
+}
+
+TEST(Sgemm, AccumulateAndBiasEpilogues) {
+  const std::int64_t m = 19, n = 35, k = 29;
+  const Tensor a = random_tensor(Shape{m, k}, 3);
+  const Tensor b = random_tensor(Shape{k, n}, 4);
+  const Tensor c0 = random_tensor(Shape{m, n}, 5);
+  const Tensor prod = matmul_reference(a, b);
+
+  // beta = 1 accumulates into existing C.
+  Tensor got = c0;
+  sgemm(m, n, k, a.raw(), k, false, b.raw(), n, false, got.raw(), n,
+        {.beta = 1.0f});
+  Tensor want = add(c0, prod);
+  expect_close(got, want, 1e-4f, "sgemm beta=1");
+
+  // Row bias adds bias[i] to every element of row i.
+  const Tensor row_bias = random_tensor(Shape{m}, 6);
+  got = Tensor(Shape{m, n});
+  sgemm(m, n, k, a.raw(), k, false, b.raw(), n, false, got.raw(), n,
+        {.bias_row = row_bias.raw()});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(got.at(i, j), prod.at(i, j) + row_bias[i], 1e-4f);
+    }
+  }
+
+  // Column bias adds bias[j] to every element of column j.
+  const Tensor col_bias = random_tensor(Shape{n}, 7);
+  got = Tensor(Shape{m, n});
+  sgemm(m, n, k, a.raw(), k, false, b.raw(), n, false, got.raw(), n,
+        {.bias_col = col_bias.raw()});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(got.at(i, j), prod.at(i, j) + col_bias[j], 1e-4f);
+    }
+  }
+}
+
+TEST(Sgemm, MatmulEntryPointsAgreeWithReference) {
+  const Tensor a = random_tensor(Shape{45, 120}, 8);
+  const Tensor b = random_tensor(Shape{120, 33}, 9);
+  expect_close(matmul(a, b), matmul_reference(a, b), 1e-4f, "matmul");
+
+  Tensor acc = random_tensor(Shape{45, 33}, 10);
+  const Tensor want = add(acc, matmul_reference(a, b));
+  matmul_acc(a, b, acc);
+  expect_close(acc, want, 1e-4f, "matmul_acc");
+}
+
+// ---------------------------------------------------------------------------
+// igemm-backed int8 kernels vs the scalar references (bit-exact).
+// ---------------------------------------------------------------------------
+
+std::vector<std::int8_t> random_int8(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(
+        std::lround(rng.uniform(-128.0f, 127.0f)));
+  }
+  return v;
+}
+
+RequantChannel random_requant(std::int64_t channels, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> w_scales(static_cast<std::size_t>(channels));
+  for (auto& s : w_scales) s = rng.uniform(0.001f, 0.05f);
+  return make_requant(rng.uniform(0.005f, 0.05f), w_scales,
+                      rng.uniform(0.05f, 0.3f));
+}
+
+std::vector<std::int32_t> random_bias(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<std::int32_t>(std::lround(rng.uniform(-4000.f, 4000.f)));
+  }
+  return v;
+}
+
+TEST(Igemm, QconvBitExactVsScalarReference) {
+  struct Case {
+    ConvGeom g;
+    std::int64_t out_c;
+  };
+  const Case cases[] = {
+      {{1, 5, 5, 1, 1, 1, 0}, 1},   {{3, 8, 8, 3, 3, 1, 1}, 16},
+      {{8, 9, 7, 3, 3, 2, 1}, 5},   {{4, 16, 16, 5, 5, 1, 2}, 17},
+      {{2, 6, 6, 3, 3, 3, 0}, 33},
+  };
+  int idx = 0;
+  for (const auto& c : cases) {
+    ++idx;
+    const std::int64_t k2 = c.g.in_c * c.g.kernel_h * c.g.kernel_w;
+    const std::int64_t ohw = c.g.out_h() * c.g.out_w();
+    const auto in = random_int8(c.g.in_c * c.g.in_h * c.g.in_w, 100u + idx);
+    const auto w = random_int8(c.out_c * k2, 200u + idx);
+    const auto bias = random_bias(c.out_c, 300u + idx);
+    const RequantChannel rq = random_requant(c.out_c, 400u + idx);
+    const std::int32_t in_zp = -3 + idx, out_zp = 5 - idx;
+
+    std::vector<std::int8_t> got(static_cast<std::size_t>(c.out_c * ohw));
+    std::vector<std::int8_t> want(got.size());
+    qconv2d(in.data(), c.g, in_zp, w.data(), c.out_c, bias.data(), rq, out_zp,
+            kQmin, kQmax, got.data());
+    qconv2d_reference(in.data(), c.g, in_zp, w.data(), c.out_c, bias.data(),
+                      rq, out_zp, kQmin, kQmax, want.data());
+    EXPECT_EQ(got, want) << "qconv2d case " << idx;
+  }
+}
+
+TEST(Igemm, QdepthwiseBitExactVsScalarReference) {
+  const ConvGeom geoms[] = {
+      {4, 8, 8, 3, 3, 1, 1}, {7, 9, 9, 3, 3, 2, 1}, {16, 5, 5, 5, 5, 1, 2}};
+  int idx = 0;
+  for (const auto& g : geoms) {
+    ++idx;
+    const std::int64_t k2 = g.kernel_h * g.kernel_w;
+    const std::int64_t ohw = g.out_h() * g.out_w();
+    const auto in = random_int8(g.in_c * g.in_h * g.in_w, 500u + idx);
+    const auto w = random_int8(g.in_c * k2, 600u + idx);
+    const auto bias = random_bias(g.in_c, 700u + idx);
+    const RequantChannel rq = random_requant(g.in_c, 800u + idx);
+
+    std::vector<std::int8_t> got(static_cast<std::size_t>(g.in_c * ohw));
+    std::vector<std::int8_t> want(got.size());
+    qdepthwise_conv2d(in.data(), g, 2, w.data(), bias.data(), rq, -4, kQmin,
+                      kQmax, got.data());
+    qdepthwise_conv2d_reference(in.data(), g, 2, w.data(), bias.data(), rq,
+                                -4, kQmin, kQmax, want.data());
+    EXPECT_EQ(got, want) << "qdepthwise case " << idx;
+  }
+}
+
+TEST(Igemm, QdenseAndBatchedBitExactVsScalarReference) {
+  const std::int64_t in_f = 190, out_f = 33, n = 9;
+  const auto w = random_int8(out_f * in_f, 900);
+  const auto bias = random_bias(out_f, 901);
+  const RequantChannel rq = random_requant(out_f, 902);
+  const auto in = random_int8(n * in_f, 903);
+  const std::int32_t in_zp = -7, out_zp = 11;
+
+  std::vector<std::int8_t> want(static_cast<std::size_t>(n * out_f));
+  for (std::int64_t i = 0; i < n; ++i) {
+    qdense_reference(in.data() + i * in_f, in_f, in_zp, w.data(), out_f,
+                     bias.data(), rq, out_zp, kQmin, kQmax,
+                     want.data() + i * out_f);
+  }
+
+  // Single-row GEMM path.
+  std::vector<std::int8_t> got_single(want.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    qdense(in.data() + i * in_f, in_f, in_zp, w.data(), out_f, bias.data(),
+           rq, out_zp, kQmin, kQmax, got_single.data() + i * out_f);
+  }
+  EXPECT_EQ(got_single, want);
+
+  // Whole-batch GEMM path.
+  std::vector<std::int8_t> got_batched(want.size());
+  qdense_batched(in.data(), n, in_f, in_zp, w.data(), out_f, bias.data(), rq,
+                 out_zp, kQmin, kQmax, got_batched.data());
+  EXPECT_EQ(got_batched, want);
+}
+
+TEST(Igemm, ActivationClampIsHonored) {
+  const std::int64_t in_f = 64, out_f = 8;
+  const auto w = random_int8(out_f * in_f, 950);
+  const auto in = random_int8(in_f, 951);
+  const RequantChannel rq = random_requant(out_f, 952);
+  std::vector<std::int8_t> out(static_cast<std::size_t>(out_f));
+  qdense(in.data(), in_f, 0, w.data(), out_f, nullptr, rq, 3, 3, 40,
+         out.data());
+  for (const std::int8_t v : out) {
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 40);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace arena.
+// ---------------------------------------------------------------------------
+
+TEST(Workspace, PointersSurviveGrowthWithinFrame) {
+  Workspace ws;
+  auto frame = ws.frame();
+  float* small = frame.alloc<float>(16);
+  for (int i = 0; i < 16; ++i) small[i] = static_cast<float>(i);
+  // Force several new blocks; earlier allocations must stay intact.
+  for (int round = 0; round < 4; ++round) {
+    std::int8_t* big = frame.alloc<std::int8_t>(1 << 20);
+    big[0] = 1;
+    big[(1 << 20) - 1] = 2;
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(small[i], static_cast<float>(i));
+  }
+}
+
+TEST(Workspace, CoalescesToOneBlockAfterOutermostFrame) {
+  Workspace ws;
+  {
+    auto frame = ws.frame();
+    (void)frame.alloc<float>(1000);
+    {
+      auto inner = ws.frame();
+      (void)inner.alloc<double>(100000);
+      (void)inner.alloc<std::int32_t>(300000);
+    }
+    (void)frame.alloc<float>(200000);
+  }
+  EXPECT_EQ(ws.block_count(), 1u);
+  const std::size_t cap = ws.capacity();
+  // Steady state: a same-shaped frame allocates no new blocks.
+  {
+    auto frame = ws.frame();
+    (void)frame.alloc<float>(1000);
+    (void)frame.alloc<float>(200000);
+  }
+  EXPECT_EQ(ws.block_count(), 1u);
+  EXPECT_EQ(ws.capacity(), cap);
+}
+
+TEST(Workspace, AllocZeroedReturnsZeros) {
+  auto frame = Workspace::tls().frame();
+  const std::int32_t* p = frame.alloc_zeroed<std::int32_t>(4096);
+  for (int i = 0; i < 4096; ++i) ASSERT_EQ(p[i], 0);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM-backed layer backward: batched gradient checks.
+// ---------------------------------------------------------------------------
+
+TEST(KernelBackward, Conv2dBatchedGradcheck) {
+  Conv2d conv("conv", 3, 5, 3, /*stride=*/1, /*pad=*/1);
+  init_parameters(conv, 21);
+  check_gradients(conv, random_tensor(Shape{3, 3, 7, 7}, 22), 23);
+}
+
+TEST(KernelBackward, Conv2dStridedNoPadGradcheck) {
+  Conv2d conv("conv", 2, 4, 3, /*stride=*/2, /*pad=*/0);
+  init_parameters(conv, 31);
+  check_gradients(conv, random_tensor(Shape{2, 2, 9, 9}, 32), 33);
+}
+
+TEST(KernelBackward, DenseBatchedGradcheck) {
+  Dense dense("fc", 26, 11);
+  init_parameters(dense, 41);
+  check_gradients(dense, random_tensor(Shape{4, 26}, 42), 43);
+}
+
+TEST(KernelBackward, CachesReleasedAfterBackward) {
+  // backward() without a fresh forward() must fail loudly instead of
+  // silently reusing stale caches (they are released at step end).
+  Conv2d conv("conv", 2, 3, 3, 1, 1);
+  init_parameters(conv, 51);
+  const Tensor x = random_tensor(Shape{2, 2, 6, 6}, 52);
+  const Tensor y = conv.forward(x);
+  Tensor gy(y.shape(), 1.0f);
+  (void)conv.backward(gy);
+  EXPECT_THROW(conv.backward(gy), Error);
+
+  Dense dense("fc", 12, 7);
+  init_parameters(dense, 53);
+  const Tensor xd = random_tensor(Shape{3, 12}, 54);
+  const Tensor yd = dense.forward(xd);
+  Tensor gyd(yd.shape(), 1.0f);
+  (void)dense.backward(gyd);
+  EXPECT_THROW(dense.backward(gyd), Error);
+}
+
+}  // namespace
+}  // namespace diva
