@@ -1,0 +1,179 @@
+// Scenario-matrix sweep: runs the full {attack} x {original source} x
+// {adapted source} grid from ROADMAP's attack-scenario matrix through
+// the scenario runner and emits one JSON record per cell.
+//
+// This bench closes the matrix cells that had no executable coverage:
+//   - surrogate original x int8-STE / int8-FD / batched-int8 adapted
+//     (the §4.3 semi-blackbox attacker aiming at the deployed artifact),
+//   - and the §4.2 comparison of QAT-twin gradients (int8-ste) against
+//     true-artifact gradients (int8-fd) on the same deployed int8 target,
+//     printed as a focused table after the sweep.
+//
+// Usage:
+//   bench_scenario_matrix [--smoke] [--json PATH]
+// Env fallbacks (used by CI): DIVA_SCENARIO_SMOKE=1, DIVA_SCENARIO_JSON.
+// The table goes to stdout; the JSON lines go to the --json file
+// (default scenario_matrix.json in the working directory).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "bench_common.h"
+#include "scenario/scenario.h"
+
+using namespace diva;
+using namespace diva::scenario;
+
+namespace {
+
+std::string cell_key(const CellResult& r) {
+  return r.cell.attack + "|" + to_string(r.cell.original) + "|" +
+         to_string(r.cell.adapted);
+}
+
+void print_matrix_table(const std::vector<CellResult>& results) {
+  TablePrinter table({"attack", "original", "adapted", "evade%", "fooled%",
+                      "orig-ok%", "L-inf", "L2", "steps", "img/s", "status"});
+  for (const CellResult& r : results) {
+    if (!r.ran) {
+      table.add_row({r.cell.attack, to_string(r.cell.original),
+                     to_string(r.cell.adapted), "-", "-", "-", "-", "-", "-",
+                     "-", "skipped"});
+      continue;
+    }
+    table.add_row(
+        {r.cell.attack, to_string(r.cell.original), to_string(r.cell.adapted),
+         fmt(r.evasion_top1_pct), fmt(r.adapted_fooled_pct),
+         fmt(r.orig_preserved_pct), fmt(r.linf, 4), fmt(r.mean_l2, 3),
+         r.mean_steps_to_evade < 0 ? "-" : fmt(r.mean_steps_to_evade),
+         fmt(r.images_per_sec), "ok"});
+  }
+  table.print();
+}
+
+void print_sec42_comparison(const std::vector<CellResult>& results) {
+  // §4.2: does the attacker need the true artifact's gradients, or does
+  // the QAT twin stand in? Same deployed int8 target, three gradient
+  // routes: pure twin backprop (qat), twin-backward/artifact-forward
+  // (int8-ste), artifact-only probing (int8-fd).
+  std::map<std::string, const CellResult*> by_key;
+  for (const CellResult& r : results) by_key[cell_key(r)] = &r;
+
+  banner("Sec. 4.2 — QAT-twin gradients vs true-artifact gradients (DIVA)");
+  TablePrinter table({"gradient route", "deployed target", "evade%",
+                      "fooled%", "steps", "img/s"});
+  const struct {
+    const char* key;
+    const char* route;
+    const char* target;
+  } rows[] = {
+      {"diva|float|qat", "QAT twin fwd+bwd", "QAT twin (float sim)"},
+      {"diva|float|int8-ste", "int8 fwd, twin bwd (STE)", "int8 artifact"},
+      {"diva|float|int8-fd", "int8 only (SPSA probes)", "int8 artifact"},
+  };
+  for (const auto& row : rows) {
+    const auto it = by_key.find(row.key);
+    if (it == by_key.end() || !it->second->ran) continue;
+    const CellResult& r = *it->second;
+    table.add_row({row.route, row.target, fmt(r.evasion_top1_pct),
+                   fmt(r.adapted_fooled_pct),
+                   r.mean_steps_to_evade < 0 ? "-"
+                                             : fmt(r.mean_steps_to_evade),
+                   fmt(r.images_per_sec)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* smoke_env = std::getenv("DIVA_SCENARIO_SMOKE");
+  bool smoke = smoke_env != nullptr && *smoke_env != '\0' &&
+               std::strcmp(smoke_env, "0") != 0;
+  const char* json_env = std::getenv("DIVA_SCENARIO_JSON");
+  std::string json_path = json_env != nullptr ? json_env
+                                              : "scenario_matrix.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Open the output before the zoo builds: a bad path must fail in
+  // milliseconds, not after minutes of model training and attack runs.
+  std::ofstream json(json_path);
+  DIVA_CHECK(json.good(), "cannot open JSON output path " << json_path);
+
+  banner(std::string("Scenario matrix sweep (ResNet track") +
+         (smoke ? ", smoke)" : ")"));
+  ZooConfig zcfg;
+  zcfg.verbose = true;
+  ModelZoo zoo(zcfg);
+  const Arch arch = Arch::kResNet;
+
+  ModelPool pool;
+  pool.original = &zoo.original(arch);
+  pool.surrogate = &zoo.surrogate_original(arch);
+  // The float-adapted column uses the magnitude-pruned model (§5.6) —
+  // the repo's full-precision edge adaptation.
+  pool.adapted_float = &zoo.pruned(arch);
+  pool.adapted_qat = &zoo.adapted_qat(arch);
+  pool.quantized = &zoo.quantized(arch);
+
+  const Dataset eval = bench::make_eval_set(
+      zoo.val_set(),
+      {ModelZoo::fn(zoo.original(arch)), ModelZoo::fn(zoo.adapted_qat(arch)),
+       ModelZoo::fn(zoo.pruned(arch)), ModelZoo::fn(zoo.quantized(arch))},
+      smoke ? 1 : 2);
+  std::printf("\neval set: %zd images correctly classified by every scored "
+              "model\n\n",
+              static_cast<std::ptrdiff_t>(eval.size()));
+
+  RunnerConfig cfg;
+  cfg.spec.cfg = ExperimentDefaults::attack();
+  cfg.spec.c = ExperimentDefaults::kC;
+  if (smoke) {
+    cfg.spec.cfg.steps = 4;
+    cfg.fd.samples = 8;
+  } else {
+    cfg.spec.cfg.steps = 10;
+    cfg.fd.samples = 24;
+  }
+  cfg.batched_threads = 8;
+  cfg.shard_size = 4;
+  cfg.measure_steps = true;
+
+  const ScenarioMatrix matrix(pool, cfg);
+  int done = 0;
+  const int total = static_cast<int>(matrix.enumerate().size());
+  // Each record streams to the JSON file as its cell lands, so an
+  // interrupt or mid-sweep error keeps every completed cell.
+  const std::vector<CellResult> results =
+      matrix.run_all(eval, [&](const CellResult& r) {
+        ++done;
+        std::printf("  [%3d/%3d] %-14s %-9s x %-12s %s\n", done, total,
+                    r.cell.attack.c_str(), to_string(r.cell.original),
+                    to_string(r.cell.adapted),
+                    r.ran ? fmt(r.evasion_top1_pct).append("% evade").c_str()
+                          : "skipped");
+        std::fflush(stdout);
+        json << to_json(r, cfg) << "\n";
+        json.flush();
+      });
+
+  std::printf("\n");
+  print_matrix_table(results);
+  std::printf("\n");
+  print_sec42_comparison(results);
+
+  std::printf("\nwrote %zu JSON records to %s\n", results.size(),
+              json_path.c_str());
+  return 0;
+}

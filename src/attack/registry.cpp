@@ -13,27 +13,24 @@ std::mutex& registry_mu() {
   return mu;
 }
 
-std::map<std::string, AttackFactory>& registry();
+/// One registered kind: construction plus the introspection metadata
+/// scenario drivers use to enumerate/validate matrix cells.
+struct RegistryEntry {
+  AttackTraits traits;
+  AttackFactory factory;
+};
 
-std::shared_ptr<GradSource> require_adapted(const AttackTargets& t,
-                                            const std::string& kind) {
-  DIVA_CHECK(t.adapted != nullptr, kind << " needs an adapted-model source");
-  return t.adapted;
-}
+std::map<std::string, RegistryEntry>& registry();
 
-std::shared_ptr<GradSource> require_original(const AttackTargets& t,
-                                             const std::string& kind) {
-  DIVA_CHECK(t.original != nullptr, kind << " needs an original-model source");
-  return t.original;
-}
-
+// Builtin factories run only after make_attack has validated the
+// targets against the kind's declared traits, so the sources are
+// non-null here (IteratedAttack's own null check is the backstop).
 std::unique_ptr<Attack> make_single(const std::string& display,
                                     std::shared_ptr<AttackObjective> objective,
                                     const AttackTargets& t,
                                     AttackConfig cfg) {
   return std::make_unique<IteratedAttack>(
-      display,
-      std::vector<std::shared_ptr<GradSource>>{require_adapted(t, display)},
+      display, std::vector<std::shared_ptr<GradSource>>{t.adapted},
       std::move(objective), std::move(cfg));
 }
 
@@ -41,50 +38,69 @@ std::unique_ptr<Attack> make_pair(const std::string& display,
                                   std::shared_ptr<AttackObjective> objective,
                                   const AttackTargets& t, AttackConfig cfg) {
   return std::make_unique<IteratedAttack>(
-      display,
-      std::vector<std::shared_ptr<GradSource>>{require_original(t, display),
-                                               require_adapted(t, display)},
+      display, std::vector<std::shared_ptr<GradSource>>{t.original, t.adapted},
       std::move(objective), std::move(cfg));
 }
 
-std::map<std::string, AttackFactory> builtin_attacks() {
-  std::map<std::string, AttackFactory> reg;
-  reg["pgd"] = [](const AttackTargets& t, const AttackSpec& s) {
-    return make_single("PGD", std::make_shared<CrossEntropyObjective>(), t,
-                       s.cfg);
-  };
-  reg["cw"] = [](const AttackTargets& t, const AttackSpec& s) {
-    return make_single("CW", std::make_shared<CwMarginObjective>(), t, s.cfg);
-  };
-  reg["fgsm"] = [](const AttackTargets& t, const AttackSpec& s) {
-    AttackConfig cfg = s.cfg;
-    cfg.alpha = cfg.epsilon;
-    cfg.steps = 1;
-    return make_single("FGSM", std::make_shared<CrossEntropyObjective>(), t,
-                       std::move(cfg));
-  };
-  reg["momentum-pgd"] = [](const AttackTargets& t, const AttackSpec& s) {
-    AttackConfig cfg = s.cfg;
-    if (cfg.momentum <= 0.0f) cfg.momentum = 0.5f;
-    return make_single("MomentumPGD",
-                       std::make_shared<CrossEntropyObjective>(), t,
-                       std::move(cfg));
-  };
-  reg["diva"] = [](const AttackTargets& t, const AttackSpec& s) {
-    return make_pair("DIVA", std::make_shared<DivaObjective>(s.c), t, s.cfg);
-  };
-  reg["targeted-diva"] = [](const AttackTargets& t, const AttackSpec& s) {
-    return make_pair(
-        "TargetedDIVA",
-        std::make_shared<TargetedDivaObjective>(s.target, s.c, s.k), t,
-        s.cfg);
-  };
+constexpr AttackTraits kSingleModel{.needs_original = false,
+                                    .needs_adapted = true};
+constexpr AttackTraits kModelPair{.needs_original = true,
+                                  .needs_adapted = true};
+
+std::map<std::string, RegistryEntry> builtin_attacks() {
+  std::map<std::string, RegistryEntry> reg;
+  reg["pgd"] = {kSingleModel, [](const AttackTargets& t, const AttackSpec& s) {
+                  return make_single("PGD",
+                                     std::make_shared<CrossEntropyObjective>(),
+                                     t, s.cfg);
+                }};
+  reg["cw"] = {kSingleModel, [](const AttackTargets& t, const AttackSpec& s) {
+                 return make_single("CW",
+                                    std::make_shared<CwMarginObjective>(), t,
+                                    s.cfg);
+               }};
+  reg["fgsm"] = {kSingleModel,
+                 [](const AttackTargets& t, const AttackSpec& s) {
+                   AttackConfig cfg = s.cfg;
+                   cfg.alpha = cfg.epsilon;
+                   cfg.steps = 1;
+                   return make_single("FGSM",
+                                      std::make_shared<CrossEntropyObjective>(),
+                                      t, std::move(cfg));
+                 }};
+  reg["momentum-pgd"] = {
+      kSingleModel, [](const AttackTargets& t, const AttackSpec& s) {
+        AttackConfig cfg = s.cfg;
+        if (cfg.momentum <= 0.0f) cfg.momentum = 0.5f;
+        return make_single("MomentumPGD",
+                           std::make_shared<CrossEntropyObjective>(), t,
+                           std::move(cfg));
+      }};
+  reg["diva"] = {kModelPair, [](const AttackTargets& t, const AttackSpec& s) {
+                   return make_pair("DIVA",
+                                    std::make_shared<DivaObjective>(s.c), t,
+                                    s.cfg);
+                 }};
+  reg["targeted-diva"] = {
+      kModelPair, [](const AttackTargets& t, const AttackSpec& s) {
+        return make_pair(
+            "TargetedDIVA",
+            std::make_shared<TargetedDivaObjective>(s.target, s.c, s.k), t,
+            s.cfg);
+      }};
   return reg;
 }
 
-std::map<std::string, AttackFactory>& registry() {
-  static std::map<std::string, AttackFactory> reg = builtin_attacks();
+std::map<std::string, RegistryEntry>& registry() {
+  static std::map<std::string, RegistryEntry> reg = builtin_attacks();
   return reg;
+}
+
+RegistryEntry find_entry(const std::string& kind) {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  auto it = registry().find(kind);
+  DIVA_CHECK(it != registry().end(), "unknown attack kind '" << kind << "'");
+  return it->second;
 }
 
 }  // namespace
@@ -104,22 +120,59 @@ std::shared_ptr<GradSource> fd_source(const QuantizedModel& model,
 }
 
 void register_attack(const std::string& kind, AttackFactory factory) {
+  // Permissive traits: kinds registered without declaring requirements
+  // keep the pre-traits contract — make_attack never pre-rejects their
+  // targets, the factory's own checks decide.
+  register_attack(kind,
+                  AttackTraits{.needs_original = false,
+                               .needs_adapted = false,
+                               .declared = false},
+                  std::move(factory));
+}
+
+void register_attack(const std::string& kind, AttackTraits traits,
+                     AttackFactory factory) {
   DIVA_CHECK(factory != nullptr, "null attack factory");
   std::lock_guard<std::mutex> lock(registry_mu());
-  registry()[kind] = std::move(factory);
+  registry()[kind] = {traits, std::move(factory)};
+}
+
+namespace {
+
+std::string validate_against(const AttackTraits& traits,
+                             const std::string& kind,
+                             const AttackTargets& targets) {
+  if (traits.needs_adapted && targets.adapted == nullptr) {
+    return kind + " needs an adapted-model source";
+  }
+  if (traits.needs_original && targets.original == nullptr) {
+    return kind + " needs an original-model source";
+  }
+  return "";
+}
+
+}  // namespace
+
+AttackTraits attack_traits(const std::string& kind) {
+  return find_entry(kind).traits;
+}
+
+std::string validate_attack_targets(const std::string& kind,
+                                    const AttackTargets& targets) {
+  return validate_against(attack_traits(kind), kind, targets);
 }
 
 std::unique_ptr<Attack> make_attack(const std::string& kind,
                                     const AttackTargets& targets,
                                     const AttackSpec& spec) {
-  AttackFactory factory;
-  {
-    std::lock_guard<std::mutex> lock(registry_mu());
-    auto it = registry().find(kind);
-    DIVA_CHECK(it != registry().end(), "unknown attack kind '" << kind << "'");
-    factory = it->second;
-  }
-  return factory(targets, spec);
+  // One lookup: validation uses the same entry the factory comes from.
+  // Traits-level validation up front gives every declared kind the same
+  // message shape; kinds registered without traits declare no
+  // requirements, so their factories' own checks decide.
+  const RegistryEntry entry = find_entry(kind);
+  const std::string reason = validate_against(entry.traits, kind, targets);
+  DIVA_CHECK(reason.empty(), reason);
+  return entry.factory(targets, spec);
 }
 
 bool attack_registered(const std::string& kind) {
@@ -131,7 +184,7 @@ std::vector<std::string> registered_attack_names() {
   std::lock_guard<std::mutex> lock(registry_mu());
   std::vector<std::string> names;
   names.reserve(registry().size());
-  for (const auto& [name, factory] : registry()) names.push_back(name);
+  for (const auto& [name, entry] : registry()) names.push_back(name);
   return names;
 }
 

@@ -63,8 +63,43 @@ std::shared_ptr<GradSource> fd_source(const QuantizedModel& model,
 using AttackFactory = std::function<std::unique_ptr<Attack>(
     const AttackTargets&, const AttackSpec&)>;
 
-/// Registers (or replaces) an attack kind.
+/// Introspection metadata for a registered kind: which sides of
+/// AttackTargets its factory consumes. This is what lets scenario
+/// drivers enumerate the (attack x original x adapted) matrix and tell
+/// "cell skipped by construction" apart from "cell misconfigured"
+/// without instantiating anything.
+struct AttackTraits {
+  /// Pair attacks (the DIVA family) drive an original-model source;
+  /// single-model attacks ignore `AttackTargets::original` entirely.
+  bool needs_original = false;
+  /// Every built-in kind drives the adapted side; traits keep the flag
+  /// so derived tooling never hard-codes it.
+  bool needs_adapted = true;
+  /// False for kinds registered through the traits-less overload: the
+  /// requirement flags are then placeholders, so matrix drivers must
+  /// let every row reach construction instead of trusting them.
+  bool declared = true;
+};
+
+/// Registers (or replaces) an attack kind without declared traits: the
+/// kind reports no source requirements, so make_attack never pre-rejects
+/// its targets and the factory's own validation decides.
 void register_attack(const std::string& kind, AttackFactory factory);
+
+/// Registers (or replaces) an attack kind with explicit traits, which
+/// make_attack pre-validates and matrix drivers use to place the kind
+/// in the scenario grid. Prefer this overload for new kinds.
+void register_attack(const std::string& kind, AttackTraits traits,
+                     AttackFactory factory);
+
+/// Traits of a registered kind. Throws diva::Error for unknown kinds.
+AttackTraits attack_traits(const std::string& kind);
+
+/// Checks `targets` against the kind's traits without instantiating the
+/// attack. Returns an empty string when the pair is valid, otherwise
+/// the same human-readable reason make_attack would throw with.
+std::string validate_attack_targets(const std::string& kind,
+                                    const AttackTargets& targets);
 
 /// Instantiates a registered attack kind. Throws diva::Error for unknown
 /// kinds or missing targets.

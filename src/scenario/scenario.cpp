@@ -1,0 +1,360 @@
+#include "scenario/scenario.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace diva::scenario {
+
+namespace {
+
+ModelFn eval_fn(Module& m) {
+  m.set_training(false);
+  return [&m](const Tensor& x) { return m.forward(x); };
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string num(double v, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(OriginalKind kind) {
+  switch (kind) {
+    case OriginalKind::kNone: return "none";
+    case OriginalKind::kFloat: return "float";
+    case OriginalKind::kSurrogate: return "surrogate";
+  }
+  return "?";
+}
+
+const char* to_string(AdaptedKind kind) {
+  switch (kind) {
+    case AdaptedKind::kFloat: return "float";
+    case AdaptedKind::kQat: return "qat";
+    case AdaptedKind::kInt8Ste: return "int8-ste";
+    case AdaptedKind::kInt8Fd: return "int8-fd";
+    case AdaptedKind::kInt8Batched: return "int8-batched";
+  }
+  return "?";
+}
+
+const std::vector<OriginalKind>& all_original_kinds() {
+  static const std::vector<OriginalKind> kinds = {
+      OriginalKind::kNone, OriginalKind::kFloat, OriginalKind::kSurrogate};
+  return kinds;
+}
+
+const std::vector<AdaptedKind>& all_adapted_kinds() {
+  static const std::vector<AdaptedKind> kinds = {
+      AdaptedKind::kFloat, AdaptedKind::kQat, AdaptedKind::kInt8Ste,
+      AdaptedKind::kInt8Fd, AdaptedKind::kInt8Batched};
+  return kinds;
+}
+
+ScenarioMatrix::ScenarioMatrix(ModelPool pool, RunnerConfig cfg)
+    : pool_(pool), cfg_(std::move(cfg)) {
+  DIVA_CHECK(cfg_.batched_threads >= 1, "batched_threads must be at least 1");
+  // The runner owns per-step instrumentation (steps-to-evade); a caller
+  // callback would also make attacks unshardable, silently turning the
+  // batched column sequential.
+  DIVA_CHECK(!cfg_.spec.cfg.step_callback,
+             "RunnerConfig.spec must not carry a step_callback");
+  if (cfg_.attacks.empty()) cfg_.attacks = registered_attack_names();
+}
+
+std::vector<CellSpec> ScenarioMatrix::enumerate() const {
+  std::vector<CellSpec> cells;
+  cells.reserve(cfg_.attacks.size() * all_original_kinds().size() *
+                all_adapted_kinds().size());
+  for (const std::string& attack : cfg_.attacks) {
+    for (const OriginalKind o : all_original_kinds()) {
+      for (const AdaptedKind a : all_adapted_kinds()) {
+        cells.push_back({attack, o, a});
+      }
+    }
+  }
+  return cells;
+}
+
+std::string ScenarioMatrix::skip_reason(const CellSpec& cell) const {
+  const AttackTraits traits = attack_traits(cell.attack);  // throws unknown
+  if (pool_.original == nullptr) {
+    return "model pool lacks the true original model (required for evasion "
+           "scoring)";
+  }
+  // Kinds registered without traits carry placeholder flags: every row
+  // must reach construction, where the factory's own checks decide
+  // (run_cell downgrades a rejection to a skip record).
+  if (traits.declared) {
+    if (traits.needs_original && cell.original == OriginalKind::kNone) {
+      return cell.attack + " drives an original-model source; the 'none' row "
+                           "covers single-model attacks only";
+    }
+    if (!traits.needs_original && cell.original != OriginalKind::kNone) {
+      return cell.attack + " is a single-model attack; the original side is "
+                           "ignored (covered in the 'none' row)";
+    }
+  }
+  if (cell.original == OriginalKind::kSurrogate && pool_.surrogate == nullptr) {
+    return "model pool lacks a surrogate original (distill one per Sec. 4.3)";
+  }
+  switch (cell.adapted) {
+    case AdaptedKind::kFloat:
+      if (pool_.adapted_float == nullptr) {
+        return "model pool lacks a float adapted model";
+      }
+      break;
+    case AdaptedKind::kQat:
+      if (pool_.adapted_qat == nullptr) {
+        return "model pool lacks the QAT twin";
+      }
+      break;
+    case AdaptedKind::kInt8Ste:
+      if (pool_.quantized == nullptr || pool_.adapted_qat == nullptr) {
+        return "int8+STE needs both the quantized artifact and its QAT "
+               "shadow";
+      }
+      break;
+    case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8Batched:
+      if (pool_.quantized == nullptr) {
+        return "model pool lacks the quantized artifact";
+      }
+      break;
+  }
+  return "";
+}
+
+std::shared_ptr<GradSource> ScenarioMatrix::original_source(
+    OriginalKind kind) const {
+  switch (kind) {
+    case OriginalKind::kNone: return nullptr;
+    case OriginalKind::kFloat: return source(*pool_.original, "original");
+    case OriginalKind::kSurrogate:
+      return source(*pool_.surrogate, "surrogate");
+  }
+  return nullptr;
+}
+
+std::shared_ptr<GradSource> ScenarioMatrix::adapted_source(
+    AdaptedKind kind) const {
+  switch (kind) {
+    case AdaptedKind::kFloat:
+      return source(*pool_.adapted_float, "adapted-float");
+    case AdaptedKind::kQat: return source(*pool_.adapted_qat, "adapted-qat");
+    case AdaptedKind::kInt8Ste:
+      return source(*pool_.quantized, *pool_.adapted_qat);
+    case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8Batched:
+      return fd_source(*pool_.quantized, cfg_.fd);
+  }
+  return nullptr;
+}
+
+ModelFn ScenarioMatrix::deployed_adapted_fn(AdaptedKind kind) const {
+  switch (kind) {
+    case AdaptedKind::kFloat: return eval_fn(*pool_.adapted_float);
+    case AdaptedKind::kQat: return eval_fn(*pool_.adapted_qat);
+    case AdaptedKind::kInt8Ste:
+    case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8Batched:
+      return [q = pool_.quantized](const Tensor& x) { return q->forward(x); };
+  }
+  return {};
+}
+
+float ScenarioMatrix::measure_steps_to_evade(const CellSpec& cell,
+                                             const AttackTargets& targets,
+                                             const Dataset& eval) const {
+  const ModelFn deployed = deployed_adapted_fn(cell.adapted);
+  const std::int64_t n = eval.images.dim(0);
+  std::vector<int> first_flip(static_cast<std::size_t>(n), -1);
+  std::vector<char> wrong_now(static_cast<std::size_t>(n), 0);
+  Tensor final_batch;
+
+  AttackSpec spec = cfg_.spec;
+  spec.cfg.step_callback = [&](int step, const Tensor& batch) {
+    const std::vector<int> preds = argmax_rows(deployed(batch));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::size_t s = static_cast<std::size_t>(i);
+      wrong_now[s] = preds[s] != eval.labels[s];
+      if (first_flip[s] < 0 && wrong_now[s]) first_flip[s] = step;
+    }
+    final_batch = batch;
+  };
+  auto attack = make_attack(cell.attack, targets, spec);
+  (void)attack->perturb(eval.images, eval.labels);
+
+  // Average only over samples that EVADED per the joint criterion
+  // (§5.1): the deployed adapted model ends wrong — a transient
+  // mid-attack flip that reverts does not count — while the true
+  // original still classifies the final image correctly.
+  const std::vector<int> orig_preds =
+      argmax_rows(eval_fn(*pool_.original)(final_batch));
+  double sum = 0.0;
+  int count = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    if (wrong_now[s] && first_flip[s] > 0 &&
+        orig_preds[s] == eval.labels[s]) {
+      sum += first_flip[s];
+      ++count;
+    }
+  }
+  return count > 0 ? static_cast<float>(sum / count) : -1.0f;
+}
+
+CellResult ScenarioMatrix::run_cell(const CellSpec& cell,
+                                    const Dataset& eval) const {
+  DIVA_CHECK(eval.images.rank() == 4 && eval.images.dim(0) > 0,
+             "scenario eval set must be a non-empty NCHW batch");
+  CellResult r;
+  r.cell = cell;
+  r.skip_reason = skip_reason(cell);
+  if (!r.skip_reason.empty()) return r;
+
+  const AttackTargets targets{original_source(cell.original),
+                              adapted_source(cell.adapted)};
+  // Kinds registered without traits declare no requirements, so their
+  // factories may still reject the cell's targets at construction time;
+  // keep the one-record-per-cell contract by downgrading that to a
+  // skip record instead of aborting a whole sweep.
+  std::unique_ptr<Attack> attack;
+  try {
+    attack = make_attack(cell.attack, targets, cfg_.spec);
+  } catch (const Error& e) {
+    r.skip_reason = std::string("construction failed: ") + e.what();
+    return r;
+  }
+
+  // Report the width that actually runs: mirror AttackEngine::run's
+  // fallback — one sequential call when the attack is not shardable or
+  // the batch fits in a single shard.
+  const bool batched = cell.adapted == AdaptedKind::kInt8Batched &&
+                       attack->shardable() &&
+                       eval.images.dim(0) > cfg_.shard_size;
+  r.threads = batched ? cfg_.batched_threads : 1;
+
+  // Engine (and its thread pool) constructed outside the timed window
+  // so the batched column's throughput excludes pool spin-up.
+  std::unique_ptr<AttackEngine> engine;
+  if (batched) {
+    engine = std::make_unique<AttackEngine>(EngineConfig{
+        .threads = r.threads, .shard_size = cfg_.shard_size});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const Tensor adv = batched ? engine->run(*attack, eval.images, eval.labels)
+                             : attack->perturb(eval.images, eval.labels);
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::int64_t n = eval.images.dim(0);
+  r.images_per_sec =
+      r.seconds > 0.0 ? static_cast<double>(n) / r.seconds : 0.0;
+
+  const EvasionResult ev =
+      evaluate_evasion(eval_fn(*pool_.original),
+                       deployed_adapted_fn(cell.adapted), eval.images, adv,
+                       eval.labels);
+  r.total = ev.total;
+  r.adapted_fooled = ev.adapted_fooled;
+  r.evasion_top1_pct = ev.top1_rate();
+  r.adapted_fooled_pct = ev.attack_only_rate();
+  r.orig_preserved_pct =
+      ev.total ? 100.0f * static_cast<float>(ev.orig_preserved) / ev.total
+               : 0.0f;
+
+  r.linf = max_abs(sub(adv, eval.images));
+  const std::int64_t per = adv.numel() / n;
+  double l2_sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double sq = 0.0;
+    const float* a = adv.raw() + i * per;
+    const float* x = eval.images.raw() + i * per;
+    for (std::int64_t j = 0; j < per; ++j) {
+      const double d = static_cast<double>(a[j]) - x[j];
+      sq += d * d;
+    }
+    l2_sum += std::sqrt(sq);
+  }
+  r.mean_l2 = static_cast<float>(l2_sum / static_cast<double>(n));
+
+  if (cfg_.measure_steps) {
+    r.mean_steps_to_evade = measure_steps_to_evade(cell, targets, eval);
+  }
+  r.ran = true;
+  return r;
+}
+
+std::vector<CellResult> ScenarioMatrix::run_all(
+    const Dataset& eval,
+    const std::function<void(const CellResult&)>& on_cell) const {
+  std::vector<CellResult> results;
+  const std::vector<CellSpec> cells = enumerate();
+  results.reserve(cells.size());
+  for (const CellSpec& cell : cells) {
+    results.push_back(run_cell(cell, eval));
+    if (on_cell) on_cell(results.back());
+  }
+  return results;
+}
+
+std::string to_json(const CellResult& r, const RunnerConfig& cfg) {
+  std::string s = "{\"bench\":\"scenario_matrix\"";
+  s += ",\"attack\":\"" + json_escape(r.cell.attack) + "\"";
+  s += std::string(",\"original\":\"") + to_string(r.cell.original) + "\"";
+  s += std::string(",\"adapted\":\"") + to_string(r.cell.adapted) + "\"";
+  if (!r.ran) {
+    s += ",\"status\":\"skipped\",\"reason\":\"" +
+         json_escape(r.skip_reason) + "\"}";
+    return s;
+  }
+  s += ",\"status\":\"ok\"";
+  s += ",\"epsilon\":" + num(cfg.spec.cfg.epsilon, "%.6f");
+  s += ",\"alpha\":" + num(cfg.spec.cfg.alpha, "%.6f");
+  s += ",\"steps\":" + std::to_string(cfg.spec.cfg.steps);
+  s += ",\"fd_samples\":" + std::to_string(cfg.fd.samples);
+  s += ",\"threads\":" + std::to_string(r.threads);
+  s += ",\"total\":" + std::to_string(r.total);
+  s += ",\"adapted_fooled\":" + std::to_string(r.adapted_fooled);
+  s += ",\"evasion_top1_pct\":" + num(r.evasion_top1_pct, "%.2f");
+  s += ",\"adapted_fooled_pct\":" + num(r.adapted_fooled_pct, "%.2f");
+  s += ",\"orig_preserved_pct\":" + num(r.orig_preserved_pct, "%.2f");
+  s += ",\"linf\":" + num(r.linf, "%.6f");
+  s += ",\"mean_l2\":" + num(r.mean_l2, "%.6f");
+  s += ",\"mean_steps_to_evade\":" + num(r.mean_steps_to_evade, "%.2f");
+  s += ",\"seconds\":" + num(r.seconds, "%.4f");
+  s += ",\"images_per_sec\":" + num(r.images_per_sec, "%.2f");
+  s += "}";
+  return s;
+}
+
+void write_json_lines(const std::vector<CellResult>& results,
+                      const RunnerConfig& cfg, std::ostream& os) {
+  for (const CellResult& r : results) os << to_json(r, cfg) << "\n";
+}
+
+}  // namespace diva::scenario

@@ -1,0 +1,173 @@
+// Scenario-matrix runner: the attack matrix as executable code.
+//
+// The paper's central claim (§4.2–§4.4) is that attack efficacy depends
+// on *which pair of models* the attacker holds. This subsystem makes
+// that pairing space a first-class object: it enumerates the full
+// {registry attack} x {original source} x {adapted source} grid,
+// resolves every cell through the attack registry (using AttackTraits
+// to tell "skipped by construction" from "misconfigured"), runs each
+// runnable cell, and emits one JSON record per cell — evasion rates
+// against (true original, deployed adapted), L-inf/L2 perturbation
+// cost, steps-to-evade, and throughput.
+//
+// Rows (original side):
+//   none       single-model attacks (PGD/CW/FGSM/momentum) — no
+//              evasion constraint during optimization.
+//   float      whitebox: the true original model (§4.2).
+//   surrogate  semi-blackbox: a surrogate of the original distilled
+//              from the adapted model (§4.3/§4.4).
+//
+// Columns (adapted side = the model being fooled):
+//   float         a full-precision adapted model (e.g. pruned, §5.6).
+//   qat           the QAT twin, backprop through fake-quant.
+//   int8-ste      deployed int8 artifact forward, straight-through
+//                 gradients via the QAT shadow (§4.2's twin gradients).
+//   int8-fd       deployed artifact alone, SPSA/finite differences —
+//                 true-artifact gradients, no float twin.
+//   int8-batched  same derivative-free artifact target, executed
+//                 through the AttackEngine (N-wide batched int8
+//                 executor sharded across worker threads).
+//
+// Scoring is constant across the row: the *true* original (never the
+// surrogate) and the deployed artifact of the column — so a surrogate
+// cell measures transfer, exactly like the paper's Fig. 5.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "attack/engine.h"
+#include "attack/registry.h"
+#include "core/evaluation.h"
+
+namespace diva::scenario {
+
+/// The original-model source an attack optimizes against (matrix row).
+enum class OriginalKind { kNone, kFloat, kSurrogate };
+
+/// The adapted-model representation the attack differentiates through
+/// (matrix column).
+enum class AdaptedKind { kFloat, kQat, kInt8Ste, kInt8Fd, kInt8Batched };
+
+const char* to_string(OriginalKind kind);
+const char* to_string(AdaptedKind kind);
+
+/// Row/column enumeration order used by ScenarioMatrix::enumerate().
+const std::vector<OriginalKind>& all_original_kinds();
+const std::vector<AdaptedKind>& all_adapted_kinds();
+
+/// The model pool a matrix draws from. Entries are non-owning and may
+/// be null — cells needing a missing model report a skip reason instead
+/// of running. `original` is required for every cell: evasion is always
+/// scored against the true original model.
+struct ModelPool {
+  Module* original = nullptr;       // true original; whitebox grad source
+  Module* surrogate = nullptr;      // distilled stand-in original (§4.3)
+  Module* adapted_float = nullptr;  // full-precision adapted model
+  Module* adapted_qat = nullptr;    // QAT twin: qat source + STE shadow
+  const QuantizedModel* quantized = nullptr;  // deployed int8 artifact
+};
+
+/// One cell of the matrix: a registry attack kind plus the model pair
+/// it is aimed at.
+struct CellSpec {
+  std::string attack;
+  OriginalKind original = OriginalKind::kNone;
+  AdaptedKind adapted = AdaptedKind::kQat;
+};
+
+/// Sweep-wide knobs shared by every cell.
+struct RunnerConfig {
+  /// Attack budget + objective hyperparameters (registry AttackSpec).
+  AttackSpec spec;
+  /// Probe configuration for the derivative-free int8 columns.
+  FdConfig fd;
+  /// AttackEngine width for the int8-batched column (other columns run
+  /// sequentially so per-cell throughput stays comparable).
+  unsigned batched_threads = 4;
+  std::int64_t shard_size = 4;
+  /// When set, each runnable cell is re-run once with a step observer
+  /// that probes the deployed adapted model after every iteration to
+  /// measure steps-to-evade. Doubles the attack cost of the cell; the
+  /// timed run stays uninstrumented.
+  bool measure_steps = true;
+  /// Attack kinds to sweep; empty means every registered kind.
+  std::vector<std::string> attacks;
+};
+
+/// One matrix-cell record. Every enumerated cell produces exactly one:
+/// either `ran` with metrics, or a non-empty `skip_reason`.
+struct CellResult {
+  CellSpec cell;
+  bool ran = false;
+  std::string skip_reason;
+
+  int total = 0;           // eval-set size
+  int adapted_fooled = 0;  // samples where the deployed adapted model flipped
+  float evasion_top1_pct = 0.0f;   // paper §5.1 joint criterion
+  float adapted_fooled_pct = 0.0f; // (b) alone — Table 2 metric
+  float orig_preserved_pct = 0.0f; // (a) alone
+  float linf = 0.0f;               // max L-inf over the batch
+  float mean_l2 = 0.0f;            // mean per-sample L2
+  /// Mean 1-based step at which the deployed adapted model first
+  /// misclassified, averaged over samples that evaded per the §5.1
+  /// joint criterion (adapted ends wrong AND the true original ends
+  /// correct); -1 when unmeasured or no sample evaded.
+  float mean_steps_to_evade = -1.0f;
+  double seconds = 0.0;
+  double images_per_sec = 0.0;
+  unsigned threads = 1;  // execution width of the timed run
+};
+
+class ScenarioMatrix {
+ public:
+  explicit ScenarioMatrix(ModelPool pool, RunnerConfig cfg = {});
+
+  /// Every (attack, original, adapted) combination in deterministic
+  /// order: attacks (cfg order or sorted registry order) x rows x
+  /// columns.
+  std::vector<CellSpec> enumerate() const;
+
+  /// Empty string when the cell is runnable, otherwise why it will be
+  /// skipped (wrong row for the attack's traits, or missing pool
+  /// model). Throws diva::Error for unregistered attack kinds.
+  std::string skip_reason(const CellSpec& cell) const;
+
+  /// Runs (or skips) one cell against the eval set. Deterministic: the
+  /// same cell, config, and eval set reproduce every metric bit-for-bit
+  /// (timing fields excepted).
+  CellResult run_cell(const CellSpec& cell, const Dataset& eval) const;
+
+  /// Runs the whole matrix; `on_cell` (optional) observes each record
+  /// as it lands, for progress reporting.
+  std::vector<CellResult> run_all(
+      const Dataset& eval,
+      const std::function<void(const CellResult&)>& on_cell = {}) const;
+
+  const ModelPool& pool() const { return pool_; }
+  const RunnerConfig& config() const { return cfg_; }
+
+ private:
+  std::shared_ptr<GradSource> original_source(OriginalKind kind) const;
+  std::shared_ptr<GradSource> adapted_source(AdaptedKind kind) const;
+  ModelFn deployed_adapted_fn(AdaptedKind kind) const;
+  float measure_steps_to_evade(const CellSpec& cell,
+                               const AttackTargets& targets,
+                               const Dataset& eval) const;
+
+  ModelPool pool_;
+  RunnerConfig cfg_;
+};
+
+/// One JSON object (single line, no trailing newline) per record —
+/// the schema documented in README.md. `cfg` supplies the sweep-wide
+/// context fields (epsilon/steps/FD samples).
+std::string to_json(const CellResult& r, const RunnerConfig& cfg);
+
+/// Writes one `to_json` line per record.
+void write_json_lines(const std::vector<CellResult>& results,
+                      const RunnerConfig& cfg, std::ostream& os);
+
+}  // namespace diva::scenario

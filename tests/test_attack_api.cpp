@@ -113,17 +113,71 @@ TEST(AttackRegistry, RoundTripEveryKind) {
   }
 }
 
-TEST(AttackRegistry, UnknownKindThrows) {
-  EXPECT_THROW(make_attack("no-such-attack", float_targets(), quick_spec()),
-               Error);
+/// Runs `fn`, expecting diva::Error whose message contains `needle`.
+template <typename Fn>
+void expect_error_containing(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected diva::Error containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
 }
 
-TEST(AttackRegistry, MissingTargetThrows) {
+TEST(AttackRegistry, UnknownKindThrowsAndNamesTheKind) {
+  expect_error_containing(
+      [] { (void)make_attack("no-such-attack", float_targets(), quick_spec()); },
+      "unknown attack kind 'no-such-attack'");
+  expect_error_containing([] { (void)attack_traits("no-such-attack"); },
+                          "unknown attack kind 'no-such-attack'");
+}
+
+TEST(AttackRegistry, MissingAdaptedSourceThrowsWithClearMessage) {
+  AttackTargets empty;
+  expect_error_containing(
+      [&] { (void)make_attack("pgd", empty, quick_spec()); },
+      "needs an adapted-model source");
+  expect_error_containing(
+      [&] { (void)make_attack("diva", empty, quick_spec()); },
+      "needs an adapted-model source");
+}
+
+TEST(AttackRegistry, DivaWithSingleSourceThrowsWithClearMessage) {
+  // Adapted side only: the DIVA family must demand its original source.
   AttackTargets only_adapted{nullptr, source(*fixture().twin)};
   EXPECT_NO_THROW(make_attack("pgd", only_adapted, quick_spec()));
-  EXPECT_THROW(make_attack("diva", only_adapted, quick_spec()), Error);
+  expect_error_containing(
+      [&] { (void)make_attack("diva", only_adapted, quick_spec()); },
+      "needs an original-model source");
+  expect_error_containing(
+      [&] { (void)make_attack("targeted-diva", only_adapted, quick_spec()); },
+      "needs an original-model source");
+}
+
+TEST(AttackRegistry, TraitsDescribeSourceRequirements) {
+  for (const char* kind : {"pgd", "cw", "fgsm", "momentum-pgd"}) {
+    EXPECT_FALSE(attack_traits(kind).needs_original) << kind;
+    EXPECT_TRUE(attack_traits(kind).needs_adapted) << kind;
+  }
+  for (const char* kind : {"diva", "targeted-diva"}) {
+    EXPECT_TRUE(attack_traits(kind).needs_original) << kind;
+    EXPECT_TRUE(attack_traits(kind).needs_adapted) << kind;
+  }
+}
+
+TEST(AttackRegistry, ValidateTargetsMirrorsMakeAttackErrors) {
   AttackTargets empty;
-  EXPECT_THROW(make_attack("pgd", empty, quick_spec()), Error);
+  AttackTargets only_adapted{nullptr, source(*fixture().twin)};
+  EXPECT_EQ(validate_attack_targets("pgd", only_adapted), "");
+  EXPECT_EQ(validate_attack_targets("diva", float_targets()), "");
+  EXPECT_NE(validate_attack_targets("pgd", empty).find(
+                "needs an adapted-model source"),
+            std::string::npos);
+  EXPECT_NE(validate_attack_targets("diva", only_adapted)
+                .find("needs an original-model source"),
+            std::string::npos);
+  EXPECT_THROW((void)validate_attack_targets("no-such-attack", empty), Error);
 }
 
 TEST(AttackRegistry, CustomKindsCanBeRegistered) {
@@ -137,6 +191,10 @@ TEST(AttackRegistry, CustomKindsCanBeRegistered) {
   ASSERT_TRUE(attack_registered("test-custom-pgd"));
   auto attack = make_attack("test-custom-pgd", float_targets(), quick_spec());
   EXPECT_EQ(attack->name(), "CustomPGD");
+  // Kinds registered without traits declare no requirements: make_attack
+  // must not pre-reject their targets (the factory decides).
+  EXPECT_FALSE(attack_traits("test-custom-pgd").needs_adapted);
+  EXPECT_EQ(validate_attack_targets("test-custom-pgd", AttackTargets{}), "");
 }
 
 TEST(AttackRegistry, KindsMatchDirectlyComposedIteratedAttacks) {
@@ -176,12 +234,31 @@ TEST(AttackEngine2, ShardedEqualsSequentialAcrossThreadCounts) {
     auto attack = make_attack(kind, float_targets(), quick_spec(3));
     const Tensor sequential =
         attack->perturb(eval.images, eval.labels);
-    for (const unsigned threads : {1u, 2u, 4u}) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
       const AttackEngine engine({.threads = threads, .shard_size = 3});
       const Tensor sharded = engine.run(*attack, eval.images, eval.labels);
       EXPECT_EQ(max_abs(sub(sequential, sharded)), 0.0f)
           << kind << " with " << threads << " threads";
     }
+  }
+}
+
+TEST(AttackEngine2, FdSourceShardedEqualsSequentialUpTo16Threads) {
+  // Derivative-free sources run probe batches fully concurrently (no
+  // module mutex), so thread counts beyond the shard count genuinely
+  // interleave — the SPSA streams keyed on (seed, global sample, step)
+  // must still reproduce the sequential result bit-for-bit.
+  auto& f = fixture();
+  const Dataset eval = small_eval(8);
+  AttackSpec spec = quick_spec(2);
+  auto fd_pgd = make_attack(
+      "pgd", {nullptr, fd_source(*f.quantized, {.samples = 4})}, spec);
+  const Tensor sequential = fd_pgd->perturb(eval.images, eval.labels);
+  for (const unsigned threads : {2u, 8u, 16u}) {
+    const AttackEngine engine({.threads = threads, .shard_size = 2});
+    const Tensor sharded = engine.run(*fd_pgd, eval.images, eval.labels);
+    EXPECT_EQ(max_abs(sub(sequential, sharded)), 0.0f)
+        << threads << " threads";
   }
 }
 

@@ -55,6 +55,31 @@ TEST(Sgemm, MatchesNaiveReferenceAcrossShapes) {
   }
 }
 
+TEST(Sgemm, DegenerateAndTailShapesMatchReference) {
+  // Microkernel tail paths: single-row/column/depth problems, odd K,
+  // and N just off the NR=32 panel and MR=4 tile boundaries.
+  const std::int64_t shapes[][3] = {
+      {1, 1, 1},   {1, 1, 7},   {1, 9, 1},    {7, 1, 1},    {1, 32, 5},
+      {1, 33, 17}, {4, 1, 129}, {2, 130, 1},  {1, 1, 515},  {3, 31, 3},
+      {5, 63, 9},  {6, 96, 11}, {31, 1, 255}, {1, 257, 64},
+  };
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    const Tensor a = random_tensor(Shape{m, k}, 1000 + 7 * m + n);
+    const Tensor b = random_tensor(Shape{k, n}, 2000 + 13 * n + k);
+    Tensor got(Shape{m, n});
+    sgemm(m, n, k, a.raw(), k, false, b.raw(), n, false, got.raw(), n, {});
+    expect_close(got, matmul_reference(a, b), 1e-4f, "sgemm tail");
+
+    // The same degenerate shape through both packing transposes.
+    const Tensor at = transpose2d(a);
+    const Tensor bt = transpose2d(b);
+    got.fill(0.0f);
+    sgemm(m, n, k, at.raw(), m, true, bt.raw(), k, true, got.raw(), n, {});
+    expect_close(got, matmul_reference(a, b), 1e-4f, "sgemm tail transposed");
+  }
+}
+
 TEST(Sgemm, TransposedOperandsMatchMaterializedTranspose) {
   const std::int64_t m = 37, n = 41, k = 23;
   const Tensor a = random_tensor(Shape{m, k}, 1);
@@ -237,6 +262,71 @@ TEST(Igemm, QdenseAndBatchedBitExactVsScalarReference) {
   qdense_batched(in.data(), n, in_f, in_zp, w.data(), out_f, bias.data(), rq,
                  out_zp, kQmin, kQmax, got_batched.data());
   EXPECT_EQ(got_batched, want);
+}
+
+TEST(Igemm, DegenerateAndTailShapesBitExactVsScalarReference) {
+  // igemm tail paths through the qdense entry points: M (out_f), N
+  // (batch), and K (in_f) each driven to 1, odd K, and widths just off
+  // the packing-panel boundaries.
+  const std::int64_t shapes[][3] = {
+      // {out_f, in_f, batch}
+      {1, 1, 1},  {1, 7, 3},  {9, 1, 2},   {1, 129, 1}, {33, 3, 1},
+      {5, 31, 4}, {2, 257, 2}, {65, 17, 5}, {3, 96, 7},
+  };
+  int idx = 0;
+  for (const auto& s : shapes) {
+    ++idx;
+    const std::int64_t out_f = s[0], in_f = s[1], n = s[2];
+    const auto w = random_int8(out_f * in_f, 1100u + idx);
+    const auto bias = random_bias(out_f, 1200u + idx);
+    const RequantChannel rq = random_requant(out_f, 1300u + idx);
+    const auto in = random_int8(n * in_f, 1400u + idx);
+    const std::int32_t in_zp = idx - 5, out_zp = 3 - idx;
+
+    std::vector<std::int8_t> want(static_cast<std::size_t>(n * out_f));
+    for (std::int64_t i = 0; i < n; ++i) {
+      qdense_reference(in.data() + i * in_f, in_f, in_zp, w.data(), out_f,
+                       bias.data(), rq, out_zp, kQmin, kQmax,
+                       want.data() + i * out_f);
+    }
+    std::vector<std::int8_t> got(want.size());
+    qdense_batched(in.data(), n, in_f, in_zp, w.data(), out_f, bias.data(),
+                   rq, out_zp, kQmin, kQmax, got.data());
+    EXPECT_EQ(got, want) << "qdense_batched shape case " << idx;
+  }
+}
+
+TEST(Igemm, QconvSinglePixelAndSingleChannelTails) {
+  // Conv geometries whose im2col panels degenerate to K=1 / N=1 GEMMs.
+  struct Case {
+    ConvGeom g;
+    std::int64_t out_c;
+  };
+  const Case cases[] = {
+      {{1, 1, 1, 1, 1, 1, 0}, 1},   // 1x1 image, 1x1 kernel: M=N=K=1
+      {{1, 3, 3, 3, 3, 1, 0}, 1},   // single output pixel, odd K=9
+      {{5, 1, 1, 1, 1, 1, 0}, 33},  // channel-only contraction, M=33 tail
+      {{2, 4, 1, 3, 1, 1, 1}, 3},   // width-1 input, asymmetric kernel
+  };
+  int idx = 100;
+  for (const auto& c : cases) {
+    ++idx;
+    const std::int64_t ohw = c.g.out_h() * c.g.out_w();
+    const auto in = random_int8(c.g.in_c * c.g.in_h * c.g.in_w, 10u + idx);
+    const auto w =
+        random_int8(c.out_c * c.g.in_c * c.g.kernel_h * c.g.kernel_w,
+                    20u + idx);
+    const auto bias = random_bias(c.out_c, 30u + idx);
+    const RequantChannel rq = random_requant(c.out_c, 40u + idx);
+
+    std::vector<std::int8_t> got(static_cast<std::size_t>(c.out_c * ohw));
+    std::vector<std::int8_t> want(got.size());
+    qconv2d(in.data(), c.g, 1, w.data(), c.out_c, bias.data(), rq, -2, kQmin,
+            kQmax, got.data());
+    qconv2d_reference(in.data(), c.g, 1, w.data(), c.out_c, bias.data(), rq,
+                      -2, kQmin, kQmax, want.data());
+    EXPECT_EQ(got, want) << "qconv2d tail case " << idx;
+  }
 }
 
 TEST(Igemm, ActivationClampIsHonored) {

@@ -1,0 +1,417 @@
+// Tests for the scenario-matrix runner: every cell of the
+// {attack} x {original source} x {adapted source} grid is pinned —
+// enumeration completeness, per-cell determinism (including the batched
+// int8 column across engine widths), skip/error paths, JSON schema, and
+// the paper's core sanity invariant (DIVA evades the deployed int8
+// model while the true original keeps its prediction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "attack/registry.h"
+#include "core/evaluation.h"
+#include "core/trainer.h"
+#include "core/zoo.h"
+#include "data/synth_digits.h"
+#include "distill/distill.h"
+#include "models/factory.h"
+#include "nn/fold_bn.h"
+#include "nn/init.h"
+#include "quant/qat.h"
+#include "quant/quantized_model.h"
+#include "scenario/scenario.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using namespace diva::scenario;
+
+/// Digit-track model pool: a trained original, a separately trained
+/// float "adapted" model, the QAT twin folded from the original, the
+/// compiled int8 artifact, and a surrogate distilled from the deployed
+/// artifact over a disjoint image pool (§4.3) — one instance shared by
+/// every test in this file.
+struct MatrixFixture {
+  Dataset train, val, disjoint;
+  std::unique_ptr<Sequential> original;
+  std::unique_ptr<Sequential> adapted_float;
+  std::unique_ptr<Sequential> qat;
+  std::unique_ptr<QuantizedModel> quantized;
+  std::unique_ptr<Sequential> surrogate;
+
+  MatrixFixture() {
+    SynthDigits gen(77);
+    train = gen.generate(40, 0);
+    val = gen.generate(12, 4000);
+    disjoint = gen.generate(20, 8000);
+
+    original = make_digit_net(NetMode::kFloat);
+    init_parameters(*original, 11);
+    TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.seed = 12;
+    train_classifier(*original, train, cfg);
+
+    adapted_float = make_digit_net(NetMode::kFloat);
+    init_parameters(*adapted_float, 13);
+    TrainConfig cfg2 = cfg;
+    cfg2.seed = 14;
+    cfg2.epochs = 6;
+    train_classifier(*adapted_float, train, cfg2);
+
+    // Fold, calibrate, then QAT-finetune at a high rate so the adapted
+    // twin measurably diverges from the original (the zoo's digit track
+    // does the same; a straight fold leaves the pair nearly identical
+    // and the evasive gap empty).
+    qat = make_digit_net(NetMode::kQat);
+    fold_batchnorm_into(*original, *qat);
+    calibrate(*qat, {train.images});
+    TrainConfig qcfg;
+    qcfg.epochs = 2;
+    qcfg.lr = 0.01f;
+    qcfg.seed = 15;
+    train_classifier(*qat, train, qcfg);
+    quantized = std::make_unique<QuantizedModel>(QuantizedModel::compile(
+        *qat, Shape{SynthDigits::kChannels, SynthDigits::kHeight,
+                    SynthDigits::kWidth}));
+
+    // The attacker's §4.3 move: distill a full-precision surrogate of
+    // the original from the deployed artifact over a disjoint pool.
+    surrogate = make_digit_net(NetMode::kFolded);
+    fold_batchnorm_into(*original, *surrogate);
+    DistillConfig dcfg;
+    dcfg.epochs = 2;
+    dcfg.lr = 0.01f;
+    const QuantizedModel& q = *quantized;
+    distill(*surrogate, [&q](const Tensor& x) { return q.forward(x); },
+            disjoint.images, dcfg);
+  }
+
+  ModelPool pool() {
+    ModelPool p;
+    p.original = original.get();
+    p.surrogate = surrogate.get();
+    p.adapted_float = adapted_float.get();
+    p.adapted_qat = qat.get();
+    p.quantized = quantized.get();
+    return p;
+  }
+};
+
+MatrixFixture& fixture() {
+  static MatrixFixture f;
+  return f;
+}
+
+/// Fast sweep config: tiny budget, probe counts, and no instrumented
+/// second run unless a test opts in.
+RunnerConfig quick_config(int steps = 2) {
+  RunnerConfig cfg;
+  cfg.spec.cfg.epsilon = 8.0f / 255.0f;
+  cfg.spec.cfg.alpha = 2.0f / 255.0f;
+  cfg.spec.cfg.steps = steps;
+  cfg.fd.samples = 4;
+  cfg.batched_threads = 2;
+  cfg.shard_size = 2;
+  cfg.measure_steps = false;
+  cfg.attacks = {"pgd", "cw", "fgsm", "momentum-pgd", "diva",
+                 "targeted-diva"};
+  return cfg;
+}
+
+Dataset small_eval(int n) {
+  std::vector<int> idx;
+  for (int i = 0; i < n; ++i) idx.push_back(i);
+  return fixture().val.subset(idx);
+}
+
+// ---------------------------------------------------------------------------
+// Enumeration and full-matrix coverage.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioMatrix, EnumeratesEveryBuiltinCell) {
+  const ScenarioMatrix matrix(fixture().pool(), quick_config());
+  const auto cells = matrix.enumerate();
+  // 6 builtin attacks x 3 original rows x 5 adapted columns.
+  EXPECT_EQ(cells.size(), 6u * 3u * 5u);
+  std::set<std::string> keys;
+  for (const CellSpec& c : cells) {
+    keys.insert(c.attack + "|" + to_string(c.original) + "|" +
+                to_string(c.adapted));
+  }
+  EXPECT_EQ(keys.size(), cells.size()) << "duplicate cells";
+  EXPECT_TRUE(keys.count("diva|surrogate|int8-fd"));
+  EXPECT_TRUE(keys.count("pgd|none|int8-batched"));
+}
+
+TEST(ScenarioMatrix, RunAllEmitsOneRecordPerCellWithRowTraitSkips) {
+  const ScenarioMatrix matrix(fixture().pool(), quick_config());
+  const Dataset eval = small_eval(4);
+  const auto results = matrix.run_all(eval);
+  ASSERT_EQ(results.size(), matrix.enumerate().size());
+
+  int ran = 0, skipped = 0;
+  for (const CellResult& r : results) {
+    // Exactly one of (metrics, skip reason) per record.
+    EXPECT_EQ(r.ran, r.skip_reason.empty());
+    if (r.ran) {
+      ++ran;
+      EXPECT_EQ(r.total, 4);
+      EXPECT_LE(r.linf, matrix.config().spec.cfg.epsilon + 1e-5f);
+    } else {
+      ++skipped;
+    }
+    const bool pair = attack_traits(r.cell.attack).needs_original;
+    if (pair && r.cell.original == OriginalKind::kNone) {
+      EXPECT_FALSE(r.ran) << r.cell.attack;
+    }
+    if (!pair && r.cell.original != OriginalKind::kNone) {
+      EXPECT_FALSE(r.ran) << r.cell.attack;
+    }
+  }
+  // Runnable cells: 4 single-model attacks on the 'none' row + 2 pair
+  // attacks on the float and surrogate rows, times 5 columns each.
+  EXPECT_EQ(ran, (4 + 2 * 2) * 5);
+  EXPECT_EQ(skipped, static_cast<int>(results.size()) - ran);
+}
+
+TEST(ScenarioMatrix, SurrogateInt8CellsRun) {
+  // The three previously-open ROADMAP cells must execute end-to-end.
+  const ScenarioMatrix matrix(fixture().pool(), quick_config());
+  const Dataset eval = small_eval(4);
+  for (const AdaptedKind adapted :
+       {AdaptedKind::kInt8Ste, AdaptedKind::kInt8Fd,
+        AdaptedKind::kInt8Batched}) {
+    const CellResult r =
+        matrix.run_cell({"diva", OriginalKind::kSurrogate, adapted}, eval);
+    ASSERT_TRUE(r.ran) << to_string(adapted) << ": " << r.skip_reason;
+    EXPECT_EQ(r.total, 4);
+    EXPECT_GT(r.images_per_sec, 0.0);
+    EXPECT_LE(r.linf, matrix.config().spec.cfg.epsilon + 1e-5f);
+    EXPECT_GE(r.mean_l2, 0.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioMatrix, CellMetricsAreDeterministic) {
+  RunnerConfig cfg = quick_config(3);
+  cfg.measure_steps = true;
+  const ScenarioMatrix matrix(fixture().pool(), cfg);
+  const Dataset eval = small_eval(5);
+  for (const CellSpec& cell :
+       {CellSpec{"diva", OriginalKind::kFloat, AdaptedKind::kInt8Ste},
+        CellSpec{"pgd", OriginalKind::kNone, AdaptedKind::kInt8Fd},
+        CellSpec{"momentum-pgd", OriginalKind::kNone, AdaptedKind::kQat}}) {
+    const CellResult a = matrix.run_cell(cell, eval);
+    const CellResult b = matrix.run_cell(cell, eval);
+    ASSERT_TRUE(a.ran) << a.skip_reason;
+    EXPECT_EQ(a.evasion_top1_pct, b.evasion_top1_pct) << cell.attack;
+    EXPECT_EQ(a.adapted_fooled_pct, b.adapted_fooled_pct) << cell.attack;
+    EXPECT_EQ(a.orig_preserved_pct, b.orig_preserved_pct) << cell.attack;
+    EXPECT_EQ(a.linf, b.linf) << cell.attack;
+    EXPECT_EQ(a.mean_l2, b.mean_l2) << cell.attack;
+    EXPECT_EQ(a.mean_steps_to_evade, b.mean_steps_to_evade) << cell.attack;
+  }
+}
+
+TEST(ScenarioMatrix, BatchedCellIsEngineWidthInvariant) {
+  // The int8-batched column must produce identical metrics whether the
+  // engine runs 1, 2, or 4 worker threads (per-sample RNG streams +
+  // fixed shard geometry).
+  const Dataset eval = small_eval(6);
+  const CellSpec cell{"diva", OriginalKind::kSurrogate,
+                      AdaptedKind::kInt8Batched};
+  RunnerConfig cfg = quick_config(3);
+  cfg.batched_threads = 1;
+  const CellResult base = ScenarioMatrix(fixture().pool(), cfg)
+                              .run_cell(cell, eval);
+  ASSERT_TRUE(base.ran) << base.skip_reason;
+  for (const unsigned threads : {2u, 4u}) {
+    cfg.batched_threads = threads;
+    const CellResult r =
+        ScenarioMatrix(fixture().pool(), cfg).run_cell(cell, eval);
+    EXPECT_EQ(r.evasion_top1_pct, base.evasion_top1_pct) << threads;
+    EXPECT_EQ(r.adapted_fooled_pct, base.adapted_fooled_pct) << threads;
+    EXPECT_EQ(r.linf, base.linf) << threads;
+    EXPECT_EQ(r.mean_l2, base.mean_l2) << threads;
+    EXPECT_EQ(r.threads, threads);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Skip and error paths.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioMatrix, MissingPoolModelsProduceSkipReasons) {
+  ModelPool pool = fixture().pool();
+  pool.surrogate = nullptr;
+  pool.quantized = nullptr;
+  const ScenarioMatrix matrix(pool, quick_config());
+
+  const CellResult surro = matrix.run_cell(
+      {"diva", OriginalKind::kSurrogate, AdaptedKind::kQat}, small_eval(2));
+  EXPECT_FALSE(surro.ran);
+  EXPECT_NE(surro.skip_reason.find("surrogate"), std::string::npos);
+
+  for (const AdaptedKind adapted :
+       {AdaptedKind::kInt8Ste, AdaptedKind::kInt8Fd,
+        AdaptedKind::kInt8Batched}) {
+    const CellResult r = matrix.run_cell(
+        {"pgd", OriginalKind::kNone, adapted}, small_eval(2));
+    EXPECT_FALSE(r.ran) << to_string(adapted);
+    EXPECT_NE(r.skip_reason.find("quantized"), std::string::npos)
+        << to_string(adapted);
+  }
+
+  // A pool with no true original cannot score anything.
+  ModelPool no_orig = fixture().pool();
+  no_orig.original = nullptr;
+  const CellResult r = ScenarioMatrix(no_orig, quick_config())
+                           .run_cell({"pgd", OriginalKind::kNone,
+                                      AdaptedKind::kQat},
+                                     small_eval(2));
+  EXPECT_FALSE(r.ran);
+  EXPECT_NE(r.skip_reason.find("original"), std::string::npos);
+}
+
+TEST(ScenarioMatrix, FactoryRejectionBecomesASkipRecordNotAnAbort) {
+  // A kind registered via the traits-less overload declares no source
+  // requirements, so the grid enumerates it on the 'none' row; if its
+  // factory then demands an original source, the cell must downgrade to
+  // a record instead of killing the sweep.
+  register_attack("test-pair-no-traits",
+                  [](const AttackTargets& t, const AttackSpec& s) {
+                    DIVA_CHECK(t.original != nullptr,
+                               "test-pair-no-traits needs an original-model "
+                               "source");
+                    return std::make_unique<IteratedAttack>(
+                        "PairNoTraits",
+                        std::vector<std::shared_ptr<GradSource>>{t.original,
+                                                                 t.adapted},
+                        std::make_shared<DivaObjective>(s.c), s.cfg);
+                  });
+  RunnerConfig cfg = quick_config();
+  cfg.attacks = {"test-pair-no-traits"};
+  const ScenarioMatrix matrix(fixture().pool(), cfg);
+  const CellResult r = matrix.run_cell(
+      {"test-pair-no-traits", OriginalKind::kNone, AdaptedKind::kQat},
+      small_eval(2));
+  EXPECT_FALSE(r.ran);
+  EXPECT_NE(r.skip_reason.find("construction failed"), std::string::npos);
+  EXPECT_NE(r.skip_reason.find("needs an original-model source"),
+            std::string::npos);
+  // Undeclared traits must not lock the kind out of the original rows:
+  // with an original source wired, the same kind actually runs.
+  const CellResult ok = matrix.run_cell(
+      {"test-pair-no-traits", OriginalKind::kFloat, AdaptedKind::kQat},
+      small_eval(2));
+  EXPECT_TRUE(ok.ran) << ok.skip_reason;
+  // The whole-grid sweep must also complete rather than abort.
+  const auto all = matrix.run_all(small_eval(2));
+  EXPECT_EQ(all.size(), 1u * 3u * 5u);  // sweep completed, no abort
+}
+
+TEST(ScenarioMatrix, UnknownAttackKindThrowsNotSkips) {
+  const ScenarioMatrix matrix(fixture().pool(), quick_config());
+  const CellSpec bogus{"no-such-attack", OriginalKind::kNone,
+                       AdaptedKind::kQat};
+  EXPECT_THROW((void)matrix.skip_reason(bogus), Error);
+  EXPECT_THROW((void)matrix.run_cell(bogus, small_eval(2)), Error);
+}
+
+TEST(ScenarioMatrix, RejectsUserStepCallbacksAndEmptyEvalSets) {
+  // The runner owns per-step instrumentation; a caller callback would
+  // also silently de-parallelize the batched column.
+  RunnerConfig cfg = quick_config();
+  cfg.spec.cfg.step_callback = [](int, const Tensor&) {};
+  EXPECT_THROW(ScenarioMatrix(fixture().pool(), cfg), Error);
+
+  const ScenarioMatrix matrix(fixture().pool(), quick_config());
+  const Dataset empty = fixture().val.subset({});
+  EXPECT_THROW((void)matrix.run_cell(
+                   {"pgd", OriginalKind::kNone, AdaptedKind::kQat}, empty),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Sanity invariants (the paper's core claim, in miniature).
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioMatrix, DivaEvadesInt8WhileOriginalHolds) {
+  auto& f = fixture();
+  // Paper-style eval set: samples every scored model gets right.
+  const QuantizedModel& q = *f.quantized;
+  const auto idx = select_correct(
+      {ModelZoo::fn(*f.original), [&q](const Tensor& x) { return q.forward(x); }},
+      f.val, 3);
+  ASSERT_GE(idx.size(), 4u);
+  const Dataset eval = f.val.subset(idx);
+
+  RunnerConfig cfg = quick_config(20);
+  cfg.spec.cfg.epsilon = 16.0f / 255.0f;
+  cfg.spec.cfg.alpha = 2.0f / 255.0f;
+  cfg.measure_steps = true;
+  const ScenarioMatrix matrix(f.pool(), cfg);
+  const CellResult r = matrix.run_cell(
+      {"diva", OriginalKind::kFloat, AdaptedKind::kInt8Ste}, eval);
+  ASSERT_TRUE(r.ran) << r.skip_reason;
+
+  // DIVA must flip the deployed int8 model on a meaningful share of
+  // samples while the true original keeps most predictions — the
+  // evasive-attack definition (§5.1).
+  SCOPED_TRACE("fooled=" + std::to_string(r.adapted_fooled_pct) +
+               " preserved=" + std::to_string(r.orig_preserved_pct) +
+               " evasion=" + std::to_string(r.evasion_top1_pct));
+  EXPECT_GT(r.adapted_fooled_pct, 25.0f);
+  EXPECT_GE(r.orig_preserved_pct, 50.0f);
+  EXPECT_GT(r.evasion_top1_pct, 0.0f);
+  // Joint success can never exceed either marginal.
+  EXPECT_LE(r.evasion_top1_pct,
+            std::min(r.adapted_fooled_pct, r.orig_preserved_pct) + 1e-4f);
+  // Instrumented run agrees with the scored one about what evaded.
+  EXPECT_GT(r.mean_steps_to_evade, 0.0f);
+  EXPECT_LE(r.mean_steps_to_evade, static_cast<float>(cfg.spec.cfg.steps));
+}
+
+// ---------------------------------------------------------------------------
+// JSON records.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioMatrix, JsonRecordCarriesTheSchema) {
+  RunnerConfig cfg = quick_config();
+  const ScenarioMatrix matrix(fixture().pool(), cfg);
+  const CellResult ok = matrix.run_cell(
+      {"diva", OriginalKind::kSurrogate, AdaptedKind::kInt8Fd},
+      small_eval(3));
+  ASSERT_TRUE(ok.ran) << ok.skip_reason;
+  const std::string json = to_json(ok, cfg);
+  for (const char* key :
+       {"\"bench\":\"scenario_matrix\"", "\"attack\":\"diva\"",
+        "\"original\":\"surrogate\"", "\"adapted\":\"int8-fd\"",
+        "\"status\":\"ok\"", "\"epsilon\":", "\"steps\":", "\"fd_samples\":",
+        "\"total\":3", "\"evasion_top1_pct\":", "\"adapted_fooled_pct\":",
+        "\"orig_preserved_pct\":", "\"linf\":", "\"mean_l2\":",
+        "\"mean_steps_to_evade\":", "\"seconds\":", "\"images_per_sec\":",
+        "\"threads\":1"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+
+  const CellResult skip = matrix.run_cell(
+      {"diva", OriginalKind::kNone, AdaptedKind::kQat}, small_eval(3));
+  ASSERT_FALSE(skip.ran);
+  const std::string sjson = to_json(skip, cfg);
+  EXPECT_NE(sjson.find("\"status\":\"skipped\""), std::string::npos);
+  EXPECT_NE(sjson.find("\"reason\":\""), std::string::npos);
+  EXPECT_EQ(sjson.find("images_per_sec"), std::string::npos)
+      << "skipped records carry no metrics";
+}
+
+}  // namespace
+}  // namespace diva
