@@ -15,6 +15,7 @@
 #include "attack/registry.h"
 #include "core/experiment_defaults.h"
 #include "core/zoo.h"
+#include "runtime/env.h"
 
 namespace diva {
 namespace {
@@ -174,7 +175,7 @@ void run_engine_throughput_sweep() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  if (std::getenv("DIVA_SKIP_ENGINE_SWEEP") == nullptr) {
+  if (!diva::env_flag("DIVA_SKIP_ENGINE_SWEEP", false)) {
     diva::run_engine_throughput_sweep();
   }
   benchmark::RunSpecifiedBenchmarks();

@@ -11,6 +11,7 @@
 #include "core/experiment_defaults.h"
 #include "core/report.h"
 #include "core/zoo.h"
+#include "runtime/env.h"
 
 namespace diva::bench {
 

@@ -89,12 +89,9 @@ void print_sec42_comparison(const std::vector<CellResult>& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* smoke_env = std::getenv("DIVA_SCENARIO_SMOKE");
-  bool smoke = smoke_env != nullptr && *smoke_env != '\0' &&
-               std::strcmp(smoke_env, "0") != 0;
-  const char* json_env = std::getenv("DIVA_SCENARIO_JSON");
-  std::string json_path = json_env != nullptr ? json_env
-                                              : "scenario_matrix.json";
+  bool smoke = env_flag("DIVA_SCENARIO_SMOKE", false);
+  std::string json_path = env_string("DIVA_SCENARIO_JSON",
+                                     "scenario_matrix.json");
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;

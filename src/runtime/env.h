@@ -1,0 +1,51 @@
+// Environment-variable override helpers.
+//
+// One parsing convention for every DIVA_* knob — benches, the serve
+// daemon, and CI all read overrides through these instead of ad-hoc
+// std::getenv calls, so "unset", "empty", "0", and malformed values
+// mean the same thing everywhere:
+//   flags    unset/empty/"0" -> false, anything else -> true
+//   numbers  unset/empty/unparseable -> fallback
+//   strings  unset -> fallback (empty string is a valid override)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace diva {
+
+/// Raw lookup; nullptr when unset.
+inline const char* env_raw(const char* name) { return std::getenv(name); }
+
+/// Boolean knob: set to anything but "" or "0" means true.
+inline bool env_flag(const char* name, bool fallback = false) {
+  const char* v = env_raw(name);
+  if (v == nullptr) return fallback;
+  return *v != '\0' && std::string(v) != "0";
+}
+
+/// Integer knob; falls back on unset or unparseable values.
+inline long long env_int(const char* name, long long fallback) {
+  const char* v = env_raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// Floating-point knob; falls back on unset or unparseable values.
+inline double env_double(const char* name, double fallback) {
+  const char* v = env_raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// String knob; empty string is a valid override, only unset falls back.
+inline std::string env_string(const char* name, std::string fallback) {
+  const char* v = env_raw(name);
+  return v != nullptr ? std::string(v) : std::move(fallback);
+}
+
+}  // namespace diva

@@ -1,8 +1,11 @@
 #include "runtime/thread_pool.h"
 
+#include <pthread.h>
+
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 
 namespace diva {
 namespace {
@@ -55,9 +58,33 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+// The global pool lives behind a pointer so a forked child can replace
+// it: pool threads do not survive fork(), and a parallel_for against
+// the parent's dead pool would block forever (the attack-serve workers
+// are forked processes that run tensor ops). The atfork child handler
+// abandons the inherited object — touching its mutex/threads would be
+// unsafe if the fork happened mid-operation — and builds a fresh pool
+// of the same width. The leak is one pool per fork, in processes that
+// _exit anyway.
+ThreadPool* g_pool = nullptr;
+unsigned g_pool_threads = 0;
+
+void rebuild_pool_in_forked_child() {
+  if (g_pool != nullptr) g_pool = new ThreadPool(g_pool_threads);
+}
+
+}  // namespace
+
 ThreadPool& global_pool() {
-  static ThreadPool pool;
-  return pool;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    g_pool = new ThreadPool();
+    g_pool_threads = g_pool->size();
+    ::pthread_atfork(nullptr, nullptr, rebuild_pool_in_forked_child);
+  });
+  return *g_pool;
 }
 
 void parallel_for_chunked(

@@ -61,6 +61,29 @@ const char* to_string(AdaptedKind kind) {
   return "?";
 }
 
+bool parse_original_kind(const std::string& name, OriginalKind* out) {
+  for (const OriginalKind kind :
+       {OriginalKind::kNone, OriginalKind::kFloat, OriginalKind::kSurrogate}) {
+    if (name == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_adapted_kind(const std::string& name, AdaptedKind* out) {
+  for (const AdaptedKind kind :
+       {AdaptedKind::kFloat, AdaptedKind::kQat, AdaptedKind::kInt8Ste,
+        AdaptedKind::kInt8Fd, AdaptedKind::kInt8Batched}) {
+    if (name == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 const std::vector<OriginalKind>& all_original_kinds() {
   static const std::vector<OriginalKind> kinds = {
       OriginalKind::kNone, OriginalKind::kFloat, OriginalKind::kSurrogate};
@@ -99,11 +122,85 @@ std::vector<CellSpec> ScenarioMatrix::enumerate() const {
   return cells;
 }
 
+std::string pool_missing_reason(const ModelPool& pool, OriginalKind original,
+                                AdaptedKind adapted) {
+  if (pool.original == nullptr) {
+    return "model pool lacks the true original model (required for evasion "
+           "scoring)";
+  }
+  if (original == OriginalKind::kSurrogate && pool.surrogate == nullptr) {
+    return "model pool lacks a surrogate original (distill one per Sec. 4.3)";
+  }
+  switch (adapted) {
+    case AdaptedKind::kFloat:
+      if (pool.adapted_float == nullptr) {
+        return "model pool lacks a float adapted model";
+      }
+      break;
+    case AdaptedKind::kQat:
+      if (pool.adapted_qat == nullptr) {
+        return "model pool lacks the QAT twin";
+      }
+      break;
+    case AdaptedKind::kInt8Ste:
+      if (pool.quantized == nullptr || pool.adapted_qat == nullptr) {
+        return "int8+STE needs both the quantized artifact and its QAT "
+               "shadow";
+      }
+      break;
+    case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8Batched:
+      if (pool.quantized == nullptr) {
+        return "model pool lacks the quantized artifact";
+      }
+      break;
+  }
+  return "";
+}
+
+std::shared_ptr<GradSource> make_original_source(const ModelPool& pool,
+                                                 OriginalKind kind) {
+  switch (kind) {
+    case OriginalKind::kNone: return nullptr;
+    case OriginalKind::kFloat: return source(*pool.original, "original");
+    case OriginalKind::kSurrogate:
+      return source(*pool.surrogate, "surrogate");
+  }
+  return nullptr;
+}
+
+std::shared_ptr<GradSource> make_adapted_source(const ModelPool& pool,
+                                                AdaptedKind kind,
+                                                const FdConfig& fd) {
+  switch (kind) {
+    case AdaptedKind::kFloat:
+      return source(*pool.adapted_float, "adapted-float");
+    case AdaptedKind::kQat: return source(*pool.adapted_qat, "adapted-qat");
+    case AdaptedKind::kInt8Ste:
+      return source(*pool.quantized, *pool.adapted_qat);
+    case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8Batched:
+      return fd_source(*pool.quantized, fd);
+  }
+  return nullptr;
+}
+
+ModelFn deployed_model_fn(const ModelPool& pool, AdaptedKind kind) {
+  switch (kind) {
+    case AdaptedKind::kFloat: return eval_fn(*pool.adapted_float);
+    case AdaptedKind::kQat: return eval_fn(*pool.adapted_qat);
+    case AdaptedKind::kInt8Ste:
+    case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8Batched:
+      return [q = pool.quantized](const Tensor& x) { return q->forward(x); };
+  }
+  return {};
+}
+
 std::string ScenarioMatrix::skip_reason(const CellSpec& cell) const {
   const AttackTraits traits = attack_traits(cell.attack);  // throws unknown
   if (pool_.original == nullptr) {
-    return "model pool lacks the true original model (required for evasion "
-           "scoring)";
+    return pool_missing_reason(pool_, cell.original, cell.adapted);
   }
   // Kinds registered without traits carry placeholder flags: every row
   // must reach construction, where the factory's own checks decide
@@ -118,72 +215,21 @@ std::string ScenarioMatrix::skip_reason(const CellSpec& cell) const {
                            "ignored (covered in the 'none' row)";
     }
   }
-  if (cell.original == OriginalKind::kSurrogate && pool_.surrogate == nullptr) {
-    return "model pool lacks a surrogate original (distill one per Sec. 4.3)";
-  }
-  switch (cell.adapted) {
-    case AdaptedKind::kFloat:
-      if (pool_.adapted_float == nullptr) {
-        return "model pool lacks a float adapted model";
-      }
-      break;
-    case AdaptedKind::kQat:
-      if (pool_.adapted_qat == nullptr) {
-        return "model pool lacks the QAT twin";
-      }
-      break;
-    case AdaptedKind::kInt8Ste:
-      if (pool_.quantized == nullptr || pool_.adapted_qat == nullptr) {
-        return "int8+STE needs both the quantized artifact and its QAT "
-               "shadow";
-      }
-      break;
-    case AdaptedKind::kInt8Fd:
-    case AdaptedKind::kInt8Batched:
-      if (pool_.quantized == nullptr) {
-        return "model pool lacks the quantized artifact";
-      }
-      break;
-  }
-  return "";
+  return pool_missing_reason(pool_, cell.original, cell.adapted);
 }
 
 std::shared_ptr<GradSource> ScenarioMatrix::original_source(
     OriginalKind kind) const {
-  switch (kind) {
-    case OriginalKind::kNone: return nullptr;
-    case OriginalKind::kFloat: return source(*pool_.original, "original");
-    case OriginalKind::kSurrogate:
-      return source(*pool_.surrogate, "surrogate");
-  }
-  return nullptr;
+  return make_original_source(pool_, kind);
 }
 
 std::shared_ptr<GradSource> ScenarioMatrix::adapted_source(
     AdaptedKind kind) const {
-  switch (kind) {
-    case AdaptedKind::kFloat:
-      return source(*pool_.adapted_float, "adapted-float");
-    case AdaptedKind::kQat: return source(*pool_.adapted_qat, "adapted-qat");
-    case AdaptedKind::kInt8Ste:
-      return source(*pool_.quantized, *pool_.adapted_qat);
-    case AdaptedKind::kInt8Fd:
-    case AdaptedKind::kInt8Batched:
-      return fd_source(*pool_.quantized, cfg_.fd);
-  }
-  return nullptr;
+  return make_adapted_source(pool_, kind, cfg_.fd);
 }
 
 ModelFn ScenarioMatrix::deployed_adapted_fn(AdaptedKind kind) const {
-  switch (kind) {
-    case AdaptedKind::kFloat: return eval_fn(*pool_.adapted_float);
-    case AdaptedKind::kQat: return eval_fn(*pool_.adapted_qat);
-    case AdaptedKind::kInt8Ste:
-    case AdaptedKind::kInt8Fd:
-    case AdaptedKind::kInt8Batched:
-      return [q = pool_.quantized](const Tensor& x) { return q->forward(x); };
-  }
-  return {};
+  return deployed_model_fn(pool_, kind);
 }
 
 float ScenarioMatrix::measure_steps_to_evade(const CellSpec& cell,

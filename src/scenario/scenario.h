@@ -54,6 +54,11 @@ enum class AdaptedKind { kFloat, kQat, kInt8Ste, kInt8Fd, kInt8Batched };
 const char* to_string(OriginalKind kind);
 const char* to_string(AdaptedKind kind);
 
+/// Inverse of to_string, for CLIs and wire protocols. Returns false
+/// (leaving *out untouched) for unrecognized names.
+bool parse_original_kind(const std::string& name, OriginalKind* out);
+bool parse_adapted_kind(const std::string& name, AdaptedKind* out);
+
 /// Row/column enumeration order used by ScenarioMatrix::enumerate().
 const std::vector<OriginalKind>& all_original_kinds();
 const std::vector<AdaptedKind>& all_adapted_kinds();
@@ -77,6 +82,36 @@ struct CellSpec {
   OriginalKind original = OriginalKind::kNone;
   AdaptedKind adapted = AdaptedKind::kQat;
 };
+
+// ---------------------------------------------------------------------------
+// Pool -> attack wiring, shared with the serve layer (src/serve/): the
+// attack server resolves request cells through the exact same source
+// construction and missing-model diagnostics as the matrix runner, so a
+// served cell and a swept cell can never disagree about what a
+// (original, adapted) pair means.
+// ---------------------------------------------------------------------------
+
+/// Why the pool cannot field this (original, adapted) pair, or "" when
+/// every required model is present. Checks the true original first
+/// (always required for evasion scoring), then the requested row and
+/// column models.
+std::string pool_missing_reason(const ModelPool& pool, OriginalKind original,
+                                AdaptedKind adapted);
+
+/// Gradient source for the matrix row; null for OriginalKind::kNone.
+/// Requires the pool model for the kind (see pool_missing_reason).
+std::shared_ptr<GradSource> make_original_source(const ModelPool& pool,
+                                                 OriginalKind kind);
+
+/// Gradient source for the matrix column. kInt8Fd/kInt8Batched probe
+/// with `fd`; requires the pool model(s) for the kind.
+std::shared_ptr<GradSource> make_adapted_source(const ModelPool& pool,
+                                                AdaptedKind kind,
+                                                const FdConfig& fd);
+
+/// Eval-mode forward of the *deployed* artifact the column represents —
+/// what verdicts are scored against.
+ModelFn deployed_model_fn(const ModelPool& pool, AdaptedKind kind);
 
 /// Sweep-wide knobs shared by every cell.
 struct RunnerConfig {

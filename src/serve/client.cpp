@@ -1,0 +1,145 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "runtime/check.h"
+
+namespace diva::serve {
+
+AttackClient::AttackClient(const std::string& socket_path) {
+  DIVA_CHECK(!socket_path.empty(), "socket path is required");
+  DIVA_CHECK(socket_path.size() < sizeof(sockaddr_un::sun_path),
+             "socket path too long: " << socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  DIVA_CHECK(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    DIVA_FAIL("connect(" << socket_path
+                         << ") failed: " << std::strerror(err));
+  }
+}
+
+AttackClient::~AttackClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t AttackClient::submit(AttackRequest req) {
+  DIVA_CHECK(req.images.rank() == 4 && req.images.dim(0) > 0,
+             "request batch must be a non-empty NCHW tensor");
+  if (req.id == 0) req.id = next_id_++;
+  DIVA_CHECK(inflight_.find(req.id) == inflight_.end(),
+             "correlation id " << req.id << " is already in flight");
+  next_id_ = std::max(next_id_, req.id + 1);
+
+  InFlight fl;
+  fl.total = req.images.dim(0);
+  fl.sample_shape =
+      Shape{req.images.dim(1), req.images.dim(2), req.images.dim(3)};
+  const std::uint64_t id = req.id;
+  write_frame(fd_, encode_attack_request(req));
+  inflight_.emplace(id, std::move(fl));
+  return id;
+}
+
+void AttackClient::pump() {
+  MsgType type;
+  std::vector<std::uint8_t> payload;
+  DIVA_CHECK(read_frame(fd_, &type, &payload),
+             "server closed the connection with requests in flight");
+  switch (type) {
+    case MsgType::kResultChunk: {
+      ResultChunk chunk = decode_result_chunk(payload);
+      const auto it = inflight_.find(chunk.id);
+      DIVA_CHECK(it != inflight_.end(),
+                 "result chunk for unknown request id " << chunk.id);
+      InFlight& fl = it->second;
+      DIVA_CHECK(chunk.lo >= 0 && chunk.hi <= fl.total && chunk.lo < chunk.hi,
+                 "chunk range [" << chunk.lo << ", " << chunk.hi
+                                 << ") outside batch of " << fl.total);
+      DIVA_CHECK(chunk.adv.dim(0) == chunk.hi - chunk.lo &&
+                     static_cast<std::int64_t>(chunk.verdicts.size()) ==
+                         chunk.hi - chunk.lo,
+                 "chunk payload size mismatch");
+      if (fl.result.adv.empty()) {
+        fl.result.adv = Tensor(Shape{fl.total, fl.sample_shape[0],
+                                     fl.sample_shape[1], fl.sample_shape[2]});
+        fl.result.verdicts.resize(static_cast<std::size_t>(fl.total));
+      }
+      const std::int64_t per = fl.result.adv.numel() / fl.total;
+      std::memcpy(fl.result.adv.raw() + chunk.lo * per, chunk.adv.raw(),
+                  sizeof(float) *
+                      static_cast<std::size_t>((chunk.hi - chunk.lo) * per));
+      std::copy(chunk.verdicts.begin(), chunk.verdicts.end(),
+                fl.result.verdicts.begin() +
+                    static_cast<std::ptrdiff_t>(chunk.lo));
+      fl.received += chunk.hi - chunk.lo;
+      fl.result.max_shard_seconds =
+          std::max(fl.result.max_shard_seconds, chunk.seconds);
+      auto& workers = fl.result.shard_workers;
+      if (std::find(workers.begin(), workers.end(), chunk.worker) ==
+          workers.end()) {
+        workers.push_back(chunk.worker);
+      }
+      break;
+    }
+    case MsgType::kRequestDone: {
+      RequestDone done = decode_request_done(payload);
+      const auto it = inflight_.find(done.id);
+      DIVA_CHECK(it != inflight_.end(),
+                 "completion for unknown request id " << done.id);
+      InFlight& fl = it->second;
+      DIVA_CHECK(fl.received == fl.total && done.total == fl.total,
+                 "request " << done.id << " completed with " << fl.received
+                            << "/" << fl.total << " samples");
+      fl.result.server_seconds = done.seconds;
+      fl.done = true;
+      break;
+    }
+    case MsgType::kError: {
+      ErrorReply err = decode_error(payload);
+      // id 0 = connection-level error (malformed frame): fail loudly.
+      DIVA_CHECK(err.id != 0, "server error: " << err.message);
+      const auto it = inflight_.find(err.id);
+      DIVA_CHECK(it != inflight_.end(),
+                 "error for unknown request id " << err.id);
+      it->second.failed = true;
+      it->second.done = true;
+      it->second.error = err.message;
+      break;
+    }
+    default:
+      DIVA_FAIL("unexpected frame type "
+                << static_cast<int>(type) << " from server");
+  }
+}
+
+ServedResult AttackClient::wait(std::uint64_t id) {
+  auto it = inflight_.find(id);
+  DIVA_CHECK(it != inflight_.end(), "request id " << id << " not in flight");
+  while (!it->second.done) {
+    pump();
+    it = inflight_.find(id);  // pump never erases, but stay defensive
+    DIVA_CHECK(it != inflight_.end(), "request id " << id << " vanished");
+  }
+  InFlight fl = std::move(it->second);
+  inflight_.erase(it);
+  if (fl.failed) throw Error(fl.error);
+  return std::move(fl.result);
+}
+
+void AttackClient::request_server_shutdown() {
+  write_frame(fd_, encode_shutdown());
+}
+
+}  // namespace diva::serve

@@ -1,0 +1,75 @@
+// AttackClient: blocking client for the attack server.
+//
+// One instance owns one AF_UNIX connection and is meant to be used from
+// a single thread (bench clients create one per thread). Any number of
+// requests may be kept in flight on the connection — responses are
+// matched by correlation id, and frames that belong to a different
+// outstanding request are buffered until that request is waited on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace diva::serve {
+
+/// Assembled outcome of one served request, in request sample order.
+struct ServedResult {
+  Tensor adv;  // [N, C, H, W], bit-identical to a sequential run
+  std::vector<SampleVerdict> verdicts;
+  /// Server-side latency, request decode to last shard (RequestDone).
+  double server_seconds = 0.0;
+  /// Slowest single shard's attack time — the critical-path lower bound.
+  double max_shard_seconds = 0.0;
+  /// Distinct worker processes that contributed shards.
+  std::vector<std::uint32_t> shard_workers;
+};
+
+class AttackClient {
+ public:
+  /// Connects to the server's AF_UNIX socket; throws on failure.
+  explicit AttackClient(const std::string& socket_path);
+  ~AttackClient();
+
+  AttackClient(const AttackClient&) = delete;
+  AttackClient& operator=(const AttackClient&) = delete;
+
+  /// Sends a request and returns its correlation id. When req.id is 0 a
+  /// fresh id unique to this client is assigned; otherwise req.id must
+  /// not collide with an outstanding request on this connection.
+  std::uint64_t submit(AttackRequest req);
+
+  /// Blocks until request `id` finishes. Throws diva::Error carrying the
+  /// server's rejection text if the request failed (registry validation
+  /// shapes included, verbatim).
+  ServedResult wait(std::uint64_t id);
+
+  /// submit + wait.
+  ServedResult run(AttackRequest req) { return wait(submit(std::move(req))); }
+
+  /// Asks the daemon to shut itself down (kShutdown frame).
+  void request_server_shutdown();
+
+ private:
+  struct InFlight {
+    std::int64_t total = 0;  // batch rows expected
+    Shape sample_shape;      // [C, H, W]
+    ServedResult result;
+    std::int64_t received = 0;  // rows assembled so far
+    bool done = false;
+    bool failed = false;
+    std::string error;
+  };
+
+  /// Reads one frame and applies it to the matching in-flight record.
+  void pump();
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, InFlight> inflight_;
+};
+
+}  // namespace diva::serve

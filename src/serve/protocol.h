@@ -1,0 +1,225 @@
+// Attack-as-a-service wire protocol: framed binary messages shared by
+// the client library, the server front-end, and the parent<->worker
+// links.
+//
+// Every message is one frame:
+//
+//   u32 magic 'DIVA' | u16 version | u16 type | u64 payload bytes | payload
+//
+// All integers are little-endian; floats travel as raw IEEE-754 bits,
+// so a served adversarial example is byte-identical to the tensor the
+// worker produced — the cross-process determinism invariant depends on
+// the codec never rounding. Payload layouts are documented per message
+// struct below; encode_* / decode_* round-trip each one and throw
+// diva::Error on malformed input (bad magic, version skew, truncation,
+// unknown type), which makes the codec unit-testable without sockets.
+//
+// Client -> server:  kAttackRequest, kShutdown
+// Server -> client:  kResultChunk (streamed per shard), kRequestDone,
+//                    kError
+// Parent -> worker:  kJobBatch (coalesced shard jobs)
+// Worker -> parent:  kJobResult (one per shard job, streamed)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/registry.h"
+#include "scenario/scenario.h"
+#include "tensor/tensor.h"
+
+namespace diva::serve {
+
+inline constexpr std::uint32_t kMagic = 0x41564944;  // "DIVA" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint16_t {
+  kAttackRequest = 1,
+  kResultChunk = 2,
+  kRequestDone = 3,
+  kError = 4,
+  kJobBatch = 5,
+  kJobResult = 6,
+  kShutdown = 7,
+};
+
+// ---------------------------------------------------------------------------
+// Byte-level reader/writer (little-endian, bounds-checked).
+// ---------------------------------------------------------------------------
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  /// Length-prefixed UTF-8/bytes string.
+  void str(const std::string& s);
+  /// Raw float block (no length prefix; caller encodes the count).
+  void floats(const float* data, std::size_t count);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  float f32();
+  double f64();
+  std::string str();
+  void floats(float* dst, std::size_t count);
+
+  std::size_t remaining() const { return size_ - off_; }
+  /// Throws unless the payload was consumed exactly.
+  void expect_done() const;
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+
+  const std::uint8_t* p_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Messages.
+// ---------------------------------------------------------------------------
+
+/// One attack request: which registry cell to run, the attack budget,
+/// and the sample payload. `id` is the client's correlation id — every
+/// response frame for this request echoes it, so a client may keep any
+/// number of requests in flight on one connection (ids must be unique
+/// among that connection's unfinished requests).
+struct AttackRequest {
+  std::uint64_t id = 0;
+  std::string attack;  // registry kind, e.g. "diva"
+  scenario::OriginalKind original = scenario::OriginalKind::kNone;
+  scenario::AdaptedKind adapted = scenario::AdaptedKind::kQat;
+  AttackSpec spec;          // cfg + objective hyperparameters
+  Tensor images;            // [N, C, H, W], values in [0, 1]
+  std::vector<int> labels;  // size N
+};
+
+/// Per-sample outcome against the server's model pool: `fooled` — the
+/// deployed adapted artifact misclassified the adversarial image;
+/// `preserved` — the true original still classifies it correctly;
+/// `evaded` — both (the paper's §5.1 joint criterion).
+struct SampleVerdict {
+  bool fooled = false;
+  bool preserved = false;
+  bool evaded = false;
+};
+
+/// One shard of a request's results, streamed as soon as the shard
+/// finishes: samples [lo, hi) of the request, in request order.
+struct ResultChunk {
+  std::uint64_t id = 0;  // client correlation id
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  Tensor adv;  // [hi-lo, C, H, W]
+  std::vector<SampleVerdict> verdicts;
+  double seconds = 0.0;   // worker attack time for this shard
+  std::uint32_t worker = 0;  // which worker process ran it
+};
+
+/// Terminal success frame: all `total` samples of the request have been
+/// streamed. `seconds` is the server-side latency from request decode
+/// to last shard completion.
+struct RequestDone {
+  std::uint64_t id = 0;
+  std::int64_t total = 0;
+  double seconds = 0.0;
+};
+
+/// Terminal failure frame. For invalid requests the message carries the
+/// registry's own validation text (validate_attack_targets /
+/// attack_traits error shapes) verbatim.
+struct ErrorReply {
+  std::uint64_t id = 0;
+  std::string message;
+};
+
+/// One shard job on the parent->worker link. `first_sample` is the
+/// sample index of images row 0 *within its request* — workers pass it
+/// straight to Attack::perturb_indexed, which is what keys per-sample
+/// RNG streams and makes the served result bit-identical to a
+/// sequential AttackEngine run of the whole request.
+struct WireJob {
+  std::uint64_t ticket = 0;  // server-internal job id
+  std::string attack;
+  scenario::OriginalKind original = scenario::OriginalKind::kNone;
+  scenario::AdaptedKind adapted = scenario::AdaptedKind::kQat;
+  AttackSpec spec;
+  std::int64_t first_sample = 0;
+  Tensor images;
+  std::vector<int> labels;
+};
+
+/// Worker's answer to one WireJob. An empty `error` means success; a
+/// non-empty one fails the whole request (adv/verdicts are then empty).
+struct JobResult {
+  std::uint64_t ticket = 0;
+  std::int64_t first_sample = 0;
+  Tensor adv;
+  std::vector<SampleVerdict> verdicts;
+  double seconds = 0.0;
+  std::string error;
+};
+
+// ---------------------------------------------------------------------------
+// Codec. encode_* produce a complete frame (header + payload);
+// decode_* take the payload of a frame whose type already matched.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_attack_request(const AttackRequest& req);
+std::vector<std::uint8_t> encode_result_chunk(const ResultChunk& chunk);
+std::vector<std::uint8_t> encode_request_done(const RequestDone& done);
+std::vector<std::uint8_t> encode_error(const ErrorReply& err);
+std::vector<std::uint8_t> encode_job_batch(const std::vector<WireJob>& jobs);
+std::vector<std::uint8_t> encode_job_result(const JobResult& result);
+std::vector<std::uint8_t> encode_shutdown();
+
+AttackRequest decode_attack_request(const std::vector<std::uint8_t>& payload);
+ResultChunk decode_result_chunk(const std::vector<std::uint8_t>& payload);
+RequestDone decode_request_done(const std::vector<std::uint8_t>& payload);
+ErrorReply decode_error(const std::vector<std::uint8_t>& payload);
+std::vector<WireJob> decode_job_batch(const std::vector<std::uint8_t>& payload);
+JobResult decode_job_result(const std::vector<std::uint8_t>& payload);
+
+/// Splits a complete frame into (type, payload), validating magic,
+/// version, and length. Used by the frame IO below and by codec tests.
+MsgType split_frame(const std::vector<std::uint8_t>& frame,
+                    std::vector<std::uint8_t>* payload);
+
+// ---------------------------------------------------------------------------
+// Blocking frame IO over a stream socket (or any byte-stream fd).
+// ---------------------------------------------------------------------------
+
+/// Writes one complete frame; throws diva::Error on IO failure
+/// (EPIPE included — callers treat it as peer death).
+void write_frame(int fd, const std::vector<std::uint8_t>& frame);
+
+/// Reads one frame. Returns false on clean EOF at a frame boundary;
+/// throws on IO errors, malformed headers, or mid-frame EOF.
+bool read_frame(int fd, MsgType* type, std::vector<std::uint8_t>* payload);
+
+}  // namespace diva::serve

@@ -1,0 +1,106 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+
+namespace diva::serve {
+
+std::vector<ShardJob> make_shard_jobs(
+    std::shared_ptr<const AttackRequest> request, std::uint64_t request_key,
+    std::int64_t shard_size, std::uint64_t* ticket_counter) {
+  DIVA_CHECK(shard_size >= 1, "shard_size must be at least 1");
+  DIVA_CHECK(request != nullptr && request->images.rank() == 4,
+             "shard jobs need a decoded NCHW request");
+  const std::int64_t n = request->images.dim(0);
+  const std::int64_t num_shards = (n + shard_size - 1) / shard_size;
+  std::vector<ShardJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(num_shards));
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    ShardJob job;
+    job.ticket = (*ticket_counter)++;
+    job.request_key = request_key;
+    job.request = request;
+    job.lo = s * shard_size;
+    job.hi = std::min(n, job.lo + shard_size);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void BatchingQueue::push(std::vector<ShardJob> jobs) {
+  if (jobs.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    for (auto& job : jobs) jobs_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+}
+
+void BatchingQueue::requeue(std::vector<ShardJob> jobs) {
+  if (jobs.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Front-insert in reverse so the vector's order is preserved and
+    // re-executed work does not wait behind new traffic. Requeue works
+    // even on a closed queue: close() promises to drain, and a dying
+    // worker's jobs must not be silently dropped mid-drain.
+    for (auto it = jobs.rbegin(); it != jobs.rend(); ++it) {
+      jobs_.push_front(std::move(*it));
+    }
+  }
+  cv_.notify_all();
+}
+
+std::vector<ShardJob> BatchingQueue::pop_batch(const CoalescePolicy& policy) {
+  DIVA_CHECK(policy.max_jobs >= 1, "coalesce max_jobs must be at least 1");
+  std::vector<ShardJob> batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return batch;  // closed and drained
+
+  auto take_available = [&] {
+    while (batch.size() < policy.max_jobs && !jobs_.empty()) {
+      batch.push_back(std::move(jobs_.front()));
+      jobs_.pop_front();
+    }
+  };
+  take_available();
+
+  // Coalescing window: once the first job is in hand, wait (bounded)
+  // for more arrivals to fill the batch. Window zero never sleeps, so
+  // tests and latency-critical configs stay deterministic.
+  if (batch.size() < policy.max_jobs && policy.window.count() > 0 &&
+      !closed_) {
+    const auto deadline = std::chrono::steady_clock::now() + policy.window;
+    while (batch.size() < policy.max_jobs) {
+      if (!cv_.wait_until(lock, deadline, [&] {
+            return closed_ || !jobs_.empty();
+          })) {
+        break;  // window elapsed
+      }
+      if (jobs_.empty()) break;  // closed
+      take_available();
+    }
+  }
+  return batch;
+}
+
+void BatchingQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool BatchingQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t BatchingQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+}  // namespace diva::serve

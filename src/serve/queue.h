@@ -1,0 +1,82 @@
+// Async batching queue: the coalescing heart of the attack server.
+//
+// Client requests are split into engine-geometry shard jobs (the same
+// fixed [s*shard, min(n, (s+1)*shard)) boundaries AttackEngine uses, so
+// sharding stays invisible to the result). Dispatcher threads pop
+// *batches* of jobs: pop_batch blocks for the first job, then keeps
+// coalescing arrivals — possibly from many concurrent requests — until
+// either `max_jobs` are collected or the coalescing window elapses.
+// A larger window trades request latency for fuller worker batches.
+//
+// Failure path: jobs that were in flight on a worker that died are
+// pushed back at the *front* of the queue (requeue), so re-execution
+// does not wait behind newly arrived traffic.
+//
+// The queue is deliberately socket-free and time-bounded-deterministic
+// (window zero never waits), which is what makes it unit-testable.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace diva::serve {
+
+/// One schedulable unit: samples [lo, hi) of a request. The job shares
+/// the request payload instead of copying it; slices are materialized
+/// only when a job is encoded onto a worker link.
+struct ShardJob {
+  std::uint64_t ticket = 0;       // unique job id (requeue keeps it)
+  std::uint64_t request_key = 0;  // server-internal request handle
+  std::shared_ptr<const AttackRequest> request;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+/// How pop_batch coalesces.
+struct CoalescePolicy {
+  std::size_t max_jobs = 8;
+  std::chrono::microseconds window{2000};
+};
+
+/// Splits a request into shard jobs with AttackEngine's shard geometry.
+/// Tickets are drawn from *ticket_counter (incremented per job).
+std::vector<ShardJob> make_shard_jobs(
+    std::shared_ptr<const AttackRequest> request, std::uint64_t request_key,
+    std::int64_t shard_size, std::uint64_t* ticket_counter);
+
+class BatchingQueue {
+ public:
+  /// Appends new jobs (FIFO). No-op on an empty vector.
+  void push(std::vector<ShardJob> jobs);
+
+  /// Pushes failed jobs back at the front, preserving their order.
+  void requeue(std::vector<ShardJob> jobs);
+
+  /// Blocks until at least one job is available (or the queue closes),
+  /// then coalesces up to policy.max_jobs, waiting at most
+  /// policy.window for stragglers once the first job is in hand.
+  /// Returns an empty batch only when the queue is closed and drained.
+  std::vector<ShardJob> pop_batch(const CoalescePolicy& policy);
+
+  /// Closes the queue: push becomes a no-op, pop_batch drains what is
+  /// left and then returns empty batches.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ShardJob> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace diva::serve

@@ -1,0 +1,229 @@
+// Loopback end-to-end tests for the attack server (ctest label: serve,
+// not tier1 — they fork worker processes and bind AF_UNIX sockets).
+//
+// The model pool is untrained (init + calibrate + compile): every
+// property under test — cross-process bit-determinism, verdict
+// consistency, failure paths — is independent of model accuracy, and
+// an untrained pool keeps the suite seconds-fast.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "models/factory.h"
+#include "nn/init.h"
+#include "quant/qat.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+
+namespace diva::serve {
+namespace {
+
+using scenario::AdaptedKind;
+using scenario::OriginalKind;
+
+class ServeE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    original_ = make_digit_net(NetMode::kFloat);
+    init_parameters(*original_, 401);
+    original_->set_training(false);
+    qat_ = make_digit_net(NetMode::kQat);
+    init_parameters(*qat_, 402);
+    calibrate(*qat_,
+              {testing::random_tensor(Shape{4, 1, 28, 28}, 403, 0.0f, 1.0f)});
+    quantized_ = std::make_unique<QuantizedModel>(
+        QuantizedModel::compile(*qat_, Shape{1, 28, 28}));
+    pool_.original = original_.get();
+    pool_.adapted_qat = qat_.get();
+    pool_.quantized = quantized_.get();
+
+    images_ = testing::random_tensor(Shape{12, 1, 28, 28}, 404, 0.0f, 1.0f);
+    labels_.clear();
+    for (int i = 0; i < 12; ++i) labels_.push_back(i % 10);
+  }
+
+  std::string socket_path(const char* tag) const {
+    return "/tmp/diva_e2e_" + std::string(tag) + "_" +
+           std::to_string(getpid()) + ".sock";
+  }
+
+  ServeConfig config(const char* tag, unsigned workers) const {
+    ServeConfig cfg;
+    cfg.socket_path = socket_path(tag);
+    cfg.workers = workers;
+    cfg.worker_threads = 2;
+    cfg.shard_size = 4;
+    cfg.coalesce_window = std::chrono::microseconds(0);
+    return cfg;
+  }
+
+  AttackRequest request(int steps = 4) const {
+    AttackRequest req;
+    req.attack = "pgd";
+    req.original = OriginalKind::kNone;
+    req.adapted = AdaptedKind::kInt8Ste;
+    req.spec.cfg.epsilon = 0.05f;
+    req.spec.cfg.alpha = 0.01f;
+    req.spec.cfg.steps = steps;
+    req.spec.cfg.random_start = true;
+    req.spec.cfg.seed = 77;
+    req.images = images_;
+    req.labels = labels_;
+    return req;
+  }
+
+  /// The sequential ground truth the served result must match bit for
+  /// bit: one Attack::perturb call in this process.
+  Tensor sequential_reference(const AttackRequest& req) const {
+    const AttackTargets targets{
+        scenario::make_original_source(pool_, req.original),
+        scenario::make_adapted_source(pool_, req.adapted, {})};
+    const auto attack = make_attack(req.attack, targets, req.spec);
+    return attack->perturb(req.images, req.labels);
+  }
+
+  std::unique_ptr<Sequential> original_, qat_;
+  std::unique_ptr<QuantizedModel> quantized_;
+  scenario::ModelPool pool_;
+  Tensor images_;
+  std::vector<int> labels_;
+};
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.raw(), b.raw(),
+                     sizeof(float) * static_cast<std::size_t>(a.numel())) == 0;
+}
+
+TEST_F(ServeE2eTest, LoopbackSmokeServesFourRequests) {
+  AttackServer server(pool_, config("smoke", 2));
+  server.start();
+  {
+    AttackClient client(server.config().socket_path);
+    std::vector<std::uint64_t> ids;
+    for (int r = 0; r < 4; ++r) ids.push_back(client.submit(request()));
+    for (const std::uint64_t id : ids) {
+      const ServedResult result = client.wait(id);
+      ASSERT_EQ(result.verdicts.size(), labels_.size());
+      ASSERT_TRUE(result.adv.shape() == images_.shape());
+
+      // Perturbation stayed inside the L-inf ball.
+      float linf = 0.0f;
+      for (std::int64_t i = 0; i < result.adv.numel(); ++i) {
+        linf = std::max(linf,
+                        std::abs(result.adv.raw()[i] - images_.raw()[i]));
+      }
+      EXPECT_LE(linf, 0.05f + 1e-6f);
+
+      // Server verdicts must agree with scoring the returned tensor
+      // locally against the same pool.
+      const auto orig_pred = argmax_rows(original_->forward(result.adv));
+      const auto dep_pred = argmax_rows(
+          scenario::deployed_model_fn(pool_, AdaptedKind::kInt8Ste)(
+              result.adv));
+      for (std::size_t i = 0; i < labels_.size(); ++i) {
+        EXPECT_EQ(result.verdicts[i].fooled, dep_pred[i] != labels_[i]);
+        EXPECT_EQ(result.verdicts[i].preserved, orig_pred[i] == labels_[i]);
+        EXPECT_EQ(result.verdicts[i].evaded, result.verdicts[i].fooled &&
+                                                 result.verdicts[i].preserved);
+      }
+    }
+  }
+  server.stop();
+}
+
+TEST_F(ServeE2eTest, ServedResultIsBitIdenticalAcrossWorkerCounts) {
+  const AttackRequest req = request();
+  const Tensor reference = sequential_reference(req);
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    AttackServer server(pool_, config("det", workers));
+    server.start();
+    {
+      AttackClient client(server.config().socket_path);
+      const ServedResult result = client.run(req);
+      EXPECT_TRUE(bit_identical(result.adv, reference))
+          << "served result diverged from the sequential run at workers="
+          << workers;
+      if (workers > 1) {
+        EXPECT_GE(result.shard_workers.size(), 1u);
+      }
+    }
+    server.stop();
+  }
+}
+
+TEST_F(ServeE2eTest, KilledWorkerJobsAreRequeuedAndStayDeterministic) {
+  const AttackRequest req = request(/*steps=*/12);
+  const Tensor reference = sequential_reference(req);
+
+  AttackServer server(pool_, config("kill", 2));
+  server.start();
+  const auto pids = server.worker_pids();
+  ASSERT_EQ(pids.size(), 2u);
+  {
+    AttackClient client(server.config().socket_path);
+    std::vector<std::uint64_t> ids;
+    for (int r = 0; r < 4; ++r) ids.push_back(client.submit(req));
+    // Kill a worker while its jobs are (very likely) in flight; the
+    // dispatcher must requeue them and every request must still finish
+    // with the sequential answer.
+    ASSERT_EQ(kill(pids[0], SIGKILL), 0);
+    for (const std::uint64_t id : ids) {
+      const ServedResult result = client.wait(id);
+      EXPECT_TRUE(bit_identical(result.adv, reference))
+          << "request " << id << " diverged after the worker kill";
+    }
+  }
+  server.stop();
+}
+
+TEST_F(ServeE2eTest, MalformedRequestsAreRejectedWithoutCrashingWorkers) {
+  AttackServer server(pool_, config("reject", 2));
+  server.start();
+  {
+    AttackClient client(server.config().socket_path);
+
+    AttackRequest unknown = request();
+    unknown.attack = "nope";
+    try {
+      client.run(unknown);
+      FAIL() << "unknown attack kind was accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("unknown attack kind 'nope'"),
+                std::string::npos);
+    }
+
+    AttackRequest no_original = request();
+    no_original.attack = "diva";  // needs an original; request has none
+    const AttackTargets targets{
+        nullptr, scenario::make_adapted_source(pool_, no_original.adapted, {})};
+    const std::string expected = validate_attack_targets("diva", targets);
+    ASSERT_NE(expected, "");
+    try {
+      client.run(no_original);
+      FAIL() << "diva without an original source was accepted";
+    } catch (const Error& e) {
+      EXPECT_EQ(std::string(e.what()), expected);
+    }
+
+    AttackRequest batched = request();
+    batched.adapted = AdaptedKind::kInt8Batched;
+    EXPECT_THROW(client.run(batched), Error);
+
+    // The server (and its workers) must still be fully serviceable.
+    const ServedResult ok = client.run(request());
+    EXPECT_EQ(ok.verdicts.size(), labels_.size());
+  }
+  const auto pids = server.worker_pids();
+  EXPECT_EQ(pids.size(), 2u);  // nobody crashed
+  server.stop();
+}
+
+}  // namespace
+}  // namespace diva::serve

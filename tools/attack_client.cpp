@@ -1,0 +1,133 @@
+// attack_client — CLI client for the serve_attack daemon.
+//
+// Generates a SynthDigits batch (the daemon's digit track), submits one
+// attack request, and prints the per-sample verdict table. With
+// --shutdown it instead asks the daemon to exit.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/report.h"
+#include "data/synth_digits.h"
+#include "runtime/env.h"
+#include "serve/client.h"
+
+namespace {
+
+struct Options {
+  std::string socket =
+      diva::env_string("DIVA_SERVE_SOCKET", "/tmp/diva_serve.sock");
+  std::string attack = "diva";
+  std::string original = "float";
+  std::string adapted = "int8-ste";
+  int n = 16;
+  float epsilon = 0.05f;
+  float alpha = 0.01f;
+  int steps = 20;
+  std::uint64_t seed = 0;
+  bool shutdown = false;
+};
+
+bool parse_args(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--shutdown") {
+      opt->shutdown = true;
+    } else if (!(v = value())) {
+      return false;
+    } else if (arg == "--socket") {
+      opt->socket = v;
+    } else if (arg == "--attack") {
+      opt->attack = v;
+    } else if (arg == "--original") {
+      opt->original = v;
+    } else if (arg == "--adapted") {
+      opt->adapted = v;
+    } else if (arg == "--n") {
+      opt->n = std::atoi(v);
+    } else if (arg == "--epsilon") {
+      opt->epsilon = static_cast<float>(std::atof(v));
+    } else if (arg == "--alpha") {
+      opt->alpha = static_cast<float>(std::atof(v));
+    } else if (arg == "--steps") {
+      opt->steps = std::atoi(v);
+    } else if (arg == "--seed") {
+      opt->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--socket PATH] [--attack KIND] [--original KIND]\n"
+          "          [--adapted KIND] [--n N] [--epsilon E] [--alpha A]\n"
+          "          [--steps S] [--seed S] [--shutdown]\n",
+          argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return 2;
+
+  try {
+    diva::serve::AttackClient client(opt.socket);
+    if (opt.shutdown) {
+      client.request_server_shutdown();
+      std::printf("attack_client: shutdown requested\n");
+      return 0;
+    }
+
+    diva::serve::AttackRequest req;
+    req.attack = opt.attack;
+    DIVA_CHECK(
+        diva::scenario::parse_original_kind(opt.original, &req.original),
+        "unknown --original '" << opt.original << "'");
+    DIVA_CHECK(diva::scenario::parse_adapted_kind(opt.adapted, &req.adapted),
+               "unknown --adapted '" << opt.adapted << "'");
+    req.spec.cfg.epsilon = opt.epsilon;
+    req.spec.cfg.alpha = opt.alpha;
+    req.spec.cfg.steps = opt.steps;
+    req.spec.cfg.seed = opt.seed;
+
+    const diva::SynthDigits digits;
+    const diva::Dataset batch =
+        digits.generate((opt.n + digits.num_classes() - 1) /
+                        digits.num_classes());
+    std::vector<int> take;
+    for (int i = 0; i < opt.n && i < batch.size(); ++i) take.push_back(i);
+    const diva::Dataset sub = batch.subset(take);
+    req.images = sub.images;
+    req.labels = sub.labels;
+
+    const diva::serve::ServedResult result = client.run(std::move(req));
+
+    diva::banner("served attack: " + opt.attack + " (" + opt.original +
+                 " x " + opt.adapted + ")");
+    diva::TablePrinter table({"sample", "label", "fooled", "preserved",
+                              "evaded"});
+    int evaded = 0;
+    for (std::size_t i = 0; i < result.verdicts.size(); ++i) {
+      const auto& v = result.verdicts[i];
+      evaded += v.evaded ? 1 : 0;
+      table.add_row({std::to_string(i), std::to_string(sub.labels[i]),
+                 v.fooled ? "yes" : "no", v.preserved ? "yes" : "no",
+                 v.evaded ? "yes" : "no"});
+    }
+    table.print();
+    std::printf(
+        "evaded %d/%zu  server=%.3fs  slowest shard=%.3fs  workers=%zu\n",
+        evaded, result.verdicts.size(), result.server_seconds,
+        result.max_shard_seconds, result.shard_workers.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "attack_client: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

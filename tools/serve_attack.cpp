@@ -1,0 +1,164 @@
+// serve_attack — attack-as-a-service daemon.
+//
+// Binds an AttackServer on an AF_UNIX socket, serving the requested
+// model track (trained via the ModelZoo disk cache on first use), and
+// runs until SIGINT/SIGTERM or a client kShutdown frame.
+//
+// Quickstart:
+//   ./tools/serve_attack --socket /tmp/diva.sock --track digit --workers 2 &
+//   ./tools/attack_client --socket /tmp/diva.sock --attack diva \
+//       --original float --adapted int8-ste --n 16
+//
+// Every flag has a DIVA_SERVE_* environment twin (flag wins):
+//   DIVA_SERVE_SOCKET, DIVA_SERVE_TRACK, DIVA_SERVE_WORKERS,
+//   DIVA_SERVE_WORKER_THREADS, DIVA_SERVE_SHARD, DIVA_SERVE_MAX_JOBS,
+//   DIVA_SERVE_WINDOW_US, DIVA_SERVE_PIN.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/zoo.h"
+#include "runtime/env.h"
+#include "serve/server.h"
+
+namespace {
+
+using diva::env_flag;
+using diva::env_int;
+using diva::env_string;
+
+struct Options {
+  std::string socket = env_string("DIVA_SERVE_SOCKET", "/tmp/diva_serve.sock");
+  std::string track = env_string("DIVA_SERVE_TRACK", "digit");
+  unsigned workers =
+      static_cast<unsigned>(env_int("DIVA_SERVE_WORKERS", 2));
+  unsigned worker_threads =
+      static_cast<unsigned>(env_int("DIVA_SERVE_WORKER_THREADS", 2));
+  std::int64_t shard_size = env_int("DIVA_SERVE_SHARD", 8);
+  std::int64_t max_jobs = env_int("DIVA_SERVE_MAX_JOBS", 8);
+  std::int64_t window_us = env_int("DIVA_SERVE_WINDOW_US", 2000);
+  bool pin = env_flag("DIVA_SERVE_PIN", false);
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH] [--track digit|resnet] [--workers N]\n"
+      "          [--worker-threads N] [--shard-size N] [--max-batch-jobs N]\n"
+      "          [--window-us N] [--pin]\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = value();
+      if (!v) return false;
+      opt->socket = v;
+    } else if (arg == "--track") {
+      const char* v = value();
+      if (!v) return false;
+      opt->track = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (!v) return false;
+      opt->workers = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--worker-threads") {
+      const char* v = value();
+      if (!v) return false;
+      opt->worker_threads = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--shard-size") {
+      const char* v = value();
+      if (!v) return false;
+      opt->shard_size = std::atoll(v);
+    } else if (arg == "--max-batch-jobs") {
+      const char* v = value();
+      if (!v) return false;
+      opt->max_jobs = std::atoll(v);
+    } else if (arg == "--window-us") {
+      const char* v = value();
+      if (!v) return false;
+      opt->window_us = std::atoll(v);
+    } else if (arg == "--pin") {
+      opt->pin = true;
+    } else {
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return 2;
+
+  // Block termination signals before any thread or worker exists so
+  // every descendant inherits the mask and the daemon thread owns
+  // delivery via sigwait.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  diva::ModelZoo zoo;
+  diva::scenario::ModelPool pool;
+  if (opt.track == "digit") {
+    pool.original = &zoo.digit_original();
+    pool.adapted_qat = &zoo.digit_qat();
+    pool.quantized = &zoo.digit_quantized();
+  } else if (opt.track == "resnet") {
+    pool.original = &zoo.original(diva::Arch::kResNet);
+    pool.surrogate = &zoo.surrogate_original(diva::Arch::kResNet);
+    pool.adapted_qat = &zoo.adapted_qat(diva::Arch::kResNet);
+    pool.quantized = &zoo.quantized(diva::Arch::kResNet);
+  } else {
+    std::fprintf(stderr, "unknown --track '%s' (digit|resnet)\n",
+                 opt.track.c_str());
+    return 2;
+  }
+
+  diva::serve::ServeConfig cfg;
+  cfg.socket_path = opt.socket;
+  cfg.workers = opt.workers;
+  cfg.worker_threads = opt.worker_threads;
+  cfg.shard_size = opt.shard_size;
+  cfg.max_batch_jobs = static_cast<std::size_t>(opt.max_jobs);
+  cfg.coalesce_window = std::chrono::microseconds(opt.window_us);
+  cfg.pin_workers = opt.pin;
+  // A client's kShutdown lands on a connection thread, which must not
+  // join itself via stop(); route it through the signal the main thread
+  // is already waiting on.
+  cfg.on_shutdown_request = [] { kill(getpid(), SIGTERM); };
+
+  try {
+    diva::serve::AttackServer server(pool, cfg);
+    server.start();
+    std::printf("serve_attack: track=%s socket=%s workers=%u threads=%u "
+                "shard=%lld window=%lldus\n",
+                opt.track.c_str(), opt.socket.c_str(), opt.workers,
+                opt.worker_threads, static_cast<long long>(opt.shard_size),
+                static_cast<long long>(opt.window_us));
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::printf("serve_attack: %s — shutting down\n", strsignal(sig));
+    server.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_attack: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
