@@ -15,6 +15,8 @@
 #include "attack/registry.h"
 #include "core/experiment_defaults.h"
 #include "core/zoo.h"
+#include "kernels/cpu_features.h"
+#include "kernels/kernel_dispatch.h"
 #include "runtime/env.h"
 
 namespace diva {
@@ -116,9 +118,12 @@ void sweep_one(const char* mode, const char* note, Attack& attack,
                const Tensor& x, const std::vector<int>& y, int steps) {
   std::fprintf(stderr,
                "{\"bench\":\"attack_engine_throughput\",\"mode\":\"%s\","
-               "\"note\":\"%s\",\"batch\":%lld,\"steps\":%d,"
+               "\"note\":\"%s\",\"isa_tier\":\"%s\",\"cpu_flags\":\"%s\","
+               "\"batch\":%lld,\"steps\":%d,"
                "\"shard_size\":4,\"results\":[",
-               mode, note, static_cast<long long>(x.dim(0)), steps);
+               mode, note, isa_tier_name(active_isa_tier()),
+               cpu_features_summary().c_str(),
+               static_cast<long long>(x.dim(0)), steps);
   bool first = true;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     const AttackEngine engine({.threads = threads, .shard_size = 4});
@@ -175,6 +180,12 @@ void run_engine_throughput_sweep() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    const std::string flags = diva::cpu_features_summary();
+    std::fprintf(stderr, "isa_tier: %s (cpu: %s)\n",
+                 diva::isa_tier_name(diva::active_isa_tier()),
+                 flags.empty() ? "baseline x86-64" : flags.c_str());
+  }
   if (!diva::env_flag("DIVA_SKIP_ENGINE_SWEEP", false)) {
     diva::run_engine_throughput_sweep();
   }

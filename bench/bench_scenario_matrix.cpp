@@ -21,6 +21,8 @@
 #include <map>
 
 #include "bench_common.h"
+#include "kernels/cpu_features.h"
+#include "kernels/kernel_dispatch.h"
 #include "scenario/scenario.h"
 
 using namespace diva;
@@ -110,6 +112,12 @@ int main(int argc, char** argv) {
 
   banner(std::string("Scenario matrix sweep (ResNet track") +
          (smoke ? ", smoke)" : ")"));
+  {
+    const std::string flags = cpu_features_summary();
+    std::printf("isa_tier: %s (cpu: %s)\n",
+                isa_tier_name(active_isa_tier()),
+                flags.empty() ? "baseline x86-64" : flags.c_str());
+  }
   ZooConfig zcfg;
   zcfg.verbose = true;
   ModelZoo zoo(zcfg);

@@ -34,6 +34,8 @@
 
 #include "bench_common.h"
 #include "data/synth_digits.h"
+#include "kernels/cpu_features.h"
+#include "kernels/kernel_dispatch.h"
 #include "nn/init.h"
 #include "quant/qat.h"
 #include "runtime/env.h"
@@ -150,8 +152,14 @@ int main() {
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   const unsigned worker_threads = cores >= 4 ? 2 : 1;
   const std::int64_t shard_size = 4;
-  std::printf("machine: %u core(s); worker_threads=%u\n\n", cores,
-              worker_threads);
+  // The kernel ISA tier shifts every img/s number, so rows record it
+  // next to `cores` (rows from different tiers must never be compared
+  // as if same-machine-same-day).
+  const std::string isa = isa_tier_name(active_isa_tier());
+  const std::string cpu_flags = cpu_features_summary();
+  std::printf("machine: %u core(s); worker_threads=%u; isa_tier=%s (%s)\n\n",
+              cores, worker_threads, isa.c_str(),
+              cpu_flags.empty() ? "baseline x86-64" : cpu_flags.c_str());
 
   TablePrinter table({"workers", "clients", "window", "img/s", "p50 ms",
                       "p99 ms", "engine img/s @ same threads"});
@@ -185,7 +193,8 @@ int main() {
     engine_img_s[threads] = img_s;
     json << "{\"bench\":\"serve_throughput\",\"mode\":\"engine_baseline\""
          << ",\"date\":\"" << date << "\",\"cores\":" << cores
-         << ",\"attack\":\"" << proto.attack
+         << ",\"isa_tier\":\"" << isa << "\",\"cpu_flags\":\"" << cpu_flags
+         << "\",\"attack\":\"" << proto.attack
          << "\",\"adapted\":\"int8-ste\",\"threads\":" << threads
          << ",\"batch\":" << batch << ",\"steps\":" << steps
          << ",\"shard_size\":" << shard_size << ",\"images\":" << done
@@ -251,7 +260,8 @@ int main() {
     const double baseline = engine_baseline(pt.workers, pt.clients);
     json << "{\"bench\":\"serve_throughput\",\"mode\":\"served\""
          << ",\"date\":\"" << date << "\",\"cores\":" << cores
-         << ",\"attack\":\"" << proto.attack
+         << ",\"isa_tier\":\"" << isa << "\",\"cpu_flags\":\"" << cpu_flags
+         << "\",\"attack\":\"" << proto.attack
          << "\",\"adapted\":\"int8-ste\",\"workers\":" << pt.workers
          << ",\"worker_threads\":" << worker_threads
          << ",\"clients\":" << pt.clients

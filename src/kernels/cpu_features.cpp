@@ -1,0 +1,46 @@
+#include "kernels/cpu_features.h"
+
+namespace diva {
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DIVA_CPU_PROBE 1
+#else
+#define DIVA_CPU_PROBE 0
+#endif
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if DIVA_CPU_PROBE
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.fma = __builtin_cpu_supports("fma") != 0;
+    f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+    f.avx512bw = __builtin_cpu_supports("avx512bw") != 0;
+    f.avx512vl = __builtin_cpu_supports("avx512vl") != 0;
+    f.avx512vnni = __builtin_cpu_supports("avx512vnni") != 0;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+std::string cpu_features_summary() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  const auto append = [&s](bool have, const char* name) {
+    if (!have) return;
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  append(f.avx2, "avx2");
+  append(f.fma, "fma");
+  append(f.avx512f, "avx512f");
+  append(f.avx512bw, "avx512bw");
+  append(f.avx512vl, "avx512vl");
+  append(f.avx512vnni, "avx512vnni");
+  return s;
+}
+
+}  // namespace diva

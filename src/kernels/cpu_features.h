@@ -1,0 +1,33 @@
+// Host SIMD capability probe for the kernel-runtime ISA dispatch.
+//
+// One CPUID read (via __builtin_cpu_supports, which also verifies OS
+// XSAVE state for the wide register files), cached for the process
+// lifetime. The kernel dispatch layer (kernel_dispatch.h) turns these
+// flags into a tier; everything else should go through the tier, not
+// the raw flags — the flags exist so benches can record exactly what
+// hardware a JSON row was measured on.
+#pragma once
+
+#include <string>
+
+namespace diva {
+
+/// x86 SIMD features the kernel tiers care about. All false on non-x86
+/// builds or compilers without __builtin_cpu_supports.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512vnni = false;
+};
+
+/// The host CPU's features; probed on first call, cached after.
+const CpuFeatures& cpu_features();
+
+/// Comma-separated detected flags, e.g. "avx2,fma,avx512f,...". Empty
+/// on baseline x86-64 (or non-x86) hosts. Recorded in bench JSON rows.
+std::string cpu_features_summary();
+
+}  // namespace diva

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/isa_variants.h"
+#include "kernels/kernel_dispatch.h"
 #include "kernels/workspace.h"
 #include "runtime/thread_pool.h"
 
@@ -9,12 +11,9 @@ namespace diva {
 
 namespace {
 
-// Register microkernel footprint and cache blocking. MR*NR floats of
-// accumulator fit comfortably in vector registers once the
-// compiler vectorizes the NR loop; KC keeps one packed A strip plus one
-// packed B strip resident in L1, MC keeps the packed A block in L2.
-constexpr std::int64_t kMr = 4;
-constexpr std::int64_t kNr = 32;
+// Cache blocking (shared by every tier): KC keeps one packed A strip
+// plus one packed B strip resident in L1, MC keeps the packed A block
+// in L2. The register tile (MR x NR) is the dispatched variant's.
 constexpr std::int64_t kKc = 256;
 constexpr std::int64_t kMc = 64;
 constexpr std::int64_t kNc = 512;
@@ -28,26 +27,23 @@ inline float at(const float* p, std::int64_t ld, bool trans, std::int64_t i,
 /// Packs rows [i0, i0+mc) x cols [p0, p0+kc) of logical A into MR-row
 /// panels: out[strip][p][r] with zero padding to full MR.
 void pack_a(const float* a, std::int64_t lda, bool trans, std::int64_t i0,
-            std::int64_t mc, std::int64_t p0, std::int64_t kc, float* out) {
-  for (std::int64_t i = 0; i < mc; i += kMr) {
-    const std::int64_t mr = std::min(kMr, mc - i);
+            std::int64_t mc, std::int64_t p0, std::int64_t kc,
+            std::int64_t vmr, float* out) {
+  for (std::int64_t i = 0; i < mc; i += vmr) {
+    const std::int64_t mr = std::min(vmr, mc - i);
     float* panel = out + i * kc;
-    if (!trans && mr == kMr) {
-      const float* r0 = a + (i0 + i) * lda + p0;
-      const float* r1 = r0 + lda;
-      const float* r2 = r1 + lda;
-      const float* r3 = r2 + lda;
+    if (!trans && mr == vmr) {
+      const float* rows = a + (i0 + i) * lda + p0;
       for (std::int64_t p = 0; p < kc; ++p) {
-        panel[p * kMr + 0] = r0[p];
-        panel[p * kMr + 1] = r1[p];
-        panel[p * kMr + 2] = r2[p];
-        panel[p * kMr + 3] = r3[p];
+        for (std::int64_t r = 0; r < vmr; ++r) {
+          panel[p * vmr + r] = rows[r * lda + p];
+        }
       }
       continue;
     }
     for (std::int64_t p = 0; p < kc; ++p) {
-      for (std::int64_t r = 0; r < kMr; ++r) {
-        panel[p * kMr + r] =
+      for (std::int64_t r = 0; r < vmr; ++r) {
+        panel[p * vmr + r] =
             r < mr ? at(a, lda, trans, i0 + i + r, p0 + p) : 0.0f;
       }
     }
@@ -57,43 +53,50 @@ void pack_a(const float* a, std::int64_t lda, bool trans, std::int64_t i0,
 /// Packs rows [p0, p0+kc) x cols [j0, j0+nc) of logical B into NR-col
 /// panels: out[strip][p][cc] with zero padding to full NR.
 void pack_b(const float* b, std::int64_t ldb, bool trans, std::int64_t p0,
-            std::int64_t kc, std::int64_t j0, std::int64_t nc, float* out) {
-  for (std::int64_t j = 0; j < nc; j += kNr) {
-    const std::int64_t nr = std::min(kNr, nc - j);
+            std::int64_t kc, std::int64_t j0, std::int64_t nc,
+            std::int64_t vnr, float* out) {
+  for (std::int64_t j = 0; j < nc; j += vnr) {
+    const std::int64_t nr = std::min(vnr, nc - j);
     float* panel = out + j * kc;
-    if (!trans && nr == kNr) {
+    if (!trans && nr == vnr) {
       for (std::int64_t p = 0; p < kc; ++p) {
         const float* src = b + (p0 + p) * ldb + j0 + j;
-        float* dst = panel + p * kNr;
-        for (std::int64_t cc = 0; cc < kNr; ++cc) dst[cc] = src[cc];
+        float* dst = panel + p * vnr;
+        for (std::int64_t cc = 0; cc < vnr; ++cc) dst[cc] = src[cc];
       }
       continue;
     }
     for (std::int64_t p = 0; p < kc; ++p) {
-      for (std::int64_t cc = 0; cc < kNr; ++cc) {
-        panel[p * kNr + cc] =
+      for (std::int64_t cc = 0; cc < vnr; ++cc) {
+        panel[p * vnr + cc] =
             cc < nr ? at(b, ldb, trans, p0 + p, j0 + j + cc) : 0.0f;
       }
     }
   }
 }
 
-/// acc[MR][NR] += Ap[kc][MR] x Bp[kc][NR]. Plain loops; the NR loop
-/// vectorizes and the MR loop unrolls.
-inline void micro_kernel(const float* ap, const float* bp, std::int64_t kc,
+// Scalar (baseline x86-64) microkernel: 4x32 tile written as plain
+// loops the compiler auto-vectorizes. Pinned as the kScalar tier.
+constexpr std::int64_t kScalarMr = 4;
+constexpr std::int64_t kScalarNr = 32;
+
+void micro_kernel_scalar(const float* ap, const float* bp, std::int64_t kc,
                          float* acc) {
   for (std::int64_t p = 0; p < kc; ++p) {
-    const float* brow = bp + p * kNr;
-    const float* arow = ap + p * kMr;
-    for (std::int64_t r = 0; r < kMr; ++r) {
+    const float* brow = bp + p * kScalarNr;
+    const float* arow = ap + p * kScalarMr;
+    for (std::int64_t r = 0; r < kScalarMr; ++r) {
       const float av = arow[r];
-      float* accrow = acc + r * kNr;
-      for (std::int64_t cc = 0; cc < kNr; ++cc) accrow[cc] += av * brow[cc];
+      float* accrow = acc + r * kScalarNr;
+      for (std::int64_t cc = 0; cc < kScalarNr; ++cc) {
+        accrow[cc] += av * brow[cc];
+      }
     }
   }
 }
 
-/// Small-problem fallback: packing costs more than it saves.
+/// Small-problem fallback: packing costs more than it saves. Stays
+/// scalar at every tier, so tiny sgemms are tier-invariant.
 void sgemm_small(std::int64_t m, std::int64_t n, std::int64_t k,
                  const float* a, std::int64_t lda, bool trans_a,
                  const float* b, std::int64_t ldb, bool trans_b, float* c,
@@ -116,6 +119,14 @@ void sgemm_small(std::int64_t m, std::int64_t n, std::int64_t k,
 
 }  // namespace
 
+namespace detail {
+
+SgemmVariant sgemm_variant_scalar() {
+  return {"scalar", kScalarMr, kScalarNr, micro_kernel_scalar};
+}
+
+}  // namespace detail
+
 void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
            std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
            bool trans_b, float* c, std::int64_t ldc, const SgemmEpilogue& ep) {
@@ -137,41 +148,47 @@ void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
     return;
   }
 
+  const SgemmVariant& v = kernel_dispatch().sgemm;
+  const std::int64_t vmr = v.mr;
+  const std::int64_t vnr = v.nr;
+
   auto frame = Workspace::tls().frame();
   const std::int64_t nc_max = std::min(n, kNc);
   const std::int64_t kc_max = std::min(k, kKc);
-  const std::int64_t nc_strips = (nc_max + kNr - 1) / kNr;
-  float* bpack = frame.alloc<float>(nc_strips * kNr * kc_max);
+  const std::int64_t nc_strips = (nc_max + vnr - 1) / vnr;
+  float* bpack = frame.alloc<float>(nc_strips * vnr * kc_max);
 
   for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
     const std::int64_t nc = std::min(kNc, n - j0);
-    const std::int64_t strips_n = (nc + kNr - 1) / kNr;
+    const std::int64_t strips_n = (nc + vnr - 1) / vnr;
     for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
       const std::int64_t kc = std::min(kKc, k - p0);
       const bool first_k = p0 == 0;
-      pack_b(b, ldb, trans_b, p0, kc, j0, nc, bpack);
+      pack_b(b, ldb, trans_b, p0, kc, j0, nc, vnr, bpack);
 
       parallel_for_chunked(0, (m + kMc - 1) / kMc, [&](std::int64_t blk_lo,
                                                        std::int64_t blk_hi) {
         auto wframe = Workspace::tls().frame();
-        float* apack = wframe.alloc<float>(((kMc + kMr - 1) / kMr) * kMr * kc);
-        float acc[kMr * kNr];
+        float* apack = wframe.alloc<float>(((kMc + vmr - 1) / vmr) * vmr * kc);
+        alignas(64) float acc[kMaxSgemmMr * kMaxSgemmNr];
         for (std::int64_t blk = blk_lo; blk < blk_hi; ++blk) {
           const std::int64_t i0 = blk * kMc;
           const std::int64_t mc = std::min(kMc, m - i0);
-          pack_a(a, lda, trans_a, i0, mc, p0, kc, apack);
+          pack_a(a, lda, trans_a, i0, mc, p0, kc, vmr, apack);
           for (std::int64_t js = 0; js < strips_n; ++js) {
-            const std::int64_t j = j0 + js * kNr;
-            const std::int64_t nr = std::min(kNr, n - j);
-            const float* bp = bpack + js * kNr * kc;
-            for (std::int64_t is = 0; is * kMr < mc; ++is) {
-              const std::int64_t i = i0 + is * kMr;
-              const std::int64_t mr = std::min(kMr, m - i);
-              std::fill(acc, acc + kMr * kNr, 0.0f);
-              micro_kernel(apack + is * kMr * kc, bp, kc, acc);
+            const std::int64_t j = j0 + js * vnr;
+            const std::int64_t nr = std::min(vnr, n - j);
+            const float* bp = bpack + js * vnr * kc;
+            for (std::int64_t is = 0; is * vmr < mc; ++is) {
+              const std::int64_t i = i0 + is * vmr;
+              // Rows packed into this panel: bounded by the block (kMc
+              // need not be a multiple of the variant's MR), not by m.
+              const std::int64_t mr = std::min(vmr, mc - is * vmr);
+              std::fill(acc, acc + vmr * vnr, 0.0f);
+              v.micro(apack + is * vmr * kc, bp, kc, acc);
               for (std::int64_t r = 0; r < mr; ++r) {
                 float* crow = c + (i + r) * ldc + j;
-                const float* arow = acc + r * kNr;
+                const float* arow = acc + r * vnr;
                 if (first_k) {
                   float base = ep.bias_row != nullptr ? ep.bias_row[i + r]
                                                       : 0.0f;

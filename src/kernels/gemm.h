@@ -6,20 +6,24 @@
 // (per-row for conv layouts, per-column for dense layouts).
 //
 // Structure is the classic three-level blocking: B is packed into
-// [KC x NR] column panels, A into [KC x MR] row panels, and a 4xNR
-// register microkernel written as plain scalar loops the compiler
-// auto-vectorizes. The M dimension is sharded across the global thread
-// pool (nested calls from inside pool workers degrade to serial, so
-// batch-level parallel_for callers compose safely). Packing buffers
-// come from the thread-local Workspace arena — steady-state calls do
-// not touch the heap.
+// [KC x NR] column panels, A into [KC x MR] row panels, and an MR x NR
+// register microkernel. The microkernel (and its MR/NR tile shape) is
+// selected at startup by the runtime ISA dispatch (kernel_dispatch.h):
+// a scalar 4x32 baseline tier plus AVX2/FMA and AVX-512 FMA variants
+// compiled in their own -m-flagged translation units. FMA tiers reorder
+// accumulation, so results match the scalar tier to tolerance, not
+// bit-exactly; a fixed tier is bit-deterministic run to run. The M
+// dimension is sharded across the global thread pool (nested calls from
+// inside pool workers degrade to serial, so batch-level parallel_for
+// callers compose safely). Packing buffers come from the thread-local
+// Workspace arena — steady-state calls do not touch the heap.
 #pragma once
 
 #include <cstdint>
 
 namespace diva {
 
-/// What happens to the int32-free accumulators on writeback.
+/// What happens to the float accumulators on writeback.
 struct SgemmEpilogue {
   /// 0 overwrites C, 1 accumulates into C (other values scale old C).
   float beta = 0.0f;

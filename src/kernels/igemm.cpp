@@ -1,8 +1,11 @@
 #include "kernels/igemm.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "kernels/fixedpoint.h"
+#include "kernels/isa_variants.h"
+#include "kernels/kernel_dispatch.h"
 #include "kernels/workspace.h"
 #include "runtime/check.h"
 
@@ -10,46 +13,49 @@ namespace diva {
 
 namespace {
 
-// int32 accumulators: MR x NR tile. int8 operands are widened to int16
-// during packing so the microkernel is a plain int16 x int16 -> int32
-// multiply-add the compiler vectorizes (pmaddwd-shaped). igemm itself is
-// serial — callers parallelize at the batch/image level.
-constexpr std::int64_t kMr = 4;
-constexpr std::int64_t kNr = 32;
 constexpr std::int64_t kKc = 512;
 
+// Scalar (baseline x86-64) tier: int8 operands widened to int16 during
+// packing so the microkernel is a plain int16 x int16 -> int32
+// multiply-add the compiler vectorizes (pmaddwd-shaped). Pinned as the
+// kScalar tier; the AVX variants live in igemm_micro_*.cpp.
+constexpr std::int64_t kScalarMr = 4;
+constexpr std::int64_t kScalarNr = 32;
+
 void pack_a16(const std::int8_t* a, std::int64_t lda, std::int64_t i0,
-              std::int64_t mr, std::int64_t p0, std::int64_t kc,
-              std::int16_t* out) {
+              std::int64_t mr, std::int64_t p0, std::int64_t kc, void* out_v) {
+  auto* out = static_cast<std::int16_t*>(out_v);
   for (std::int64_t p = 0; p < kc; ++p) {
-    for (std::int64_t r = 0; r < kMr; ++r) {
-      out[p * kMr + r] =
+    for (std::int64_t r = 0; r < kScalarMr; ++r) {
+      out[p * kScalarMr + r] =
           r < mr ? static_cast<std::int16_t>(a[(i0 + r) * lda + p0 + p]) : 0;
     }
   }
 }
 
 void pack_b16(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
-              std::int64_t kc, std::int64_t j0, std::int64_t nr,
-              std::int16_t* out) {
+              std::int64_t kc, std::int64_t j0, std::int64_t nr, void* out_v) {
+  auto* out = static_cast<std::int16_t*>(out_v);
   for (std::int64_t p = 0; p < kc; ++p) {
     const std::int8_t* src = b + (p0 + p) * ldb + j0;
-    std::int16_t* dst = out + p * kNr;
-    for (std::int64_t cc = 0; cc < kNr; ++cc) {
+    std::int16_t* dst = out + p * kScalarNr;
+    for (std::int64_t cc = 0; cc < kScalarNr; ++cc) {
       dst[cc] = cc < nr ? static_cast<std::int16_t>(src[cc]) : 0;
     }
   }
 }
 
-inline void micro_kernel(const std::int16_t* ap, const std::int16_t* bp,
-                         std::int64_t kc, std::int32_t* acc) {
+void micro_kernel_scalar(const void* ap_v, const void* bp_v, std::int64_t kc,
+                         std::int32_t* acc) {
+  const auto* ap = static_cast<const std::int16_t*>(ap_v);
+  const auto* bp = static_cast<const std::int16_t*>(bp_v);
   for (std::int64_t p = 0; p < kc; ++p) {
-    const std::int16_t* brow = bp + p * kNr;
-    const std::int16_t* arow = ap + p * kMr;
-    for (std::int64_t r = 0; r < kMr; ++r) {
+    const std::int16_t* brow = bp + p * kScalarNr;
+    const std::int16_t* arow = ap + p * kScalarMr;
+    for (std::int64_t r = 0; r < kScalarMr; ++r) {
       const std::int32_t av = arow[r];
-      std::int32_t* accrow = acc + r * kNr;
-      for (std::int64_t cc = 0; cc < kNr; ++cc) {
+      std::int32_t* accrow = acc + r * kScalarNr;
+      for (std::int64_t cc = 0; cc < kScalarNr; ++cc) {
         accrow[cc] += av * static_cast<std::int32_t>(brow[cc]);
       }
     }
@@ -57,6 +63,23 @@ inline void micro_kernel(const std::int16_t* ap, const std::int16_t* bp,
 }
 
 }  // namespace
+
+namespace detail {
+
+IgemmVariant igemm_variant_scalar() {
+  return {"scalar",
+          kScalarMr,
+          kScalarNr,
+          /*k_unroll=*/1,
+          /*b_zp_bias=*/0,
+          sizeof(std::int16_t),
+          sizeof(std::int16_t),
+          pack_a16,
+          pack_b16,
+          micro_kernel_scalar};
+}
+
+}  // namespace detail
 
 void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
            const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
@@ -70,8 +93,8 @@ void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
   if (m == 1) {
     // Single-row fast path (depthwise layers call igemm once per
     // channel): B rows stream with unit stride, so packing and the
-    // 4-row microkernel would only multiply padding. Same integer sums,
-    // still bit-exact.
+    // MR-row microkernel would only multiply padding. Same integer
+    // sums at every tier, still bit-exact.
     std::int32_t* raw = frame.alloc_zeroed<std::int32_t>(n);
     std::int32_t rowsum = 0;
     for (std::int64_t p = 0; p < k; ++p) {
@@ -94,32 +117,37 @@ void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
     return;
   }
 
+  const IgemmVariant& v = kernel_dispatch().igemm;
   const std::int64_t kc_max = std::min(std::max<std::int64_t>(k, 1), kKc);
-  const std::int64_t n_strips = (n + kNr - 1) / kNr;
-  std::int16_t* apack = frame.alloc<std::int16_t>(kMr * kc_max);
-  std::int16_t* bpack = frame.alloc<std::int16_t>(n_strips * kNr * kc_max);
+  const std::int64_t n_strips = (n + v.nr - 1) / v.nr;
+  auto* apack = frame.alloc<std::byte>(
+      static_cast<std::int64_t>(v.a_panel_bytes(kc_max)));
+  auto* bpack = frame.alloc<std::byte>(
+      static_cast<std::int64_t>(n_strips * v.b_panel_bytes(kc_max)));
   // Raw (pre-epilogue) int32 accumulators for the whole output, so K
   // blocking can accumulate before the requantization epilogue runs.
   std::int32_t* raw = frame.alloc_zeroed<std::int32_t>(m * n);
-  std::int32_t acc[kMr * kNr];
+  alignas(64) std::int32_t acc[kMaxIgemmMr * kMaxIgemmNr];
 
   for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
     const std::int64_t kc = std::min(kKc, k - p0);
+    const std::size_t b_bytes = v.b_panel_bytes(kc);
     for (std::int64_t js = 0; js < n_strips; ++js) {
-      pack_b16(b, ldb, p0, kc, js * kNr, std::min(kNr, n - js * kNr),
-               bpack + js * kNr * kc);
+      v.pack_b(b, ldb, p0, kc, js * v.nr, std::min(v.nr, n - js * v.nr),
+               bpack + static_cast<std::size_t>(js) * b_bytes);
     }
-    for (std::int64_t i0 = 0; i0 < m; i0 += kMr) {
-      const std::int64_t mr = std::min(kMr, m - i0);
-      pack_a16(a, lda, i0, mr, p0, kc, apack);
+    for (std::int64_t i0 = 0; i0 < m; i0 += v.mr) {
+      const std::int64_t mr = std::min(v.mr, m - i0);
+      v.pack_a(a, lda, i0, mr, p0, kc, apack);
       for (std::int64_t js = 0; js < n_strips; ++js) {
-        const std::int64_t j0 = js * kNr;
-        const std::int64_t nr = std::min(kNr, n - j0);
-        std::fill(acc, acc + kMr * kNr, 0);
-        micro_kernel(apack, bpack + js * kNr * kc, kc, acc);
+        const std::int64_t j0 = js * v.nr;
+        const std::int64_t nr = std::min(v.nr, n - j0);
+        std::fill(acc, acc + v.mr * v.nr, 0);
+        v.micro(apack, bpack + static_cast<std::size_t>(js) * b_bytes, kc,
+                acc);
         for (std::int64_t r = 0; r < mr; ++r) {
           std::int32_t* rawrow = raw + (i0 + r) * n + j0;
-          const std::int32_t* accrow = acc + r * kNr;
+          const std::int32_t* accrow = acc + r * v.nr;
           for (std::int64_t cc = 0; cc < nr; ++cc) rawrow[cc] += accrow[cc];
         }
       }
@@ -127,12 +155,19 @@ void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
   }
 
   // Epilogue: zero-point correction, bias, fixed-point requantization.
+  // Packing may shift B onto an offset grid (the VNNI tier packs
+  // b ^ 0x80, i.e. b + 128, to feed vpdpbusd's unsigned operand); the
+  // variant reports that shift and it folds into the same hoisted
+  // correction term, exactly:
+  //   sum_p a[i,p] * (b[p,j] + bias - (b_zp + bias))
+  //     = raw[i,j] - (b_zp + b_zp_bias) * rowsum_a[i].
+  const std::int32_t zp_eff = b_zp + v.b_zp_bias;
   for (std::int64_t i = 0; i < m; ++i) {
     const std::int8_t* arow = a + i * lda;
     std::int32_t rowsum = 0;
     for (std::int64_t p = 0; p < k; ++p) rowsum += arow[p];
     const std::int32_t base =
-        (ep.bias != nullptr ? ep.bias[i] : 0) - b_zp * rowsum;
+        (ep.bias != nullptr ? ep.bias[i] : 0) - zp_eff * rowsum;
     const std::int32_t mult = ep.multiplier[i];
     const int shift = ep.shift[i];
     const std::int32_t* rawrow = raw + i * n;
@@ -141,6 +176,30 @@ void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
       const std::int32_t scaled =
           multiply_by_quantized_multiplier(base + rawrow[j], mult, shift);
       orow[j] = static_cast<std::int8_t>(
+          std::clamp(scaled + ep.out_zp, ep.act_min, ep.act_max));
+    }
+  }
+}
+
+void igemm_reference(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::int8_t* a, std::int64_t lda,
+                     const std::int8_t* b, std::int64_t ldb, std::int32_t b_zp,
+                     const IgemmEpilogue& ep, std::int8_t* out,
+                     std::int64_t ldo) {
+  if (m <= 0 || n <= 0) return;
+  DIVA_CHECK(ep.multiplier != nullptr && ep.shift != nullptr,
+             "igemm needs a per-row requant epilogue");
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * lda;
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int32_t acc = ep.bias != nullptr ? ep.bias[i] : 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(arow[p]) *
+               (static_cast<std::int32_t>(b[p * ldb + j]) - b_zp);
+      }
+      const std::int32_t scaled =
+          multiply_by_quantized_multiplier(acc, ep.multiplier[i], ep.shift[i]);
+      out[i * ldo + j] = static_cast<std::int8_t>(
           std::clamp(scaled + ep.out_zp, ep.act_min, ep.act_max));
     }
   }

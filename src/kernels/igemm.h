@@ -11,6 +11,15 @@
 //   sum_p a[i,p] * (b[p,j] - zp) = raw[i,j] - zp * rowsum_a[i]
 // which is exact in integer arithmetic, so results are bit-identical to
 // the naive scalar kernels for any loop order or blocking.
+//
+// The inner microkernel (and the packed-panel layout feeding it) is
+// selected at startup by the runtime ISA dispatch (kernel_dispatch.h):
+// a scalar int16-widening baseline, AVX2/AVX-512 pmaddwd variants, and
+// an AVX-512 VNNI vpdpbusd variant that packs activations as u8
+// (b + 128) and folds the offset into the zero-point correction.
+// Bit-exactness policy: igemm is integer arithmetic end to end, so
+// EVERY tier must be bit-identical to igemm_reference below — this is
+// pinned per tier in tests/test_isa_dispatch.cpp.
 #pragma once
 
 #include <cstdint>
@@ -33,5 +42,14 @@ void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
            const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
            std::int64_t ldb, std::int32_t b_zp, const IgemmEpilogue& ep,
            std::int8_t* out, std::int64_t ldo);
+
+/// Naive triple-loop reference with the same epilogue: the pinned
+/// bit-exactness anchor every dispatched igemm tier must match exactly.
+/// Not a hot path — used by tests and never dispatched.
+void igemm_reference(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::int8_t* a, std::int64_t lda,
+                     const std::int8_t* b, std::int64_t ldb, std::int32_t b_zp,
+                     const IgemmEpilogue& ep, std::int8_t* out,
+                     std::int64_t ldo);
 
 }  // namespace diva

@@ -1,0 +1,113 @@
+// AVX2 u8s8-shaped igemm microkernel, widening-multiply flavor: int8
+// operands are widened to int16 at pack time in k-PAIR interleaved
+// panels, and the inner op is vpmaddwd (s16 x s16 pairs -> s32), which
+// is exact here — |widened s8| <= 128, so each pair sum is at most
+// 2 * 128^2, far inside int32. 4x16 tile: 8 ymm accumulators, 2 B
+// loads, 1 pair broadcast. Compiled with -mavx2 (see CMakeLists.txt);
+// called only after CPUID dispatch. Bit-identical to igemm_reference.
+#include "kernels/isa_variants.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace diva::detail {
+namespace {
+
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+constexpr std::int64_t kKu = 2;
+
+// A panel: [g][mr][2] int16 — a row's k-pair sits adjacent so the
+// microkernel broadcasts it as one 32-bit lane.
+void pack_a(const std::int8_t* a, std::int64_t lda, std::int64_t i0,
+            std::int64_t mr, std::int64_t p0, std::int64_t kc, void* out_v) {
+  auto* out = static_cast<std::int16_t*>(out_v);
+  const std::int64_t groups = (kc + kKu - 1) / kKu;
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      for (std::int64_t t = 0; t < kKu; ++t) {
+        const std::int64_t p = g * kKu + t;
+        out[(g * kMr + r) * kKu + t] =
+            (r < mr && p < kc)
+                ? static_cast<std::int16_t>(a[(i0 + r) * lda + p0 + p])
+                : 0;
+      }
+    }
+  }
+}
+
+// B panel: [g][nr][2] int16 — a column's k-pair occupies one 32-bit
+// lane, so vpmaddwd against the broadcast A pair yields that column's
+// two-term dot product.
+void pack_b(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
+            std::int64_t kc, std::int64_t j0, std::int64_t nr, void* out_v) {
+  auto* out = static_cast<std::int16_t*>(out_v);
+  const std::int64_t groups = (kc + kKu - 1) / kKu;
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (std::int64_t j = 0; j < kNr; ++j) {
+      for (std::int64_t t = 0; t < kKu; ++t) {
+        const std::int64_t p = g * kKu + t;
+        out[(g * kNr + j) * kKu + t] =
+            (j < nr && p < kc)
+                ? static_cast<std::int16_t>(b[(p0 + p) * ldb + j0 + j])
+                : 0;
+      }
+    }
+  }
+}
+
+void micro(const void* ap_v, const void* bp_v, std::int64_t kc,
+           std::int32_t* acc) {
+  const auto* ap = static_cast<const std::int16_t*>(ap_v);
+  const auto* bp = static_cast<const std::int16_t*>(bp_v);
+  const std::int64_t groups = (kc + kKu - 1) / kKu;
+  __m256i c[kMr][2];
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    c[r][0] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(acc + r * kNr));
+    c[r][1] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(acc + r * kNr + 8));
+  }
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const std::int16_t* bg = bp + g * kNr * kKu;
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bg));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bg + 16));
+    const std::int16_t* ag = ap + g * kMr * kKu;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      std::int32_t pair;
+      std::memcpy(&pair, ag + r * kKu, sizeof(pair));
+      const __m256i av = _mm256_set1_epi32(pair);
+      c[r][0] = _mm256_add_epi32(c[r][0], _mm256_madd_epi16(av, b0));
+      c[r][1] = _mm256_add_epi32(c[r][1], _mm256_madd_epi16(av, b1));
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * kNr), c[r][0]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * kNr + 8),
+                        c[r][1]);
+  }
+}
+
+}  // namespace
+
+IgemmVariant igemm_variant_avx2() {
+  return {"avx2",
+          kMr,
+          kNr,
+          kKu,
+          /*b_zp_bias=*/0,
+          sizeof(std::int16_t),
+          sizeof(std::int16_t),
+          pack_a,
+          pack_b,
+          micro};
+}
+
+}  // namespace diva::detail
+
+#endif  // __AVX2__

@@ -1,0 +1,103 @@
+// AVX-512 (F/BW/VL, no VNNI) igemm microkernel: the same exact
+// k-pair-interleaved int16 vpmaddwd scheme as the AVX2 variant at zmm
+// width — 4x32 tile, 8 zmm accumulators, 2 B loads, 1 pair broadcast.
+// Deliberately compiled WITHOUT -mavx512vnni in its own TU so the
+// compiler cannot peephole vpmaddwd+vpaddd into vpdpwssd and crash a
+// non-VNNI AVX-512 host; the vpdpbusd path lives in
+// igemm_micro_avx512_vnni.cpp. Bit-identical to igemm_reference.
+#include "kernels/isa_variants.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace diva::detail {
+namespace {
+
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 32;
+constexpr std::int64_t kKu = 2;
+
+void pack_a(const std::int8_t* a, std::int64_t lda, std::int64_t i0,
+            std::int64_t mr, std::int64_t p0, std::int64_t kc, void* out_v) {
+  auto* out = static_cast<std::int16_t*>(out_v);
+  const std::int64_t groups = (kc + kKu - 1) / kKu;
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      for (std::int64_t t = 0; t < kKu; ++t) {
+        const std::int64_t p = g * kKu + t;
+        out[(g * kMr + r) * kKu + t] =
+            (r < mr && p < kc)
+                ? static_cast<std::int16_t>(a[(i0 + r) * lda + p0 + p])
+                : 0;
+      }
+    }
+  }
+}
+
+void pack_b(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
+            std::int64_t kc, std::int64_t j0, std::int64_t nr, void* out_v) {
+  auto* out = static_cast<std::int16_t*>(out_v);
+  const std::int64_t groups = (kc + kKu - 1) / kKu;
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (std::int64_t j = 0; j < kNr; ++j) {
+      for (std::int64_t t = 0; t < kKu; ++t) {
+        const std::int64_t p = g * kKu + t;
+        out[(g * kNr + j) * kKu + t] =
+            (j < nr && p < kc)
+                ? static_cast<std::int16_t>(b[(p0 + p) * ldb + j0 + j])
+                : 0;
+      }
+    }
+  }
+}
+
+void micro(const void* ap_v, const void* bp_v, std::int64_t kc,
+           std::int32_t* acc) {
+  const auto* ap = static_cast<const std::int16_t*>(ap_v);
+  const auto* bp = static_cast<const std::int16_t*>(bp_v);
+  const std::int64_t groups = (kc + kKu - 1) / kKu;
+  __m512i c[kMr][2];
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    c[r][0] = _mm512_loadu_si512(acc + r * kNr);
+    c[r][1] = _mm512_loadu_si512(acc + r * kNr + 16);
+  }
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const std::int16_t* bg = bp + g * kNr * kKu;
+    const __m512i b0 = _mm512_loadu_si512(bg);
+    const __m512i b1 = _mm512_loadu_si512(bg + 32);
+    const std::int16_t* ag = ap + g * kMr * kKu;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      std::int32_t pair;
+      std::memcpy(&pair, ag + r * kKu, sizeof(pair));
+      const __m512i av = _mm512_set1_epi32(pair);
+      c[r][0] = _mm512_add_epi32(c[r][0], _mm512_madd_epi16(av, b0));
+      c[r][1] = _mm512_add_epi32(c[r][1], _mm512_madd_epi16(av, b1));
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    _mm512_storeu_si512(acc + r * kNr, c[r][0]);
+    _mm512_storeu_si512(acc + r * kNr + 16, c[r][1]);
+  }
+}
+
+}  // namespace
+
+IgemmVariant igemm_variant_avx512() {
+  return {"avx512",
+          kMr,
+          kNr,
+          kKu,
+          /*b_zp_bias=*/0,
+          sizeof(std::int16_t),
+          sizeof(std::int16_t),
+          pack_a,
+          pack_b,
+          micro};
+}
+
+}  // namespace diva::detail
+
+#endif  // __AVX512F__ && __AVX512BW__

@@ -1,0 +1,24 @@
+// Internal registry of per-ISA microkernel variants.
+//
+// Each constructor is defined in its own translation unit, compiled
+// with that tier's -m flags (see CMakeLists.txt); the scalar variants
+// live in gemm.cpp / igemm.cpp next to the drivers. kernel_dispatch.cpp
+// references a constructor only when the matching DIVA_ISA_HAVE_*
+// definition says the TU was actually compiled with its flags, so a
+// toolchain without AVX-512 support still links.
+#pragma once
+
+#include "kernels/kernel_dispatch.h"
+
+namespace diva::detail {
+
+SgemmVariant sgemm_variant_scalar();
+IgemmVariant igemm_variant_scalar();
+
+SgemmVariant sgemm_variant_avx2();         // sgemm_micro_avx2.cpp
+IgemmVariant igemm_variant_avx2();         // igemm_micro_avx2.cpp
+SgemmVariant sgemm_variant_avx512();       // sgemm_micro_avx512.cpp
+IgemmVariant igemm_variant_avx512();       // igemm_micro_avx512.cpp
+IgemmVariant igemm_variant_avx512_vnni();  // igemm_micro_avx512_vnni.cpp
+
+}  // namespace diva::detail

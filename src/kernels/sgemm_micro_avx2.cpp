@@ -1,0 +1,45 @@
+// AVX2+FMA sgemm microkernel: 6x16 register tile (12 ymm accumulators,
+// 2 B-panel loads, 1 broadcast — 15 of 16 ymm). This TU is compiled
+// with -mavx2 -mfma (see CMakeLists.txt); it must only be *called*
+// after CPUID dispatch confirms the host supports both.
+#include "kernels/isa_variants.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace diva::detail {
+namespace {
+
+constexpr std::int64_t kMr = 6;
+constexpr std::int64_t kNr = 16;
+
+void micro(const float* ap, const float* bp, std::int64_t kc, float* acc) {
+  __m256 c[kMr][2];
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    c[r][0] = _mm256_loadu_ps(acc + r * kNr);
+    c[r][1] = _mm256_loadu_ps(acc + r * kNr + 8);
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
+    const float* arow = ap + p * kMr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(arow + r);
+      c[r][0] = _mm256_fmadd_ps(av, b0, c[r][0]);
+      c[r][1] = _mm256_fmadd_ps(av, b1, c[r][1]);
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(acc + r * kNr, c[r][0]);
+    _mm256_storeu_ps(acc + r * kNr + 8, c[r][1]);
+  }
+}
+
+}  // namespace
+
+SgemmVariant sgemm_variant_avx2() { return {"avx2", kMr, kNr, micro}; }
+
+}  // namespace diva::detail
+
+#endif  // __AVX2__ && __FMA__

@@ -1,0 +1,44 @@
+// AVX-512 sgemm microkernel: 8x32 register tile (16 zmm accumulators,
+// 2 B-panel loads, 1 broadcast — 19 of 32 zmm). Compiled with
+// -mavx512f -mavx512bw -mavx512vl; called only after CPUID dispatch.
+#include "kernels/isa_variants.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace diva::detail {
+namespace {
+
+constexpr std::int64_t kMr = 8;
+constexpr std::int64_t kNr = 32;
+
+void micro(const float* ap, const float* bp, std::int64_t kc, float* acc) {
+  __m512 c[kMr][2];
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    c[r][0] = _mm512_loadu_ps(acc + r * kNr);
+    c[r][1] = _mm512_loadu_ps(acc + r * kNr + 16);
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(bp + p * kNr);
+    const __m512 b1 = _mm512_loadu_ps(bp + p * kNr + 16);
+    const float* arow = ap + p * kMr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const __m512 av = _mm512_set1_ps(arow[r]);
+      c[r][0] = _mm512_fmadd_ps(av, b0, c[r][0]);
+      c[r][1] = _mm512_fmadd_ps(av, b1, c[r][1]);
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    _mm512_storeu_ps(acc + r * kNr, c[r][0]);
+    _mm512_storeu_ps(acc + r * kNr + 16, c[r][1]);
+  }
+}
+
+}  // namespace
+
+SgemmVariant sgemm_variant_avx512() { return {"avx512", kMr, kNr, micro}; }
+
+}  // namespace diva::detail
+
+#endif  // __AVX512F__

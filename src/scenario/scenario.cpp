@@ -6,6 +6,9 @@
 #include <ostream>
 #include <utility>
 
+#include "kernels/cpu_features.h"
+#include "kernels/kernel_dispatch.h"
+
 namespace diva::scenario {
 
 namespace {
@@ -370,6 +373,11 @@ std::vector<CellResult> ScenarioMatrix::run_all(
 
 std::string to_json(const CellResult& r, const RunnerConfig& cfg) {
   std::string s = "{\"bench\":\"scenario_matrix\"";
+  // The kernel ISA tier shifts both throughput and (via sgemm FMA
+  // reordering) float-path metrics, so every row records it.
+  s += std::string(",\"isa_tier\":\"") + isa_tier_name(active_isa_tier()) +
+       "\"";
+  s += ",\"cpu_flags\":\"" + cpu_features_summary() + "\"";
   s += ",\"attack\":\"" + json_escape(r.cell.attack) + "\"";
   s += std::string(",\"original\":\"") + to_string(r.cell.original) + "\"";
   s += std::string(",\"adapted\":\"") + to_string(r.cell.adapted) + "\"";

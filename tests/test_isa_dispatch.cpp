@@ -1,0 +1,222 @@
+// ISA-dispatch tests: the bit-exactness policy from
+// kernels/kernel_dispatch.h pinned per tier. igemm is integer
+// arithmetic end to end, so every runnable tier must produce output
+// bit-identical to igemm_reference for every shape — including the
+// degenerate and off-panel shapes that exercise zero-padded packing
+// tails. sgemm tiers reorder FMA accumulation, so they agree with the
+// naive reference only to tolerance, but a fixed tier must be
+// bit-deterministic run to run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kernels/cpu_features.h"
+#include "kernels/gemm.h"
+#include "kernels/igemm.h"
+#include "kernels/kernel_dispatch.h"
+#include "runtime/check.h"
+#include "runtime/rng.h"
+#include "tensor/tensor_ops.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using testing::random_tensor;
+
+// Restores the startup-resolved tier when a per-tier test ends, so
+// test order never leaks a forced tier into later tests.
+class TierGuard {
+ public:
+  TierGuard() : orig_(active_isa_tier()) {}
+  ~TierGuard() { force_isa_tier(orig_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  IsaTier orig_;
+};
+
+TEST(IsaDispatch, TierNamesRoundTripThroughParse) {
+  const IsaTier all[] = {IsaTier::kScalar, IsaTier::kAvx2, IsaTier::kAvx512,
+                         IsaTier::kAvx512Vnni};
+  for (const IsaTier t : all) {
+    IsaTier parsed = IsaTier::kScalar;
+    ASSERT_TRUE(parse_isa_tier(isa_tier_name(t), &parsed)) << isa_tier_name(t);
+    EXPECT_EQ(parsed, t);
+  }
+  IsaTier sentinel = IsaTier::kAvx512Vnni;
+  EXPECT_FALSE(parse_isa_tier("bogus", &sentinel));
+  EXPECT_FALSE(parse_isa_tier("", &sentinel));
+  EXPECT_FALSE(parse_isa_tier("AVX2", &sentinel));  // names are lowercase
+  EXPECT_EQ(sentinel, IsaTier::kAvx512Vnni);        // untouched on failure
+}
+
+TEST(IsaDispatch, AvailableTiersAreAscendingAndContainScalarAndActive) {
+  const std::vector<IsaTier> tiers = available_isa_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), IsaTier::kScalar);
+  for (std::size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_LT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+  }
+  const IsaTier active = active_isa_tier();
+  EXPECT_NE(std::find(tiers.begin(), tiers.end(), active), tiers.end());
+  EXPECT_EQ(kernel_dispatch().tier, active);
+  EXPECT_STREQ(kernel_dispatch().igemm.name, isa_tier_name(active));
+}
+
+TEST(IsaDispatch, CpuFeatureSummaryListsEachDetectedFlag) {
+  const CpuFeatures& f = cpu_features();
+  const std::string s = cpu_features_summary();
+  EXPECT_EQ(s.find("avx2") != std::string::npos, f.avx2);
+  EXPECT_EQ(s.find("fma") != std::string::npos, f.fma);
+  EXPECT_EQ(s.find("avx512f") != std::string::npos, f.avx512f);
+  EXPECT_EQ(s.find("avx512bw") != std::string::npos, f.avx512bw);
+  EXPECT_EQ(s.find("avx512vl") != std::string::npos, f.avx512vl);
+  EXPECT_EQ(s.find("avx512vnni") != std::string::npos, f.avx512vnni);
+}
+
+TEST(IsaDispatch, ForceRejectsUnavailableTiersAndAcceptsAvailableOnes) {
+  TierGuard guard;
+  const std::vector<IsaTier> tiers = available_isa_tiers();
+  for (const IsaTier t : tiers) {
+    force_isa_tier(t);
+    EXPECT_EQ(active_isa_tier(), t);
+    // Variant tile shapes must fit the drivers' stack accumulators.
+    const KernelDispatch& d = kernel_dispatch();
+    EXPECT_LE(d.sgemm.mr, kMaxSgemmMr);
+    EXPECT_LE(d.sgemm.nr, kMaxSgemmNr);
+    EXPECT_LE(d.igemm.mr, kMaxIgemmMr);
+    EXPECT_LE(d.igemm.nr, kMaxIgemmNr);
+  }
+  const IsaTier all[] = {IsaTier::kScalar, IsaTier::kAvx2, IsaTier::kAvx512,
+                         IsaTier::kAvx512Vnni};
+  for (const IsaTier t : all) {
+    if (std::find(tiers.begin(), tiers.end(), t) == tiers.end()) {
+      EXPECT_THROW(force_isa_tier(t), Error) << isa_tier_name(t);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// igemm: every tier bit-identical to igemm_reference.
+// ---------------------------------------------------------------------------
+
+std::vector<std::int8_t> random_int8(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.randint(256)) -
+                                 128);
+  }
+  return v;
+}
+
+struct IgemmCase {
+  std::int64_t m, n, k;
+};
+
+TEST(IsaDispatch, IgemmAllTiersBitIdenticalToReferenceAcrossFuzzShapes) {
+  TierGuard guard;
+  // Degenerate dims, odd K, widths just off the per-tier NR in
+  // {16, 32} and MR=4 panels, and K straddling the kKc=512 block and
+  // the k_unroll in {1, 2, 4} pad tails.
+  const IgemmCase cases[] = {
+      {1, 1, 1},    {1, 1, 7},     {1, 33, 513}, {4, 32, 8},  {5, 33, 7},
+      {3, 31, 515}, {7, 1, 19},    {2, 130, 1},  {1, 64, 27}, {6, 96, 11},
+      {4, 16, 514}, {12, 40, 129}, {33, 65, 17}, {9, 17, 63}, {8, 48, 256},
+  };
+  const std::vector<IsaTier> tiers = available_isa_tiers();
+  int fuzz = 0;
+  for (const IgemmCase& c : cases) {
+    ++fuzz;
+    // Over-wide leading dimensions so row strides are exercised too.
+    const std::int64_t lda = c.k + (fuzz % 3);
+    const std::int64_t ldb = c.n + (fuzz % 2) * 5;
+    const std::int64_t ldo = c.n + (fuzz % 4);
+    const auto a = random_int8(c.m * lda, 0xA0 + fuzz);
+    const auto b = random_int8(c.k * ldb, 0xB0 + fuzz);
+
+    Rng rng(0xC0 + fuzz);
+    const auto b_zp =
+        static_cast<std::int32_t>(static_cast<std::int64_t>(rng.randint(256)) -
+                                  128);
+    std::vector<std::int32_t> bias(static_cast<std::size_t>(c.m));
+    std::vector<std::int32_t> multiplier(static_cast<std::size_t>(c.m));
+    std::vector<int> shift(static_cast<std::size_t>(c.m));
+    for (std::int64_t i = 0; i < c.m; ++i) {
+      bias[i] = static_cast<std::int32_t>(rng.randint(1 << 20)) - (1 << 19);
+      multiplier[i] =
+          (1 << 30) + static_cast<std::int32_t>(rng.randint(1u << 30));
+      shift[i] = -static_cast<int>(rng.randint(9));
+    }
+    IgemmEpilogue ep;
+    ep.bias = bias.data();
+    ep.multiplier = multiplier.data();
+    ep.shift = shift.data();
+    ep.out_zp = static_cast<std::int32_t>(rng.randint(17)) - 8;
+    if (fuzz % 3 == 0) {  // occasionally a tight activation clamp
+      ep.act_min = -20;
+      ep.act_max = 40;
+    }
+
+    std::vector<std::int8_t> want(static_cast<std::size_t>(c.m * ldo), 99);
+    igemm_reference(c.m, c.n, c.k, a.data(), lda, b.data(), ldb, b_zp, ep,
+                    want.data(), ldo);
+    for (const IsaTier t : tiers) {
+      force_isa_tier(t);
+      std::vector<std::int8_t> got(static_cast<std::size_t>(c.m * ldo), 99);
+      igemm(c.m, c.n, c.k, a.data(), lda, b.data(), ldb, b_zp, ep, got.data(),
+            ldo);
+      // Compare only in-row elements: the ldo gutter is unspecified.
+      for (std::int64_t i = 0; i < c.m; ++i) {
+        ASSERT_EQ(0, std::memcmp(got.data() + i * ldo, want.data() + i * ldo,
+                                 static_cast<std::size_t>(c.n)))
+            << "tier " << isa_tier_name(t) << " shape " << c.m << "x" << c.n
+            << "x" << c.k << " row " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sgemm: tolerance parity across tiers, bit-determinism within a tier.
+// ---------------------------------------------------------------------------
+
+TEST(IsaDispatch, SgemmTiersMatchReferenceToToleranceAndAreDeterministic) {
+  TierGuard guard;
+  const std::int64_t shapes[][3] = {
+      {1, 1, 5}, {5, 33, 7}, {33, 65, 17}, {64, 64, 288}, {70, 130, 260},
+  };
+  const std::vector<IsaTier> tiers = available_isa_tiers();
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    const Tensor a = random_tensor(Shape{m, k}, 31 * m + n);
+    const Tensor b = random_tensor(Shape{k, n}, 37 * n + k);
+    const Tensor want = matmul_reference(a, b);
+    for (const IsaTier t : tiers) {
+      force_isa_tier(t);
+      Tensor got(Shape{m, n});
+      sgemm(m, n, k, a.raw(), k, false, b.raw(), n, false, got.raw(), n, {});
+      for (std::int64_t i = 0; i < got.numel(); ++i) {
+        ASSERT_NEAR(got[i], want[i], 1e-4f)
+            << "tier " << isa_tier_name(t) << " flat index " << i;
+      }
+      // Same tier, same inputs: bit-identical (per-tier determinism).
+      Tensor again(Shape{m, n});
+      sgemm(m, n, k, a.raw(), k, false, b.raw(), n, false, again.raw(), n,
+            {});
+      ASSERT_EQ(0, std::memcmp(got.raw(), again.raw(),
+                               static_cast<std::size_t>(got.numel()) *
+                                   sizeof(float)))
+          << "tier " << isa_tier_name(t) << " not deterministic";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace diva

@@ -17,6 +17,7 @@
 #include "core/zoo.h"
 #include "data/synth_digits.h"
 #include "distill/distill.h"
+#include "kernels/kernel_dispatch.h"
 #include "models/factory.h"
 #include "nn/fold_bn.h"
 #include "nn/init.h"
@@ -221,6 +222,31 @@ TEST(ScenarioMatrix, CellMetricsAreDeterministic) {
   }
 }
 
+TEST(ScenarioMatrix, CellMetricsAreDeterministicAtEveryIsaTier) {
+  // Determinism is pinned PER ISA TIER, never across tiers: sgemm FMA
+  // tiers reorder accumulation, so float-model metrics may differ
+  // between tiers, but two runs at a fixed tier must agree bit-for-bit
+  // (the igemm tiers are bit-identical to each other by policy; the
+  // sgemm side is what makes this per-tier).
+  const IsaTier orig_tier = active_isa_tier();
+  RunnerConfig cfg = quick_config(3);
+  const ScenarioMatrix matrix(fixture().pool(), cfg);
+  const Dataset eval = small_eval(4);
+  const CellSpec cell{"diva", OriginalKind::kFloat, AdaptedKind::kInt8Fd};
+  for (const IsaTier tier : available_isa_tiers()) {
+    force_isa_tier(tier);
+    const CellResult a = matrix.run_cell(cell, eval);
+    const CellResult b = matrix.run_cell(cell, eval);
+    ASSERT_TRUE(a.ran) << a.skip_reason;
+    EXPECT_EQ(a.evasion_top1_pct, b.evasion_top1_pct) << isa_tier_name(tier);
+    EXPECT_EQ(a.adapted_fooled_pct, b.adapted_fooled_pct)
+        << isa_tier_name(tier);
+    EXPECT_EQ(a.linf, b.linf) << isa_tier_name(tier);
+    EXPECT_EQ(a.mean_l2, b.mean_l2) << isa_tier_name(tier);
+  }
+  force_isa_tier(orig_tier);
+}
+
 TEST(ScenarioMatrix, BatchedCellIsEngineWidthInvariant) {
   // The int8-batched column must produce identical metrics whether the
   // engine runs 1, 2, or 4 worker threads (per-sample RNG streams +
@@ -393,7 +419,8 @@ TEST(ScenarioMatrix, JsonRecordCarriesTheSchema) {
   ASSERT_TRUE(ok.ran) << ok.skip_reason;
   const std::string json = to_json(ok, cfg);
   for (const char* key :
-       {"\"bench\":\"scenario_matrix\"", "\"attack\":\"diva\"",
+       {"\"bench\":\"scenario_matrix\"", "\"isa_tier\":\"",
+        "\"cpu_flags\":\"", "\"attack\":\"diva\"",
         "\"original\":\"surrogate\"", "\"adapted\":\"int8-fd\"",
         "\"status\":\"ok\"", "\"epsilon\":", "\"steps\":", "\"fd_samples\":",
         "\"total\":3", "\"evasion_top1_pct\":", "\"adapted_fooled_pct\":",
