@@ -18,6 +18,7 @@
 #include "kernels/cpu_features.h"
 #include "kernels/kernel_dispatch.h"
 #include "runtime/env.h"
+#include "telemetry/telemetry.h"
 
 namespace diva {
 namespace {
@@ -125,6 +126,10 @@ void sweep_one(const char* mode, const char* note, Attack& attack,
                cpu_features_summary().c_str(),
                static_cast<long long>(x.dim(0)), steps);
   bool first = true;
+  // Telemetry delta over the whole sweep (warm-ups included — the
+  // accounting prices the workload, not the timer window): queries,
+  // probes, MACs, and shard timings next to the img/s they explain.
+  const telemetry::Snapshot telem_before = telemetry::snapshot();
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     const AttackEngine engine({.threads = threads, .shard_size = 4});
     (void)engine.run(attack, x, y);  // warm-up: caches, pool spin-up
@@ -138,7 +143,10 @@ void sweep_one(const char* mode, const char* note, Attack& attack,
         first ? "" : ",", threads, secs, static_cast<double>(x.dim(0)) / secs);
     first = false;
   }
-  std::fprintf(stderr, "]}\n");
+  const telemetry::Snapshot telem_delta =
+      telemetry::diff(telemetry::snapshot(), telem_before);
+  std::fprintf(stderr, "],\"telemetry\":%s}\n",
+               telemetry::to_json(telem_delta).c_str());
 }
 
 void run_engine_throughput_sweep() {

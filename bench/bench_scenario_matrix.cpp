@@ -24,6 +24,7 @@
 #include "kernels/cpu_features.h"
 #include "kernels/kernel_dispatch.h"
 #include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
 
 using namespace diva;
 using namespace diva::scenario;
@@ -159,7 +160,10 @@ int main(int argc, char** argv) {
   int done = 0;
   const int total = static_cast<int>(matrix.enumerate().size());
   // Each record streams to the JSON file as its cell lands, so an
-  // interrupt or mid-sweep error keeps every completed cell.
+  // interrupt or mid-sweep error keeps every completed cell. Every cell
+  // record is followed by its telemetry delta — the actual queries,
+  // probes, and MACs the cell spent, the paper's Table 2 cost axis.
+  telemetry::Snapshot telem_prev = telemetry::snapshot();
   const std::vector<CellResult> results =
       matrix.run_all(eval, [&](const CellResult& r) {
         ++done;
@@ -170,6 +174,13 @@ int main(int argc, char** argv) {
                           : "skipped");
         std::fflush(stdout);
         json << to_json(r, cfg) << "\n";
+        const telemetry::Snapshot now = telemetry::snapshot();
+        json << "{\"bench\":\"scenario_matrix\",\"mode\":\"telemetry\""
+             << ",\"attack\":\"" << r.cell.attack << "\",\"original\":\""
+             << to_string(r.cell.original) << "\",\"adapted\":\""
+             << to_string(r.cell.adapted) << "\",\"snapshot\":"
+             << telemetry::to_json(telemetry::diff(now, telem_prev)) << "}\n";
+        telem_prev = now;
         json.flush();
       });
 

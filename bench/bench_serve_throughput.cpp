@@ -41,6 +41,7 @@
 #include "runtime/env.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -79,6 +80,18 @@ struct Measured {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
 };
+
+double hist_quantile(const diva::telemetry::Snapshot& snap,
+                     const std::string& name, double p) {
+  const auto it = snap.histograms.find(name);
+  return it == snap.histograms.end() ? 0.0 : it->second.quantile(p);
+}
+
+double hist_mean(const diva::telemetry::Snapshot& snap,
+                 const std::string& name) {
+  const auto it = snap.histograms.find(name);
+  return it == snap.histograms.end() ? 0.0 : it->second.mean();
+}
 
 }  // namespace
 
@@ -214,6 +227,15 @@ int main() {
     serve::AttackServer server(pool, cfg);
     server.start();
 
+    // Per-point server-side telemetry delta: snapshot over the wire
+    // before and after the client storm, then diff — exactly what a
+    // client would see, so the numbers also exercise the stats channel.
+    telemetry::Snapshot stats_before;
+    {
+      serve::AttackClient probe(cfg.socket_path);
+      stats_before = probe.stats();
+    }
+
     std::vector<std::thread> clients;
     std::vector<std::vector<double>> latencies(pt.clients);
     std::atomic<bool> failed{false};
@@ -243,6 +265,11 @@ int main() {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    telemetry::Snapshot stats_delta;
+    {
+      serve::AttackClient probe(cfg.socket_path);
+      stats_delta = telemetry::diff(probe.stats(), stats_before);
+    }
     server.stop();
     DIVA_CHECK(!failed.load(), "a bench client failed; see stderr");
 
@@ -257,7 +284,21 @@ int main() {
     m.p50_ms = percentile(all, 0.50);
     m.p99_ms = percentile(all, 0.99);
 
+    // Server-side view of the same point: request latency measured from
+    // decode to last shard (no socket/client overhead) and how full the
+    // coalescing batches actually got.
+    const double server_p50_ms =
+        hist_quantile(stats_delta, "serve.request_us", 0.50) / 1000.0;
+    const double server_p99_ms =
+        hist_quantile(stats_delta, "serve.request_us", 0.99) / 1000.0;
+    const double mean_batch_jobs = hist_mean(stats_delta, "serve.batch.jobs");
+
     const double baseline = engine_baseline(pt.workers, pt.clients);
+    json << "{\"bench\":\"serve_throughput\",\"mode\":\"telemetry\""
+         << ",\"date\":\"" << date << "\",\"workers\":" << pt.workers
+         << ",\"clients\":" << pt.clients
+         << ",\"window_us\":" << pt.window_us
+         << ",\"snapshot\":" << telemetry::to_json(stats_delta) << "}\n";
     json << "{\"bench\":\"serve_throughput\",\"mode\":\"served\""
          << ",\"date\":\"" << date << "\",\"cores\":" << cores
          << ",\"isa_tier\":\"" << isa << "\",\"cpu_flags\":\"" << cpu_flags
@@ -273,6 +314,9 @@ int main() {
          << ",\"images_per_sec\":" << fmt(m.images_per_sec, 2)
          << ",\"p50_ms\":" << fmt(m.p50_ms, 2)
          << ",\"p99_ms\":" << fmt(m.p99_ms, 2)
+         << ",\"server_p50_ms\":" << fmt(server_p50_ms, 2)
+         << ",\"server_p99_ms\":" << fmt(server_p99_ms, 2)
+         << ",\"mean_batch_jobs\":" << fmt(mean_batch_jobs, 2)
          << ",\"engine_baseline_images_per_sec\":" << fmt(baseline, 2)
          << "}\n";
     table.add_row({std::to_string(pt.workers), std::to_string(pt.clients),

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "runtime/rng.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace diva {
 
@@ -66,9 +68,22 @@ Tensor IteratedAttack::perturb_indexed(const Tensor& x,
                                        const std::vector<int>& labels,
                                        std::int64_t first_sample) {
   DIVA_CHECK(x.rank() == 4, "attack input must be NCHW");
+  DIVA_TRACE_SPAN(name_.c_str());
   const std::int64_t n = x.dim(0);
   DIVA_CHECK(static_cast<std::int64_t>(labels.size()) == n,
              "labels size mismatch");
+  // Per-attack budget accounting ("attack.PGD.steps", ...): the display
+  // name is the key, so each matrix row gets its own counters. Lookup
+  // cost (one registry hit per perturb call) is noise next to a PGD run.
+  if (telemetry::enabled()) {
+    telemetry::counter("attack." + name_ + ".perturb_calls").add(1);
+    telemetry::counter("attack." + name_ + ".samples")
+        .add(static_cast<std::uint64_t>(n));
+    telemetry::counter("attack." + name_ + ".steps")
+        .add(static_cast<std::uint64_t>(cfg_.steps));
+    telemetry::counter("attack." + name_ + ".grad_evals")
+        .add(static_cast<std::uint64_t>(cfg_.steps) * sources_.size());
+  }
   SourcePrepareGuard guard(sources_);
 
   Tensor x_adv =

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace diva {
 
@@ -30,6 +34,9 @@ Tensor AttackEngine::run(Attack& attack, const Tensor& x,
   const std::int64_t n = x.dim(0);
   DIVA_CHECK(static_cast<std::int64_t>(labels.size()) == n,
              "labels size mismatch");
+  DIVA_TRACE_SPAN("engine.run");
+  DIVA_TELEM_COUNT("engine.runs", 1);
+  DIVA_TELEM_COUNT("engine.samples", static_cast<std::uint64_t>(n));
   if (!attack.shardable() || n <= cfg_.shard_size) {
     return attack.perturb_indexed(x, labels, 0);
   }
@@ -42,6 +49,8 @@ Tensor AttackEngine::run(Attack& attack, const Tensor& x,
   // disjoint slice of `out`; `first_sample = lo` keys per-sample RNG
   // streams to global indices so sharding is invisible to the result.
   auto run_shard = [&](std::int64_t shard) {
+    DIVA_TRACE_SPAN("engine.shard");
+    const auto shard_t0 = std::chrono::steady_clock::now();
     const std::int64_t lo = shard * cfg_.shard_size;
     const std::int64_t hi = std::min(n, lo + cfg_.shard_size);
     std::vector<int> idx;
@@ -54,6 +63,13 @@ Tensor AttackEngine::run(Attack& attack, const Tensor& x,
     const Tensor adv = attack.perturb_indexed(shard_x, shard_labels, lo);
     std::memcpy(out.raw() + lo * per, adv.raw(),
                 sizeof(float) * static_cast<std::size_t>((hi - lo) * per));
+    DIVA_TELEM_COUNT("engine.shards", 1);
+    DIVA_TELEM_RECORD(
+        "engine.shard_us",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - shard_t0)
+                .count()));
   };
 
   if (!pool_) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/telemetry.h"
+
 namespace diva {
 
 namespace {
@@ -122,6 +124,8 @@ Tensor QuantFdGradSource::coordinate_grad(const Tensor& x,
         plus[p0 + p] += cfg_.h;
         minus[p0 + p] -= cfg_.h;
       }
+      DIVA_TELEM_COUNT("attack.fd.coordinate_probes",
+                       static_cast<std::uint64_t>(2 * chunk));
       const Tensor probe_logits = model_.forward(probes);
       const std::vector<std::int64_t> rows(
           static_cast<std::size_t>(2 * chunk), s);
@@ -166,6 +170,10 @@ Tensor QuantFdGradSource::spsa_grad(const Tensor& x,
         minus[i] = base[i] - cfg_.h * delta[i];
       }
     }
+    // 2k probe rows per (sample, step): the SPSA query budget the
+    // acceptance test pins as n * steps * 2 * samples.
+    DIVA_TELEM_COUNT("attack.fd.spsa_probes",
+                     static_cast<std::uint64_t>(2 * k));
     const Tensor probe_logits = model_.forward(probes);
     const std::vector<std::int64_t> rows(static_cast<std::size_t>(2 * k), s);
     const std::vector<float> v = req.values(probe_logits, rows);

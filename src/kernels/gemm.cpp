@@ -4,12 +4,29 @@
 
 #include "kernels/isa_variants.h"
 #include "kernels/kernel_dispatch.h"
+#include "kernels/kernel_telemetry.h"
 #include "kernels/workspace.h"
 #include "runtime/thread_pool.h"
 
 namespace diva {
 
 namespace {
+
+/// Counts one sgemm call: logical MACs plus panel bytes (analytic — the
+/// same ceil arithmetic the pack loops run, so hot loops stay clean).
+void count_sgemm(const char* tier, std::int64_t macs,
+                 std::int64_t packed_bytes) {
+  if (!telemetry::enabled()) return;
+  thread_local const char* t_tier = nullptr;
+  thread_local detail::KernelTierCounters t_c;
+  if (t_tier != tier) {
+    t_c = detail::make_kernel_tier_counters("sgemm", tier);
+    t_tier = tier;
+  }
+  t_c.calls->add(1);
+  t_c.macs->add(static_cast<std::uint64_t>(macs));
+  t_c.packed_bytes->add(static_cast<std::uint64_t>(packed_bytes));
+}
 
 // Cache blocking (shared by every tier): KC keeps one packed A strip
 // plus one packed B strip resident in L1, MC keeps the packed A block
@@ -145,12 +162,33 @@ void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
   }
   if (m * n * k < (1 << 13)) {
     sgemm_small(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, ep);
+    count_sgemm("scalar", m * n * k, /*packed_bytes=*/0);
     return;
   }
 
   const SgemmVariant& v = kernel_dispatch().sgemm;
   const std::int64_t vmr = v.mr;
   const std::int64_t vnr = v.nr;
+
+  if (telemetry::enabled()) {
+    // A is re-packed once per (j0, p0) pair; B once per (j0, p0). Rows
+    // and cols are padded to the variant's MR/NR inside each block.
+    std::int64_t a_rows_padded = 0;
+    for (std::int64_t i0 = 0; i0 < m; i0 += kMc) {
+      const std::int64_t mc = std::min(kMc, m - i0);
+      a_rows_padded += ((mc + vmr - 1) / vmr) * vmr;
+    }
+    std::int64_t b_cols_padded = 0;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
+      const std::int64_t nc = std::min(kNc, n - j0);
+      b_cols_padded += ((nc + vnr - 1) / vnr) * vnr;
+    }
+    const std::int64_t n_jblocks = (n + kNc - 1) / kNc;
+    const std::int64_t packed =
+        static_cast<std::int64_t>(sizeof(float)) *
+        (n_jblocks * a_rows_padded * k + b_cols_padded * k);
+    count_sgemm(v.name, m * n * k, packed);
+  }
 
   auto frame = Workspace::tls().frame();
   const std::int64_t nc_max = std::min(n, kNc);

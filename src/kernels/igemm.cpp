@@ -6,6 +6,7 @@
 #include "kernels/fixedpoint.h"
 #include "kernels/isa_variants.h"
 #include "kernels/kernel_dispatch.h"
+#include "kernels/kernel_telemetry.h"
 #include "kernels/workspace.h"
 #include "runtime/check.h"
 
@@ -14,6 +15,21 @@ namespace diva {
 namespace {
 
 constexpr std::int64_t kKc = 512;
+
+/// Counts one igemm call (see kernel_telemetry.h for name/semantics).
+void count_igemm(const char* tier, std::int64_t macs,
+                 std::int64_t packed_bytes) {
+  if (!telemetry::enabled()) return;
+  thread_local const char* t_tier = nullptr;
+  thread_local detail::KernelTierCounters t_c;
+  if (t_tier != tier) {
+    t_c = detail::make_kernel_tier_counters("igemm", tier);
+    t_tier = tier;
+  }
+  t_c.calls->add(1);
+  t_c.macs->add(static_cast<std::uint64_t>(macs));
+  t_c.packed_bytes->add(static_cast<std::uint64_t>(packed_bytes));
+}
 
 // Scalar (baseline x86-64) tier: int8 operands widened to int16 during
 // packing so the microkernel is a plain int16 x int16 -> int32
@@ -114,12 +130,26 @@ void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
       out[j] = static_cast<std::int8_t>(
           std::clamp(scaled + ep.out_zp, ep.act_min, ep.act_max));
     }
+    count_igemm("scalar", n * k, /*packed_bytes=*/0);
     return;
   }
 
   const IgemmVariant& v = kernel_dispatch().igemm;
   const std::int64_t kc_max = std::min(std::max<std::int64_t>(k, 1), kKc);
   const std::int64_t n_strips = (n + v.nr - 1) / v.nr;
+
+  if (telemetry::enabled()) {
+    // Per K-block: every A strip (ceil(m/MR) of them) and every B strip
+    // is packed exactly once; the variant owns the panel geometry.
+    std::int64_t packed = 0;
+    for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::int64_t kc = std::min(kKc, k - p0);
+      packed += ((m + v.mr - 1) / v.mr) *
+                static_cast<std::int64_t>(v.a_panel_bytes(kc));
+      packed += n_strips * static_cast<std::int64_t>(v.b_panel_bytes(kc));
+    }
+    count_igemm(v.name, m * n * k, packed);
+  }
   auto* apack = frame.alloc<std::byte>(
       static_cast<std::int64_t>(v.a_panel_bytes(kc_max)));
   auto* bpack = frame.alloc<std::byte>(

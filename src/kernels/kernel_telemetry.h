@@ -1,0 +1,40 @@
+// Per-tier kernel counters shared by the sgemm/igemm drivers.
+//
+// Counter names: kernels.<kernel>.{calls,macs,packed_bytes}.<tier>.
+//   calls        driver invocations
+//   macs         logical multiply-accumulates (m*n*k, padding excluded,
+//                so analytic pinning in tests is exact)
+//   packed_bytes bytes written into packed A/B panels (padding
+//                *included* — this is real memory traffic)
+// <tier> is the dispatched variant's name; the tier-invariant small
+// and m==1 fast paths attribute to "scalar" since that is the code
+// that ran.
+//
+// The drivers cache the resolved counter trio in thread-locals keyed
+// on the variant-name pointer (a static literal, stable per tier), so
+// the steady-state cost per gemm call is one pointer compare plus
+// three relaxed atomic adds.
+#pragma once
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace diva::detail {
+
+struct KernelTierCounters {
+  telemetry::Counter* calls = nullptr;
+  telemetry::Counter* macs = nullptr;
+  telemetry::Counter* packed_bytes = nullptr;
+};
+
+inline KernelTierCounters make_kernel_tier_counters(const char* kernel,
+                                                    const char* tier) {
+  const std::string base = std::string("kernels.") + kernel;
+  const std::string suffix = std::string(".") + tier;
+  return {&telemetry::counter(base + ".calls" + suffix),
+          &telemetry::counter(base + ".macs" + suffix),
+          &telemetry::counter(base + ".packed_bytes" + suffix)};
+}
+
+}  // namespace diva::detail

@@ -11,6 +11,8 @@
 #include "nn/sequential.h"
 #include "quant/qat_layers.h"
 #include "runtime/thread_pool.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace diva {
@@ -508,6 +510,8 @@ void QuantizedModel::run_batch_int8(const float* images, std::int64_t n,
 
 std::vector<std::int8_t> QuantizedModel::forward_single_int8(
     const float* image) const {
+  DIVA_TELEM_COUNT("quant.forward.calls", 1);
+  DIVA_TELEM_COUNT("quant.forward.rows", 1);
   const QSlot& out = slots_[static_cast<std::size_t>(output_slot_)];
   std::vector<std::int8_t> logits(static_cast<std::size_t>(out.shape.numel()));
   run_batch_int8(image, 1, logits.data());
@@ -515,11 +519,16 @@ std::vector<std::int8_t> QuantizedModel::forward_single_int8(
 }
 
 Tensor QuantizedModel::forward(const Tensor& x) const {
+  DIVA_TRACE_SPAN("quant.forward");
   DIVA_CHECK(x.rank() == 4, "QuantizedModel::forward expects NCHW");
   const QSlot& in = slots_[static_cast<std::size_t>(input_slot_)];
   DIVA_CHECK(x.numel() / x.dim(0) == in.shape.numel(),
              "input image size mismatch");
   const std::int64_t n = x.dim(0);
+  // Every row through here is one query against the deployed artifact —
+  // the unit the paper's Table 2 budgets evasion in.
+  DIVA_TELEM_COUNT("quant.forward.calls", 1);
+  DIVA_TELEM_COUNT("quant.forward.rows", static_cast<std::uint64_t>(n));
   const QSlot& out = slots_[static_cast<std::size_t>(output_slot_)];
   const std::int64_t classes = out.shape[0];
 

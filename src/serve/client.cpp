@@ -118,6 +118,11 @@ void AttackClient::pump() {
       it->second.error = err.message;
       break;
     }
+    case MsgType::kStatsReply: {
+      last_stats_ = decode_stats_reply(payload);
+      stats_pending_ = false;
+      break;
+    }
     default:
       DIVA_FAIL("unexpected frame type "
                 << static_cast<int>(type) << " from server");
@@ -140,6 +145,13 @@ ServedResult AttackClient::wait(std::uint64_t id) {
 
 void AttackClient::request_server_shutdown() {
   write_frame(fd_, encode_shutdown());
+}
+
+telemetry::Snapshot AttackClient::stats() {
+  write_frame(fd_, encode_stats_request());
+  stats_pending_ = true;
+  while (stats_pending_) pump();
+  return last_stats_;
 }
 
 }  // namespace diva::serve

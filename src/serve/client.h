@@ -53,6 +53,11 @@ class AttackClient {
   /// Asks the daemon to shut itself down (kShutdown frame).
   void request_server_shutdown();
 
+  /// Fetches the server's merged telemetry snapshot (kStatsRequest).
+  /// Safe with requests in flight: result frames that arrive before the
+  /// kStatsReply are applied to their in-flight records as usual.
+  telemetry::Snapshot stats();
+
  private:
   struct InFlight {
     std::int64_t total = 0;  // batch rows expected
@@ -70,6 +75,8 @@ class AttackClient {
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, InFlight> inflight_;
+  telemetry::Snapshot last_stats_;
+  bool stats_pending_ = false;
 };
 
 }  // namespace diva::serve

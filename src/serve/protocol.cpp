@@ -418,6 +418,71 @@ std::vector<std::uint8_t> encode_shutdown() {
   return finish_frame(MsgType::kShutdown, WireWriter{});
 }
 
+std::vector<std::uint8_t> encode_stats_request() {
+  return finish_frame(MsgType::kStatsRequest, WireWriter{});
+}
+
+std::vector<std::uint8_t> encode_stats_reply(
+    const telemetry::Snapshot& snap) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(snap.counters.size()));
+  for (const auto& [name, value] : snap.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(snap.histograms.size()));
+  for (const auto& [name, h] : snap.histograms) {
+    w.str(name);
+    w.u64(h.count);
+    w.u64(h.sum);
+    // Sparse buckets: [index, count] pairs for the non-zero ones.
+    std::uint32_t nonzero = 0;
+    for (const std::uint64_t b : h.buckets) nonzero += b != 0 ? 1 : 0;
+    w.u32(nonzero);
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      w.u16(static_cast<std::uint16_t>(b));
+      w.u64(h.buckets[b]);
+    }
+  }
+  return finish_frame(MsgType::kStatsReply, std::move(w));
+}
+
+telemetry::Snapshot decode_stats_reply(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  telemetry::Snapshot snap;
+  const std::uint32_t n_counters = r.u32();
+  DIVA_CHECK(n_counters <= (1u << 20), "implausible counter count "
+                                           << n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    const std::string name = r.str();
+    snap.counters[name] = r.u64();
+  }
+  const std::uint32_t n_hists = r.u32();
+  DIVA_CHECK(n_hists <= (1u << 20), "implausible histogram count "
+                                        << n_hists);
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    const std::string name = r.str();
+    telemetry::HistogramData h;
+    h.buckets.assign(telemetry::kHistBuckets, 0);
+    h.count = r.u64();
+    h.sum = r.u64();
+    const std::uint32_t nonzero = r.u32();
+    DIVA_CHECK(nonzero <= static_cast<std::uint32_t>(telemetry::kHistBuckets),
+               "implausible bucket count " << nonzero);
+    for (std::uint32_t b = 0; b < nonzero; ++b) {
+      const std::uint16_t idx = r.u16();
+      DIVA_CHECK(idx < telemetry::kHistBuckets, "bucket index out of range "
+                                                    << idx);
+      h.buckets[idx] = r.u64();
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  r.expect_done();
+  return snap;
+}
+
 MsgType split_frame(const std::vector<std::uint8_t>& frame,
                     std::vector<std::uint8_t>* payload) {
   DIVA_CHECK(frame.size() >= kHeaderBytes, "frame shorter than its header");
@@ -429,7 +494,7 @@ MsgType split_frame(const std::vector<std::uint8_t>& frame,
                                                << kProtocolVersion);
   const std::uint16_t raw_type = r.u16();
   DIVA_CHECK(raw_type >= 1 &&
-                 raw_type <= static_cast<std::uint16_t>(MsgType::kShutdown),
+                 raw_type <= static_cast<std::uint16_t>(MsgType::kStatsReply),
              "unknown frame type " << raw_type);
   const std::uint64_t len = r.u64();
   DIVA_CHECK(len <= kMaxPayload, "frame payload too large: " << len);
@@ -491,7 +556,7 @@ bool read_frame(int fd, MsgType* type, std::vector<std::uint8_t>* payload) {
                                                << kProtocolVersion);
   const std::uint16_t raw_type = r.u16();
   DIVA_CHECK(raw_type >= 1 &&
-                 raw_type <= static_cast<std::uint16_t>(MsgType::kShutdown),
+                 raw_type <= static_cast<std::uint16_t>(MsgType::kStatsReply),
              "unknown frame type " << raw_type);
   const std::uint64_t len = r.u64();
   DIVA_CHECK(len <= kMaxPayload, "frame payload too large: " << len);

@@ -14,11 +14,14 @@
 // diva::Error on malformed input (bad magic, version skew, truncation,
 // unknown type), which makes the codec unit-testable without sockets.
 //
-// Client -> server:  kAttackRequest, kShutdown
+// Client -> server:  kAttackRequest, kStatsRequest, kShutdown
 // Server -> client:  kResultChunk (streamed per shard), kRequestDone,
-//                    kError
+//                    kError, kStatsReply
 // Parent -> worker:  kJobBatch (coalesced shard jobs)
-// Worker -> parent:  kJobResult (one per shard job, streamed)
+// Worker -> parent:  kJobResult (one per shard job, streamed), then one
+//                    kStatsReply trailer per batch (the worker's own
+//                    telemetry snapshot; the parent merges these into
+//                    what kStatsRequest returns)
 #pragma once
 
 #include <cstdint>
@@ -27,6 +30,7 @@
 
 #include "attack/registry.h"
 #include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
 #include "tensor/tensor.h"
 
 namespace diva::serve {
@@ -42,6 +46,8 @@ enum class MsgType : std::uint16_t {
   kJobBatch = 5,
   kJobResult = 6,
   kShutdown = 7,
+  kStatsRequest = 8,
+  kStatsReply = 9,
 };
 
 // ---------------------------------------------------------------------------
@@ -197,6 +203,11 @@ std::vector<std::uint8_t> encode_error(const ErrorReply& err);
 std::vector<std::uint8_t> encode_job_batch(const std::vector<WireJob>& jobs);
 std::vector<std::uint8_t> encode_job_result(const JobResult& result);
 std::vector<std::uint8_t> encode_shutdown();
+/// kStatsRequest carries no payload.
+std::vector<std::uint8_t> encode_stats_request();
+/// Telemetry snapshot as pure integers (counter values, histogram
+/// bucket counts/count/sum), so decode(encode(s)) == s bit-exactly.
+std::vector<std::uint8_t> encode_stats_reply(const telemetry::Snapshot& snap);
 
 AttackRequest decode_attack_request(const std::vector<std::uint8_t>& payload);
 ResultChunk decode_result_chunk(const std::vector<std::uint8_t>& payload);
@@ -204,6 +215,8 @@ RequestDone decode_request_done(const std::vector<std::uint8_t>& payload);
 ErrorReply decode_error(const std::vector<std::uint8_t>& payload);
 std::vector<WireJob> decode_job_batch(const std::vector<std::uint8_t>& payload);
 JobResult decode_job_result(const std::vector<std::uint8_t>& payload);
+telemetry::Snapshot decode_stats_reply(
+    const std::vector<std::uint8_t>& payload);
 
 /// Splits a complete frame into (type, payload), validating magic,
 /// version, and length. Used by the frame IO below and by codec tests.

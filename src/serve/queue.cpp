@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace diva::serve {
 
 std::vector<ShardJob> make_shard_jobs(
@@ -32,12 +34,18 @@ void BatchingQueue::push(std::vector<ShardJob> jobs) {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;
     for (auto& job : jobs) jobs_.push_back(std::move(job));
+    // Depth sampled at every arrival: sustained growth here is the
+    // scale-out signal ROADMAP item 2 asks for.
+    DIVA_TELEM_RECORD("serve.queue.depth",
+                      static_cast<std::uint64_t>(jobs_.size()));
   }
   cv_.notify_all();
 }
 
 void BatchingQueue::requeue(std::vector<ShardJob> jobs) {
   if (jobs.empty()) return;
+  DIVA_TELEM_COUNT("serve.jobs.requeued",
+                   static_cast<std::uint64_t>(jobs.size()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Front-insert in reverse so the vector's order is preserved and
@@ -81,6 +89,15 @@ std::vector<ShardJob> BatchingQueue::pop_batch(const CoalescePolicy& policy) {
       if (jobs_.empty()) break;  // closed
       take_available();
     }
+  }
+  if (!batch.empty()) {
+    DIVA_TELEM_RECORD("serve.batch.jobs",
+                      static_cast<std::uint64_t>(batch.size()));
+    // How full the coalescing window got, in percent of max_jobs — low
+    // occupancy at a non-zero window means the window is wasted sleep.
+    DIVA_TELEM_RECORD("serve.batch.occupancy_pct",
+                      static_cast<std::uint64_t>(batch.size() * 100 /
+                                                 policy.max_jobs));
   }
   return batch;
 }

@@ -16,6 +16,8 @@
 
 #include "runtime/check.h"
 #include "runtime/thread_pool.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace diva::serve {
@@ -263,6 +265,18 @@ void run_worker(int fd, const scenario::ModelPool& pool,
         }
       }
     }
+
+    // Stats trailer: after the last result of every batch, ship this
+    // worker's cumulative telemetry (zeroed at fork by the registry's
+    // atfork hook, so it covers exactly this worker's own work). Always
+    // sent — empty when telemetry is disabled — so the parent's framing
+    // never depends on env agreement across the fork.
+    try {
+      std::lock_guard<std::mutex> lock(write_mu);
+      write_frame(fd, encode_stats_reply(telemetry::snapshot()));
+    } catch (const std::exception&) {
+      _exit(1);  // parent gone
+    }
   }
   // _exit: a forked child must not run the parent's static destructors
   // or flush its inherited stdio buffers.
@@ -347,6 +361,7 @@ void AttackServer::start() {
              "listen failed: " << std::strerror(errno));
 
   workers_.resize(cfg_.workers);
+  worker_stats_.assign(cfg_.workers, WorkerStats{});
   for (std::size_t w = 0; w < cfg_.workers; ++w) {
     DIVA_CHECK(spawn_worker(w), "failed to fork worker " << w);
   }
@@ -458,8 +473,28 @@ void AttackServer::reap_worker(std::size_t w) {
     int status = 0;
     (void)::waitpid(link.pid, &status, 0);
   }
+  {
+    // Fold the dead worker's last shipped snapshot into the slot's
+    // retired total so its counted work outlives the process (this is
+    // what keeps stats intact across a SIGKILLed worker).
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (w < worker_stats_.size()) {
+      telemetry::merge(&worker_stats_[w].retired, worker_stats_[w].latest);
+      worker_stats_[w].latest = telemetry::Snapshot{};
+    }
+  }
   std::lock_guard<std::mutex> lock(workers_mu_);
   workers_[w].pid = -1;
+}
+
+telemetry::Snapshot AttackServer::stats_snapshot() const {
+  telemetry::Snapshot snap = telemetry::snapshot();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (const WorkerStats& ws : worker_stats_) {
+    telemetry::merge(&snap, ws.retired);
+    telemetry::merge(&snap, ws.latest);
+  }
+  return snap;
 }
 
 void AttackServer::dispatch_loop(std::size_t w) {
@@ -467,6 +502,7 @@ void AttackServer::dispatch_loop(std::size_t w) {
   for (;;) {
     std::vector<ShardJob> batch = queue_.pop_batch(policy);
     if (batch.empty()) return;  // closed and drained
+    DIVA_TRACE_SPAN("serve.dispatch_batch");
 
     bool alive;
     int fd;
@@ -476,6 +512,7 @@ void AttackServer::dispatch_loop(std::size_t w) {
       fd = workers_[w].fd;
     }
     if (!alive) {
+      DIVA_TELEM_COUNT("serve.worker.restarts", 1);
       if (!spawn_worker(w)) {
         // This worker slot is dead for good; hand the jobs to the
         // other dispatchers and retire.
@@ -534,6 +571,24 @@ void AttackServer::dispatch_loop(std::size_t w) {
       }
     }
 
+    // Per-batch stats trailer (always present after the last result).
+    if (!failed) {
+      MsgType type;
+      std::vector<std::uint8_t> payload;
+      try {
+        if (read_frame(fd, &type, &payload) &&
+            type == MsgType::kStatsReply) {
+          telemetry::Snapshot snap = decode_stats_reply(payload);
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          worker_stats_[w].latest = std::move(snap);
+        } else {
+          failed = true;  // worker died between results and trailer
+        }
+      } catch (const std::exception&) {
+        failed = true;
+      }
+    }
+
     if (failed) {
       // The worker died (or the link corrupted): reap it, requeue the
       // jobs whose results never arrived — front of the queue, original
@@ -563,6 +618,7 @@ void AttackServer::deliver_result(const ShardJob& job, JobResult&& result,
   if (!result.error.empty()) {
     if (!pr.failed) {
       pr.failed = true;
+      DIVA_TELEM_COUNT("serve.requests.failed", 1);
       send_frame_to(pr.conn, encode_error({pr.request->id, result.error}));
     }
   } else if (!pr.failed) {
@@ -585,6 +641,13 @@ void AttackServer::deliver_result(const ShardJob& job, JobResult&& result,
       done.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - pr.t0)
                          .count();
+      DIVA_TELEM_COUNT("serve.requests.completed", 1);
+      DIVA_TELEM_COUNT("serve.samples.completed",
+                       static_cast<std::uint64_t>(done.total));
+      // Server-side latency, decode to last shard: what a client can't
+      // see from the outside (excludes client-side queueing/transport).
+      DIVA_TELEM_RECORD("serve.request_us",
+                        static_cast<std::uint64_t>(done.seconds * 1e6));
       send_frame_to(pr.conn, encode_request_done(done));
     }
     pending_.erase(it);
@@ -637,6 +700,10 @@ void AttackServer::client_loop(const std::shared_ptr<ClientConn>& conn) {
       if (cfg_.on_shutdown_request) cfg_.on_shutdown_request();
       continue;
     }
+    if (type == MsgType::kStatsRequest) {
+      send_frame_to(conn, encode_stats_reply(stats_snapshot()));
+      continue;
+    }
     if (type != MsgType::kAttackRequest) {
       send_frame_to(conn, encode_error({0, "unexpected frame type"}));
       continue;
@@ -657,11 +724,16 @@ void AttackServer::client_loop(const std::shared_ptr<ClientConn>& conn) {
 
 void AttackServer::handle_request(const std::shared_ptr<ClientConn>& conn,
                                   AttackRequest&& req) {
+  DIVA_TRACE_SPAN("serve.handle_request");
   const std::string reason = validate_request(req);
   if (!reason.empty()) {
+    DIVA_TELEM_COUNT("serve.requests.rejected", 1);
     send_frame_to(conn, encode_error({req.id, reason}));
     return;
   }
+  DIVA_TELEM_COUNT("serve.requests.accepted", 1);
+  DIVA_TELEM_COUNT("serve.samples.accepted",
+                   static_cast<std::uint64_t>(req.images.dim(0)));
 
   const auto request =
       std::make_shared<const AttackRequest>(std::move(req));

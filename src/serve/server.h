@@ -111,6 +111,14 @@ class AttackServer {
   /// scenario pool diagnostics for missing models).
   std::string validate_request(const AttackRequest& req) const;
 
+  /// Merged telemetry: the parent's own snapshot plus every worker's
+  /// latest per-batch snapshot (workers append a kStatsReply trailer to
+  /// each job batch) plus the final snapshots of workers that have died
+  /// or been reaped — so counters survive a SIGKILLed worker. Worker
+  /// numbers are at most one batch stale; this is what kStatsRequest
+  /// answers with.
+  telemetry::Snapshot stats_snapshot() const;
+
   const ServeConfig& config() const { return cfg_; }
   const scenario::ModelPool& pool() const { return pool_; }
 
@@ -134,6 +142,14 @@ class AttackServer {
     pid_t pid = -1;
     int fd = -1;
     bool alive = false;
+  };
+
+  /// Per worker slot: `latest` is the live worker's most recent
+  /// per-batch snapshot (cumulative since its fork); `retired` is the
+  /// merged total of every previous worker that died in this slot.
+  struct WorkerStats {
+    telemetry::Snapshot retired;
+    telemetry::Snapshot latest;
   };
 
   void accept_loop();
@@ -162,6 +178,9 @@ class AttackServer {
   mutable std::mutex workers_mu_;
   std::vector<WorkerLink> workers_;
   std::vector<std::thread> dispatchers_;
+
+  mutable std::mutex stats_mu_;
+  std::vector<WorkerStats> worker_stats_;
 
   std::mutex pending_mu_;
   std::map<std::uint64_t, PendingRequest> pending_;

@@ -1,0 +1,332 @@
+#include "telemetry/telemetry.h"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "runtime/env.h"
+
+namespace diva::telemetry {
+namespace {
+
+// -1 = not yet read from env; 0/1 = resolved.
+std::atomic<int> g_enabled{-1};
+
+// Bumped in the forked child so every thread (the child has exactly
+// one at that point, but its thread-local slot cache is inherited)
+// re-registers its slot on next use.
+std::atomic<std::uint64_t> g_slot_epoch{0};
+std::atomic<std::uint32_t> g_next_slot{0};
+
+struct Registry {
+  std::mutex mu;
+  // Stable addresses: hot paths cache references across registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry();
+
+// fork() can land while another thread holds the registry mutex (e.g.
+// a respawning serve worker forks from a dispatch thread while a
+// client thread registers a metric). Lock across the fork so the
+// child's view of the maps is consistent, then zero everything in the
+// child: a worker accounts only for its own work and the parent merges
+// worker snapshots shipped over the pipe.
+void atfork_prepare() { registry().mu.lock(); }
+void atfork_parent() { registry().mu.unlock(); }
+void atfork_child() {
+  Registry& r = registry();
+  r.mu.unlock();
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+  g_slot_epoch.fetch_add(1, std::memory_order_relaxed);
+  g_next_slot.store(0, std::memory_order_relaxed);
+}
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    ::pthread_atfork(atfork_prepare, atfork_parent, atfork_child);
+    return reg;
+  }();
+  return *r;
+}
+
+void append_json_string(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char ch : s) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void append_double(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+bool enabled() {
+  if constexpr (!kCompiledIn) return false;
+  int e = g_enabled.load(std::memory_order_relaxed);
+  if (e < 0) {
+    e = env_flag("DIVA_TELEMETRY", /*fallback=*/true) ? 1 : 0;
+    g_enabled.store(e, std::memory_order_relaxed);
+  }
+  return e != 0;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+int shard_index() {
+  thread_local std::uint64_t t_epoch = ~std::uint64_t{0};
+  thread_local int t_slot = 0;
+  const std::uint64_t epoch = g_slot_epoch.load(std::memory_order_relaxed);
+  if (t_epoch != epoch) {
+    t_slot = static_cast<int>(g_next_slot.fetch_add(
+                 1, std::memory_order_relaxed) %
+             static_cast<std::uint32_t>(kShards));
+    t_epoch = epoch;
+  }
+  return t_slot;
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+}
+
+int hist_bucket(std::uint64_t v) {
+  if (v < static_cast<std::uint64_t>(kHistLinearMax)) {
+    return static_cast<int>(v);
+  }
+  const int octave = std::bit_width(v);  // >= 5
+  const std::uint64_t lo = std::uint64_t{1} << (octave - 1);
+  const int sub = static_cast<int>((v - lo) >> (octave - 3));  // (v-lo)*4/lo
+  return kHistLinearMax + (octave - 5) * kHistSubBuckets + sub;
+}
+
+void hist_bucket_bounds(int bucket, std::uint64_t* lo, std::uint64_t* hi) {
+  if (bucket < kHistLinearMax) {
+    *lo = *hi = static_cast<std::uint64_t>(bucket);
+    return;
+  }
+  const int t = bucket - kHistLinearMax;
+  const int octave = 5 + t / kHistSubBuckets;
+  const int sub = t % kHistSubBuckets;
+  const std::uint64_t base = std::uint64_t{1} << (octave - 1);
+  const std::uint64_t width = base >> 2;  // base / kHistSubBuckets
+  *lo = base + static_cast<std::uint64_t>(sub) * width;
+  *hi = *lo + width - 1;
+}
+
+double HistogramData::quantile(double p) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(count - 1);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < static_cast<int>(buckets.size()); ++b) {
+    const std::uint64_t n = buckets[b];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) > rank) {
+      std::uint64_t lo = 0, hi = 0;
+      hist_bucket_bounds(b, &lo, &hi);
+      const double frac =
+          n == 1 ? 0.0 : (rank - static_cast<double>(cum)) /
+                             static_cast<double>(n - 1);
+      return static_cast<double>(lo) +
+             frac * static_cast<double>(hi - lo);
+    }
+    cum += n;
+  }
+  std::uint64_t lo = 0, hi = 0;
+  hist_bucket_bounds(static_cast<int>(buckets.size()) - 1, &lo, &hi);
+  return static_cast<double>(hi);
+}
+
+HistogramData Histogram::data() const {
+  HistogramData out;
+  out.buckets.assign(kHistBuckets, 0);
+  for (const auto& cell : cells_) {
+    for (int b = 0; b < kHistBuckets; ++b) {
+      out.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.count += cell.count.load(std::memory_order_relaxed);
+    out.sum += cell.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& cell : cells_) {
+    for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool Snapshot::operator==(const Snapshot& other) const {
+  if (counters != other.counters) return false;
+  if (histograms.size() != other.histograms.size()) return false;
+  for (const auto& [name, h] : histograms) {
+    auto it = other.histograms.find(name);
+    if (it == other.histograms.end()) return false;
+    if (h.count != it->second.count || h.sum != it->second.sum ||
+        h.buckets != it->second.buckets) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters.emplace(name, std::make_unique<Counter>(name)).first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms.emplace(name, std::make_unique<Histogram>(name)).first;
+  }
+  return *it->second;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot snap;
+  for (const auto& [name, c] : r.counters) snap.counters[name] = c->value();
+  for (const auto& [name, h] : r.histograms) snap.histograms[name] = h->data();
+  return snap;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+void merge(Snapshot* into, const Snapshot& other) {
+  for (const auto& [name, v] : other.counters) into->counters[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramData& dst = into->histograms[name];
+    if (dst.buckets.empty()) dst.buckets.assign(kHistBuckets, 0);
+    const std::size_t n = std::min(dst.buckets.size(), h.buckets.size());
+    for (std::size_t b = 0; b < n; ++b) dst.buckets[b] += h.buckets[b];
+    dst.count += h.count;
+    dst.sum += h.sum;
+  }
+}
+
+Snapshot diff(const Snapshot& now, const Snapshot& base) {
+  Snapshot out;
+  for (const auto& [name, v] : now.counters) {
+    auto it = base.counters.find(name);
+    const std::uint64_t b = it == base.counters.end() ? 0 : it->second;
+    out.counters[name] = v >= b ? v - b : 0;
+  }
+  for (const auto& [name, h] : now.histograms) {
+    auto it = base.histograms.find(name);
+    HistogramData d = h;
+    if (it != base.histograms.end()) {
+      const HistogramData& bh = it->second;
+      const std::size_t n = std::min(d.buckets.size(), bh.buckets.size());
+      for (std::size_t b = 0; b < n; ++b) {
+        d.buckets[b] = d.buckets[b] >= bh.buckets[b]
+                           ? d.buckets[b] - bh.buckets[b]
+                           : 0;
+      }
+      d.count = d.count >= bh.count ? d.count - bh.count : 0;
+      d.sum = d.sum >= bh.sum ? d.sum - bh.sum : 0;
+    }
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(&out, name);
+    out.push_back(':');
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(&out, name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"mean\":";
+    append_double(&out, h.mean());
+    out += ",\"p50\":";
+    append_double(&out, h.quantile(0.50));
+    out += ",\"p90\":";
+    append_double(&out, h.quantile(0.90));
+    out += ",\"p99\":";
+    append_double(&out, h.quantile(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out.push_back('[');
+      out += std::to_string(b);
+      out.push_back(',');
+      out += std::to_string(h.buckets[b]);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace diva::telemetry

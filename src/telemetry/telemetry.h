@@ -1,0 +1,231 @@
+// In-process telemetry: named counters and log-bucketed histograms.
+//
+// The paper's central cost story is a *query budget* — Table 2 prices
+// evasion in attack iterations, and real-world black-box feasibility
+// hinges on per-query accounting — so the runtime counts its own work
+// as a first-class concern: kernel invocations and MACs, deployed-
+// artifact queries, FD/SPSA probes, engine shard timings, serve queue
+// depth and batch occupancy. Everything is aggregated through one
+// global registry and exported as a Snapshot (JSON for benches, a
+// binary codec for the serve wire — see serve/protocol.h).
+//
+// Hot-path design:
+//   - A metric is registered once (mutex-guarded name map) and then
+//     updated lock-free: each Counter/Histogram owns kShards
+//     cache-line-sized slots, and a thread picks its slot once via a
+//     thread-local index — updates are one relaxed atomic add with no
+//     sharing between threads that landed on different slots.
+//     Aggregation happens only at snapshot time.
+//   - Fork-aware: a pthread_atfork handler (registered with the
+//     registry) locks the registry around the fork, zeroes every metric
+//     in the child, and bumps the slot epoch so worker threads
+//     re-register their slots. A forked serve worker therefore counts
+//     only its own work; the parent merges worker snapshots shipped
+//     over the existing parent<->worker pipe.
+//
+// Kill switches:
+//   - Compile time: configure with -DDIVA_TELEMETRY=OFF (defines
+//     DIVA_TELEMETRY_DISABLED) and every update compiles to nothing
+//     (kCompiledIn is constexpr false; add/record are empty inline
+//     functions). Snapshots are then empty but the API keeps working,
+//     so serve/bench code needs no #ifdefs.
+//   - Runtime: DIVA_TELEMETRY=0 disables updates (one relaxed load +
+//     branch per update); set_enabled() is the test hook.
+//
+// Metric-name convention: dot-separated lowercase paths, e.g.
+// "kernels.igemm.macs.avx2", "serve.request_us". Histogram names end
+// in their unit (_us, .jobs) — values are unsigned integers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace diva::telemetry {
+
+#ifdef DIVA_TELEMETRY_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Runtime switch: DIVA_TELEMETRY env flag (default on), memoized on
+/// first use; set_enabled() overrides it (tests, benches' paired runs).
+/// Always false when compiled out.
+bool enabled();
+void set_enabled(bool on);
+
+/// Per-metric update slots. More shards = less false sharing under
+/// contention; aggregation cost grows linearly. 16 covers every pool
+/// width in the repo (engine tests go to 16 threads).
+inline constexpr int kShards = 16;
+
+/// Slot index of the calling thread (assigned on first use, re-assigned
+/// after the slot epoch changes — i.e. after fork in the child).
+int shard_index();
+
+namespace detail {
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotonic event counter. Updates are relaxed atomic adds on the
+/// caller's shard; value() sums the shards (no torn totals: each shard
+/// is a single 64-bit atomic).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n) {
+    if constexpr (!kCompiledIn) {
+      (void)n;
+      return;
+    } else {
+      if (!enabled()) return;
+      cells_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t value() const;
+  void reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  detail::CounterCell cells_[kShards];
+};
+
+// ---------------------------------------------------------------------------
+// Histograms: log-linear buckets (HdrHistogram-coarse shape).
+// ---------------------------------------------------------------------------
+
+/// Values 0..15 get exact buckets; above that each power-of-two octave
+/// is split into 4 linear sub-buckets, so quantile estimates carry at
+/// most ~25% bucket error across the full uint64 range.
+inline constexpr int kHistLinearMax = 16;
+inline constexpr int kHistSubBuckets = 4;
+inline constexpr int kHistBuckets =
+    kHistLinearMax + (64 - 4) * kHistSubBuckets;  // 256
+
+/// Bucket index for a value (monotone in v).
+int hist_bucket(std::uint64_t v);
+/// Inclusive [lo, hi] value range of a bucket.
+void hist_bucket_bounds(int bucket, std::uint64_t* lo, std::uint64_t* hi);
+
+/// Aggregated histogram contents: what snapshots carry and the wire
+/// ships. All fields are exact integers, so encode/decode round-trips
+/// are bit-exact.
+struct HistogramData {
+  std::vector<std::uint64_t> buckets;  // size kHistBuckets (or empty)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Approximate p-quantile (p in [0,1]), linearly interpolated inside
+  /// the landing bucket. 0 when empty.
+  double quantile(double p) const;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) {
+    if constexpr (!kCompiledIn) {
+      (void)v;
+      return;
+    } else {
+      if (!enabled()) return;
+      Cell& c = cells_[shard_index()];
+      c.buckets[hist_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+      c.count.fetch_add(1, std::memory_order_relaxed);
+      c.sum.fetch_add(v, std::memory_order_relaxed);
+    }
+  }
+
+  HistogramData data() const;
+  void reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> buckets[kHistBuckets]{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::string name_;
+  Cell cells_[kShards];
+};
+
+// ---------------------------------------------------------------------------
+// Registry and snapshots.
+// ---------------------------------------------------------------------------
+
+/// Point-in-time aggregation of every registered metric. Counters and
+/// histogram contents are exact integers; merge() sums (parent +
+/// workers), diff() subtracts a baseline (per-sweep-point deltas in
+/// benches) — both field-wise, both exact.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  bool operator==(const Snapshot& other) const;
+};
+
+/// Registers (first use) or fetches a metric. References stay valid for
+/// the life of the process — hot paths cache them in function-local
+/// statics (see the DIVA_TELEM_* macros below). Registration happens
+/// even while disabled, so enabling later starts from zero rather than
+/// from missing metrics.
+Counter& counter(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Aggregates every registered metric.
+Snapshot snapshot();
+
+/// Zeroes every registered metric (names stay registered).
+void reset();
+
+/// into += other (unknown names are inserted).
+void merge(Snapshot* into, const Snapshot& other);
+
+/// now - base, element-wise, clamped at 0 (metrics born after `base`
+/// pass through unchanged).
+Snapshot diff(const Snapshot& now, const Snapshot& base);
+
+/// One JSON object: {"counters":{...},"histograms":{name:{"count":..,
+/// "sum":..,"mean":..,"p50":..,"p90":..,"p99":..,"buckets":[[idx,n],..]}}}.
+/// Buckets are sparse [index, count] pairs. Stable key order (std::map).
+std::string to_json(const Snapshot& snap);
+
+// ---------------------------------------------------------------------------
+// Hot-path macros: register once per call site, then lock-free updates.
+// In DIVA_TELEMETRY_DISABLED builds the add/record bodies are empty
+// inline functions, so these compile to nothing.
+// ---------------------------------------------------------------------------
+
+#define DIVA_TELEM_COUNT(name_literal, amount)               \
+  do {                                                       \
+    static ::diva::telemetry::Counter& diva_telem_c_ =       \
+        ::diva::telemetry::counter(name_literal);            \
+    diva_telem_c_.add(amount);                               \
+  } while (0)
+
+#define DIVA_TELEM_RECORD(name_literal, value)               \
+  do {                                                       \
+    static ::diva::telemetry::Histogram& diva_telem_h_ =     \
+        ::diva::telemetry::histogram(name_literal);          \
+    diva_telem_h_.record(value);                             \
+  } while (0)
+
+}  // namespace diva::telemetry

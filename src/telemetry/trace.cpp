@@ -1,0 +1,172 @@
+#include "telemetry/trace.h"
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "runtime/env.h"
+#include "telemetry/telemetry.h"
+
+namespace diva::telemetry {
+namespace {
+
+// Per-thread span cap: 1<<17 spans * 32 B = 4 MiB worst case per
+// thread. Overflow drops the span and counts it ("trace.spans_dropped")
+// rather than growing without bound in long daemon runs.
+constexpr std::size_t kMaxSpansPerThread = std::size_t{1} << 17;
+
+struct SpanEvent {
+  const char* name;
+  std::uint64_t start_us;
+  std::uint64_t dur_us;
+};
+
+struct ThreadBuf {
+  std::uint32_t tid = 0;
+  std::vector<SpanEvent> spans;
+};
+
+struct TraceState {
+  std::mutex mu;
+  // Buffers are never freed: thread-local pointers into this list must
+  // stay valid for the thread's lifetime (and across fork).
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::uint32_t next_tid = 1;
+};
+
+// -1 = unresolved, else 0/1.
+std::atomic<int> g_trace_mode{-1};
+
+TraceState& state();
+
+void trace_atfork_prepare() { state().mu.lock(); }
+void trace_atfork_parent() { state().mu.unlock(); }
+void trace_atfork_child() {
+  TraceState& s = state();
+  s.mu.unlock();
+  // Inherited spans belong to the parent's timeline; the worker exits
+  // via _exit() and never exports, so keeping them would only burn
+  // memory per respawn.
+  for (auto& buf : s.bufs) buf->spans.clear();
+}
+
+TraceState& state() {
+  static TraceState* s = [] {
+    auto* st = new TraceState();
+    ::pthread_atfork(trace_atfork_prepare, trace_atfork_parent,
+                     trace_atfork_child);
+    return st;
+  }();
+  return *s;
+}
+
+ThreadBuf& thread_buf() {
+  thread_local ThreadBuf* t_buf = [] {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.bufs.push_back(std::make_unique<ThreadBuf>());
+    s.bufs.back()->tid = s.next_tid++;
+    return s.bufs.back().get();
+  }();
+  return *t_buf;
+}
+
+void export_at_exit() {
+  const std::string path = env_string("DIVA_TRACE", "");
+  if (path.empty()) return;
+  write_trace_file(path);
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  if constexpr (!kCompiledIn) return false;
+  int m = g_trace_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    m = !env_string("DIVA_TRACE", "").empty() ? 1 : 0;
+    if (m == 1) std::atexit(export_at_exit);
+    g_trace_mode.store(m, std::memory_order_relaxed);
+  }
+  return m != 0;
+}
+
+void set_trace_enabled(bool on) {
+  // Resolve env first so the atexit exporter is registered exactly once
+  // even when a test toggles recording on and off.
+  trace_enabled();
+  g_trace_mode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint64_t trace_now_us() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t start_us,
+                 std::uint64_t dur_us) {
+  ThreadBuf& buf = thread_buf();
+  if (buf.spans.size() >= kMaxSpansPerThread) {
+    DIVA_TELEM_COUNT("trace.spans_dropped", 1);
+    return;
+  }
+  buf.spans.push_back(SpanEvent{name, start_us, dur_us});
+}
+
+}  // namespace detail
+
+std::size_t trace_span_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (const auto& buf : s.bufs) n += buf->spans.size();
+  return n;
+}
+
+void write_trace(std::ostream& os) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const long pid = static_cast<long>(::getpid());
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : s.bufs) {
+    for (const SpanEvent& ev : buf->spans) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"" << ev.name
+         << "\",\"cat\":\"diva\",\"ph\":\"X\",\"pid\":" << pid
+         << ",\"tid\":" << buf->tid << ",\"ts\":" << ev.start_us
+         << ",\"dur\":" << ev.dur_us << '}';
+    }
+  }
+  os << "]}";
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  write_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& buf : s.bufs) buf->spans.clear();
+}
+
+}  // namespace diva::telemetry

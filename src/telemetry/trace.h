@@ -1,0 +1,85 @@
+// Scoped trace spans with a chrome://tracing JSON exporter.
+//
+// Usage: drop DIVA_TRACE_SPAN("engine.shard"); at the top of a scope.
+// When tracing is enabled, the span records {name, thread, start,
+// duration} into a per-thread buffer (one mutex hit per *thread*
+// lifetime, not per span); when DIVA_TRACE=<path> is set, the process
+// writes all spans at exit as a chrome://tracing "traceEvents" JSON
+// (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is off unless DIVA_TRACE is set (or a test flips
+// set_trace_enabled) — a disabled span is two relaxed loads. With
+// DIVA_TELEMETRY_DISABLED builds spans compile to nothing.
+//
+// Forked serve workers inherit DIVA_TRACE but exit via _exit(), which
+// skips the atexit exporter — worker spans are intentionally dropped
+// (their *stats* travel over the pipe instead); the parent's file is
+// written once, by the parent.
+//
+// Span names must outlive the span (string literals or strings owned
+// by a longer-lived object): spans store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace diva::telemetry {
+
+/// True when span recording is active (DIVA_TRACE set and telemetry
+/// not disabled). Memoized from env on first call.
+bool trace_enabled();
+/// Test/tool hook: force recording on/off regardless of DIVA_TRACE.
+void set_trace_enabled(bool on);
+
+namespace detail {
+void record_span(const char* name, std::uint64_t start_us,
+                 std::uint64_t dur_us);
+std::uint64_t trace_now_us();
+void trace_on_fork_child();
+}  // namespace detail
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name),
+        active_(kTraceCompiledIn && trace_enabled()),
+        start_us_(active_ ? detail::trace_now_us() : 0) {}
+  ~TraceSpan() {
+    if (active_) {
+      detail::record_span(name_, start_us_, detail::trace_now_us() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+#ifdef DIVA_TELEMETRY_DISABLED
+  static constexpr bool kTraceCompiledIn = false;
+#else
+  static constexpr bool kTraceCompiledIn = true;
+#endif
+  const char* name_;
+  bool active_;
+  std::uint64_t start_us_;
+};
+
+/// Number of spans currently buffered (all threads, capped — see
+/// kMaxSpansPerThread in trace.cpp; overflow increments the
+/// "trace.spans_dropped" counter instead of growing without bound).
+std::size_t trace_span_count();
+
+/// Serializes buffered spans as chrome://tracing JSON.
+void write_trace(std::ostream& os);
+/// write_trace to a file; returns false on I/O failure.
+bool write_trace_file(const std::string& path);
+/// Drops all buffered spans.
+void clear_trace();
+
+#define DIVA_TELEM_CAT2(a, b) a##b
+#define DIVA_TELEM_CAT(a, b) DIVA_TELEM_CAT2(a, b)
+#define DIVA_TRACE_SPAN(name_expr) \
+  ::diva::telemetry::TraceSpan DIVA_TELEM_CAT(diva_trace_span_, \
+                                              __LINE__)(name_expr)
+
+}  // namespace diva::telemetry

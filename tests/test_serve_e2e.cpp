@@ -18,6 +18,7 @@
 #include "quant/qat.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "telemetry/telemetry.h"
 #include "tensor/tensor_ops.h"
 #include "test_helpers.h"
 
@@ -185,6 +186,58 @@ TEST_F(ServeE2eTest, KilledWorkerJobsAreRequeuedAndStayDeterministic) {
       EXPECT_TRUE(bit_identical(result.adv, reference))
           << "request " << id << " diverged after the worker kill";
     }
+  }
+  server.stop();
+}
+
+TEST_F(ServeE2eTest, StatsSurviveASigkilledWorker) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  const AttackRequest req = request(/*steps=*/8);
+
+  AttackServer server(pool_, config("stats", 2));
+  server.start();
+  {
+    AttackClient client(server.config().socket_path);
+    // Telemetry is process-global and earlier tests in this binary also
+    // serve requests, so everything is asserted as a delta from here.
+    const telemetry::Snapshot snap0 = client.stats();
+    const auto get = [](const telemetry::Snapshot& s, const char* name) {
+      const auto it = s.counters.find(name);
+      return it == s.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    const auto hist_count = [](const telemetry::Snapshot& s,
+                               const char* name) {
+      const auto it = s.histograms.find(name);
+      return it == s.histograms.end() ? std::uint64_t{0} : it->second.count;
+    };
+
+    // Warm batch: every worker has shipped at least one stats trailer.
+    for (int r = 0; r < 4; ++r) (void)client.wait(client.submit(req));
+    const telemetry::Snapshot snap1 =
+        telemetry::diff(client.stats(), snap0);
+    EXPECT_EQ(get(snap1, "serve.requests.completed"), 4u);
+    // Worker-side accounting made it over the pipe: the deployed
+    // artifact's query counter reflects forked-worker forwards.
+    EXPECT_GT(get(snap1, "quant.forward.rows"), 0u);
+    EXPECT_EQ(hist_count(snap1, "serve.request_us"), 4u);
+
+    // Kill one worker. Its already-shipped counters must survive the
+    // reap (folded into the retired bucket), and the restarted worker
+    // keeps accumulating.
+    const auto pids = server.worker_pids();
+    ASSERT_EQ(pids.size(), 2u);
+    ASSERT_EQ(kill(pids[0], SIGKILL), 0);
+    for (int r = 0; r < 4; ++r) (void)client.wait(client.submit(req));
+
+    const telemetry::Snapshot snap2 =
+        telemetry::diff(client.stats(), snap0);
+    EXPECT_EQ(get(snap2, "serve.requests.completed"), 8u);
+    EXPECT_GE(get(snap2, "serve.worker.restarts"), 1u);
+    // Merged totals are monotone across the kill: nothing the dead
+    // worker had already reported was lost.
+    EXPECT_GE(get(snap2, "quant.forward.rows"),
+              get(snap1, "quant.forward.rows"));
+    EXPECT_EQ(hist_count(snap2, "serve.request_us"), 8u);
   }
   server.stop();
 }

@@ -177,6 +177,48 @@ TEST(ServeProtocol, ErrorAndDoneRoundTrip) {
   EXPECT_TRUE(payload.empty());
 }
 
+TEST(ServeProtocol, StatsRequestHasNoPayload) {
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(split_frame(encode_stats_request(), &payload),
+            MsgType::kStatsRequest);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(ServeProtocol, StatsReplyRoundTripsBitExactly) {
+  telemetry::Snapshot snap;
+  snap.counters["kernels.igemm.macs.avx2"] = 0xFFFFFFFFFFFFFFFFull;
+  snap.counters["serve.requests.completed"] = 0;
+  snap.counters["attack.fd.spsa_probes"] = 12345678901234ull;
+  telemetry::HistogramData h;
+  h.buckets.assign(telemetry::kHistBuckets, 0);
+  h.buckets[0] = 3;
+  h.buckets[17] = 1;
+  h.buckets[telemetry::kHistBuckets - 1] = 9;
+  h.count = 13;
+  h.sum = 0xDEADBEEFCAFEull;
+  snap.histograms["serve.request_us"] = h;
+  telemetry::HistogramData never_hit;  // registered but never recorded
+  never_hit.buckets.assign(telemetry::kHistBuckets, 0);
+  snap.histograms["serve.batch.jobs"] = never_hit;
+
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(split_frame(encode_stats_reply(snap), &payload),
+            MsgType::kStatsReply);
+  const telemetry::Snapshot back = decode_stats_reply(payload);
+  // operator== compares counters and histogram contents field-wise;
+  // everything on the wire is integers, so equality is bit-exactness.
+  EXPECT_TRUE(back == snap);
+}
+
+TEST(ServeProtocol, StatsReplyRejectsCorruptPayload) {
+  telemetry::Snapshot snap;
+  snap.counters["a"] = 1;
+  std::vector<std::uint8_t> payload;
+  split_frame(encode_stats_reply(snap), &payload);
+  payload.resize(payload.size() - 1);
+  EXPECT_THROW(decode_stats_reply(payload), Error);
+}
+
 // ---------------------------------------------------------------------------
 // Frame error paths
 // ---------------------------------------------------------------------------

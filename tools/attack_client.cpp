@@ -2,7 +2,9 @@
 //
 // Generates a SynthDigits batch (the daemon's digit track), submits one
 // attack request, and prints the per-sample verdict table. With
-// --shutdown it instead asks the daemon to exit.
+// --shutdown it instead asks the daemon to exit; with --stats it prints
+// the daemon's merged telemetry snapshot (counters, then histogram
+// quantiles) and exits.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,6 +28,7 @@ struct Options {
   int steps = 20;
   std::uint64_t seed = 0;
   bool shutdown = false;
+  bool stats = false;
 };
 
 bool parse_args(int argc, char** argv, Options* opt) {
@@ -37,6 +40,8 @@ bool parse_args(int argc, char** argv, Options* opt) {
     const char* v = nullptr;
     if (arg == "--shutdown") {
       opt->shutdown = true;
+    } else if (arg == "--stats") {
+      opt->stats = true;
     } else if (!(v = value())) {
       return false;
     } else if (arg == "--socket") {
@@ -62,7 +67,7 @@ bool parse_args(int argc, char** argv, Options* opt) {
           stderr,
           "usage: %s [--socket PATH] [--attack KIND] [--original KIND]\n"
           "          [--adapted KIND] [--n N] [--epsilon E] [--alpha A]\n"
-          "          [--steps S] [--seed S] [--shutdown]\n",
+          "          [--steps S] [--seed S] [--shutdown] [--stats]\n",
           argv[0]);
       return false;
     }
@@ -81,6 +86,29 @@ int main(int argc, char** argv) {
     if (opt.shutdown) {
       client.request_server_shutdown();
       std::printf("attack_client: shutdown requested\n");
+      return 0;
+    }
+    if (opt.stats) {
+      const diva::telemetry::Snapshot snap = client.stats();
+      diva::banner("server telemetry");
+      diva::TablePrinter counters({"counter", "value"});
+      for (const auto& [name, v] : snap.counters) {
+        counters.add_row({name, std::to_string(v)});
+      }
+      counters.print();
+      diva::TablePrinter hists(
+          {"histogram", "count", "mean", "p50", "p90", "p99"});
+      char buf[64];
+      auto fmt = [&](double d) {
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+        return std::string(buf);
+      };
+      for (const auto& [name, h] : snap.histograms) {
+        hists.add_row({name, std::to_string(h.count), fmt(h.mean()),
+                       fmt(h.quantile(0.5)), fmt(h.quantile(0.9)),
+                       fmt(h.quantile(0.99))});
+      }
+      hists.print();
       return 0;
     }
 

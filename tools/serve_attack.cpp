@@ -6,20 +6,27 @@
 //
 // Quickstart:
 //   ./tools/serve_attack --socket /tmp/diva.sock --track digit --workers 2 &
-//   ./tools/attack_client --socket /tmp/diva.sock --attack diva \
+//   ./tools/attack_client --socket /tmp/diva.sock --attack diva
 //       --original float --adapted int8-ste --n 16
 //
 // Every flag has a DIVA_SERVE_* environment twin (flag wins):
 //   DIVA_SERVE_SOCKET, DIVA_SERVE_TRACK, DIVA_SERVE_WORKERS,
 //   DIVA_SERVE_WORKER_THREADS, DIVA_SERVE_SHARD, DIVA_SERVE_MAX_JOBS,
-//   DIVA_SERVE_WINDOW_US, DIVA_SERVE_PIN.
+//   DIVA_SERVE_WINDOW_US, DIVA_SERVE_PIN, DIVA_SERVE_STATS_SEC.
+//
+// With --stats-sec N (or DIVA_SERVE_STATS_SEC=N) the daemon logs a
+// one-line merged-telemetry summary every N seconds; 0 disables.
 #include <signal.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/zoo.h"
 #include "runtime/env.h"
@@ -42,6 +49,7 @@ struct Options {
   std::int64_t max_jobs = env_int("DIVA_SERVE_MAX_JOBS", 8);
   std::int64_t window_us = env_int("DIVA_SERVE_WINDOW_US", 2000);
   bool pin = env_flag("DIVA_SERVE_PIN", false);
+  std::int64_t stats_sec = env_int("DIVA_SERVE_STATS_SEC", 0);
 };
 
 void usage(const char* argv0) {
@@ -49,7 +57,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--socket PATH] [--track digit|resnet] [--workers N]\n"
       "          [--worker-threads N] [--shard-size N] [--max-batch-jobs N]\n"
-      "          [--window-us N] [--pin]\n",
+      "          [--window-us N] [--pin] [--stats-sec N]\n",
       argv0);
 }
 
@@ -89,6 +97,10 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->window_us = std::atoll(v);
     } else if (arg == "--pin") {
       opt->pin = true;
+    } else if (arg == "--stats-sec") {
+      const char* v = value();
+      if (!v) return false;
+      opt->stats_sec = std::atoll(v);
     } else {
       usage(argv[0]);
       return false;
@@ -152,9 +164,58 @@ int main(int argc, char** argv) {
                 static_cast<long long>(opt.window_us));
     std::fflush(stdout);
 
+    // Periodic stats line: merged parent+worker snapshot, the handful
+    // of fields an operator watches first. Timed CV wait so shutdown
+    // never blocks on the logging interval.
+    std::mutex stats_mu;
+    std::condition_variable stats_cv;
+    bool stats_stop = false;
+    std::thread stats_thread;
+    if (opt.stats_sec > 0) {
+      stats_thread = std::thread([&] {
+        std::unique_lock<std::mutex> lock(stats_mu);
+        while (!stats_cv.wait_for(lock, std::chrono::seconds(opt.stats_sec),
+                                  [&] { return stats_stop; })) {
+          const auto snap = server.stats_snapshot();
+          auto count = [&](const char* name) -> std::uint64_t {
+            const auto it = snap.counters.find(name);
+            return it == snap.counters.end() ? 0 : it->second;
+          };
+          const auto lat = snap.histograms.find("serve.request_us");
+          const auto batch = snap.histograms.find("serve.batch.jobs");
+          std::printf(
+              "serve_attack: stats reqs=%llu done=%llu failed=%llu "
+              "queries=%llu restarts=%llu p50=%.1fms p99=%.1fms "
+              "batch=%.2f\n",
+              static_cast<unsigned long long>(count("serve.requests.accepted")),
+              static_cast<unsigned long long>(
+                  count("serve.requests.completed")),
+              static_cast<unsigned long long>(count("serve.requests.failed")),
+              static_cast<unsigned long long>(count("quant.forward.rows")),
+              static_cast<unsigned long long>(count("serve.worker.restarts")),
+              lat == snap.histograms.end()
+                  ? 0.0
+                  : lat->second.quantile(0.5) / 1000.0,
+              lat == snap.histograms.end()
+                  ? 0.0
+                  : lat->second.quantile(0.99) / 1000.0,
+              batch == snap.histograms.end() ? 0.0 : batch->second.mean());
+          std::fflush(stdout);
+        }
+      });
+    }
+
     int sig = 0;
     sigwait(&sigs, &sig);
     std::printf("serve_attack: %s — shutting down\n", strsignal(sig));
+    if (stats_thread.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        stats_stop = true;
+      }
+      stats_cv.notify_all();
+      stats_thread.join();
+    }
     server.stop();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_attack: %s\n", e.what());
