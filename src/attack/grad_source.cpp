@@ -1,8 +1,11 @@
 #include "attack/grad_source.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
+#include "attack/probe_compression.h"
+#include "runtime/env.h"
 #include "telemetry/telemetry.h"
 
 namespace diva {
@@ -85,11 +88,27 @@ void QuantSteGradSource::restore() {
 // QuantFdGradSource
 // ---------------------------------------------------------------------------
 
+FdConfig fd_config_from_env(FdConfig base) {
+  base.h = static_cast<float>(env_double("DIVA_FD_H", base.h));
+  base.samples = static_cast<int>(env_int("DIVA_FD_SAMPLES", base.samples));
+  base.subspace_dim =
+      static_cast<int>(env_int("DIVA_FD_SUBSPACE", base.subspace_dim));
+  base.sparsity =
+      static_cast<float>(env_double("DIVA_FD_SPARSITY", base.sparsity));
+  base.batch_probes = env_flag("DIVA_FD_BATCH", base.batch_probes);
+  base.max_probe_rows = env_int("DIVA_FD_PROBE_ROWS", base.max_probe_rows);
+  return base;
+}
+
 QuantFdGradSource::QuantFdGradSource(const QuantizedModel& model,
                                      FdConfig cfg, std::string label)
-    : model_(model), cfg_(cfg), label_(std::move(label)) {
-  DIVA_CHECK(cfg.h > 0.0f, "finite-difference step must be positive");
-  DIVA_CHECK(cfg.samples >= 1, "need at least one SPSA probe pair");
+    : model_(model), cfg_(std::move(cfg)), label_(std::move(label)) {
+  DIVA_CHECK(cfg_.h > 0.0f, "finite-difference step must be positive");
+  DIVA_CHECK(cfg_.samples >= 1, "need at least one SPSA probe pair");
+  DIVA_CHECK(cfg_.sparsity > 0.0f && cfg_.sparsity <= 1.0f,
+             "probe sparsity must be in (0, 1]");
+  DIVA_CHECK(!cfg_.batch_probes || cfg_.max_probe_rows >= 2,
+             "batched probing needs max_probe_rows >= 2");
 }
 
 Tensor QuantFdGradSource::logits(const Tensor& x) { return model_.forward(x); }
@@ -141,51 +160,230 @@ Tensor QuantFdGradSource::coordinate_grad(const Tensor& x,
   return grad;
 }
 
+std::shared_ptr<const ProbeSubspace> QuantFdGradSource::ensure_subspace(
+    std::int64_t per) const {
+  if (cfg_.subspace) {
+    DIVA_CHECK(cfg_.subspace->image_dim() == per,
+               "probe subspace image_dim " << cfg_.subspace->image_dim()
+                                           << " != input dim " << per);
+    return cfg_.subspace;
+  }
+  if (cfg_.subspace_dim <= 0) return nullptr;
+  std::lock_guard<std::mutex> lock(sub_mu_);
+  if (!sub_) {
+    const std::int64_t k =
+        std::min<std::int64_t>(cfg_.subspace_dim, per);
+    sub_ = make_random_subspace(per, k, hash_combine(cfg_.seed, 0xD1CEULL));
+  }
+  DIVA_CHECK(sub_->image_dim() == per,
+             "probe subspace image_dim " << sub_->image_dim()
+                                         << " != input dim " << per);
+  return sub_;
+}
+
+// Probe-compression SPSA (ROADMAP item 3). One unified pipeline covers
+// the dense legacy estimator and the three compression levers:
+//
+//   subspace  — directions are drawn in a k-dim coefficient space and
+//               lifted through the orthonormal basis B [k, D]. The
+//               lifted direction is rescaled to unit L-inf (divide by
+//               its max-abs m) so every probe clears the int8
+//               requantization staircase exactly like a dense ±1 probe;
+//               the estimator compensates by multiplying diffs by m.
+//   sparsity  — each probe touches only nnz random coordinates with ±1
+//               signs (antithetic pair shares the support). Per-
+//               coordinate touch counts normalize the accumulator.
+//   batching  — probe rows are packed across samples and pairs into
+//               forwards of up to max_probe_rows rows. The batched int8
+//               forward is bit-exact per row regardless of batch
+//               composition, and probe draws come from per-sample
+//               streams consumed in pair order, so batched == unbatched
+//               bit-for-bit.
+//
+// With every lever off the pipeline reproduces the pre-compression
+// estimator bit-for-bit: same bernoulli stream, same probe values, same
+// per-pair float accumulation order.
 Tensor QuantFdGradSource::spsa_grad(const Tensor& x,
                                     const GradRequest& req) const {
   const std::int64_t n = x.dim(0);
   const std::int64_t per = x.numel() / n;
   const std::int64_t k = cfg_.samples;
-  Tensor grad(x.shape());
-  std::vector<float> deltas(static_cast<std::size_t>(k * per));
 
+  const std::shared_ptr<const ProbeSubspace> sub = ensure_subspace(per);
+  const std::int64_t dof = sub ? sub->dim() : per;
+  std::int64_t nnz = dof;
+  if (cfg_.sparsity < 1.0f) {
+    nnz = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::lround(static_cast<double>(cfg_.sparsity) *
+                        static_cast<double>(dof))),
+        1, dof);
+  }
+  const bool dense_legacy = !sub && nnz == dof;
+
+  // One probe-direction stream per (sample, step), consumed in pair
+  // order within each sample: sharding the batch, replaying a step, or
+  // changing the batching geometry reproduces the same directions.
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(n));
   for (std::int64_t s = 0; s < n; ++s) {
-    // One probe-direction stream per (sample, step): sharding the batch
-    // or replaying a step reproduces the exact same directions.
-    Rng rng(hash_combine(
+    rngs.emplace_back(hash_combine(
         hash_combine(cfg_.seed,
                      static_cast<std::uint64_t>(req.first_sample + s)),
         static_cast<std::uint64_t>(req.step)));
-    const float* base = x.raw() + s * per;
+  }
 
-    Tensor probes(Shape{2 * k, x.dim(1), x.dim(2), x.dim(3)});
+  // Wave capacity in probe rows (2 per antithetic pair). Unbatched runs
+  // one sample's 2k rows per forward — the legacy shape; batching packs
+  // pairs across samples up to max_probe_rows rows per forward.
+  std::int64_t rows_cap = 2 * k;
+  if (cfg_.batch_probes) {
+    rows_cap = std::max<std::int64_t>(2, cfg_.max_probe_rows);
+    rows_cap -= rows_cap % 2;
+  }
+  const std::int64_t pairs_cap = rows_cap / 2;
+
+  Tensor grad(x.shape());
+  // Touch-count accumulators for the sparse / subspace estimators.
+  std::vector<float> sum;
+  std::vector<std::int32_t> touch;
+  if (!dense_legacy) {
+    sum.assign(static_cast<std::size_t>(n * dof), 0.0f);
+    touch.assign(static_cast<std::size_t>(n * dof), 0);
+  }
+  std::vector<float> lift(sub ? static_cast<std::size_t>(per) : 0);
+
+  struct PendingPair {
+    std::int64_t sample = 0;
+    SparseProbe dir;   // support over `dof` coordinates
+    float m = 1.0f;    // L-inf norm of the lifted direction (subspace)
+  };
+  std::vector<PendingPair> wave;
+  wave.reserve(static_cast<std::size_t>(pairs_cap));
+
+  const std::int64_t total_pairs = n * k;
+  for (std::int64_t done = 0; done < total_pairs;) {
+    const std::int64_t batch_pairs =
+        std::min(pairs_cap, total_pairs - done);
+    wave.clear();
+    Tensor probes(Shape{2 * batch_pairs, x.dim(1), x.dim(2), x.dim(3)});
     float* pr = probes.raw();
-    for (std::int64_t j = 0; j < k; ++j) {
-      float* delta = deltas.data() + j * per;
-      float* plus = pr + (2 * j) * per;
-      float* minus = pr + (2 * j + 1) * per;
-      for (std::int64_t i = 0; i < per; ++i) {
-        delta[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
-        plus[i] = base[i] + cfg_.h * delta[i];
-        minus[i] = base[i] - cfg_.h * delta[i];
+    std::vector<std::int64_t> rows(static_cast<std::size_t>(2 * batch_pairs));
+
+    for (std::int64_t p = 0; p < batch_pairs; ++p) {
+      const std::int64_t s = (done + p) / k;  // pairs are sample-major
+      PendingPair pend;
+      pend.sample = s;
+      pend.dir = sample_sparse_probe(rngs[static_cast<std::size_t>(s)], dof,
+                                     nnz);
+      const float* base = x.raw() + s * per;
+      float* plus = pr + (2 * p) * per;
+      float* minus = pr + (2 * p + 1) * per;
+      if (sub) {
+        std::fill(lift.begin(), lift.end(), 0.0f);
+        for (std::size_t t = 0; t < pend.dir.index.size(); ++t) {
+          const float sgn = pend.dir.sign(t);
+          const float* brow =
+              sub->basis().raw() +
+              static_cast<std::int64_t>(pend.dir.index[t]) * per;
+          for (std::int64_t i = 0; i < per; ++i) {
+            lift[static_cast<std::size_t>(i)] += sgn * brow[i];
+          }
+        }
+        float m = 0.0f;
+        for (std::int64_t i = 0; i < per; ++i) {
+          m = std::max(m, std::fabs(lift[static_cast<std::size_t>(i)]));
+        }
+        if (!(m > 0.0f)) m = 1.0f;
+        pend.m = m;
+        const float step = cfg_.h / m;
+        for (std::int64_t i = 0; i < per; ++i) {
+          const float d = step * lift[static_cast<std::size_t>(i)];
+          plus[i] = base[i] + d;
+          minus[i] = base[i] - d;
+        }
+      } else if (dense_legacy) {
+        for (std::int64_t i = 0; i < per; ++i) {
+          const float d = pend.dir.sign(static_cast<std::size_t>(i));
+          plus[i] = base[i] + cfg_.h * d;
+          minus[i] = base[i] - cfg_.h * d;
+        }
+      } else {
+        std::memcpy(plus, base, sizeof(float) * static_cast<std::size_t>(per));
+        std::memcpy(minus, base,
+                    sizeof(float) * static_cast<std::size_t>(per));
+        for (std::size_t t = 0; t < pend.dir.index.size(); ++t) {
+          const std::int64_t i = pend.dir.index[t];
+          const float d = cfg_.h * pend.dir.sign(t);
+          plus[i] += d;
+          minus[i] -= d;
+        }
       }
+      rows[static_cast<std::size_t>(2 * p)] = s;
+      rows[static_cast<std::size_t>(2 * p + 1)] = s;
+      wave.push_back(std::move(pend));
     }
-    // 2k probe rows per (sample, step): the SPSA query budget the
-    // acceptance test pins as n * steps * 2 * samples.
+
+    // Deployed-query accounting: spsa_probes is the total probe-row
+    // budget the acceptance tests pin as n * steps * 2 * samples
+    // regardless of levers; probe_forwards shows the batching
+    // compression; probe_dof is the touched degrees of freedom.
     DIVA_TELEM_COUNT("attack.fd.spsa_probes",
-                     static_cast<std::uint64_t>(2 * k));
+                     static_cast<std::uint64_t>(2 * batch_pairs));
+    DIVA_TELEM_COUNT("attack.fd.probe_forwards", 1);
+    DIVA_TELEM_COUNT("attack.fd.probe_dof",
+                     static_cast<std::uint64_t>(2 * batch_pairs * nnz));
     const Tensor probe_logits = model_.forward(probes);
-    const std::vector<std::int64_t> rows(static_cast<std::size_t>(2 * k), s);
     const std::vector<float> v = req.values(probe_logits, rows);
 
-    float* g = grad.raw() + s * per;
-    const float scale = 1.0f / (2.0f * cfg_.h * static_cast<float>(k));
-    for (std::int64_t j = 0; j < k; ++j) {
-      const float diff = v[static_cast<std::size_t>(2 * j)] -
-                         v[static_cast<std::size_t>(2 * j + 1)];
-      const float* delta = deltas.data() + j * per;
-      for (std::int64_t i = 0; i < per; ++i) {
-        g[i] += diff * scale * delta[i];
+    for (std::int64_t p = 0; p < batch_pairs; ++p) {
+      const float diff = v[static_cast<std::size_t>(2 * p)] -
+                         v[static_cast<std::size_t>(2 * p + 1)];
+      const PendingPair& pend = wave[static_cast<std::size_t>(p)];
+      if (dense_legacy) {
+        float* g = grad.raw() + pend.sample * per;
+        const float scale = 1.0f / (2.0f * cfg_.h * static_cast<float>(k));
+        for (std::int64_t i = 0; i < per; ++i) {
+          g[i] += diff * scale * pend.dir.sign(static_cast<std::size_t>(i));
+        }
+      } else {
+        // Central difference along the probe direction estimates the
+        // directional derivative; m rescales the unit-L-inf lift back
+        // to the unit-coefficient direction.
+        float* gs = sum.data() + pend.sample * dof;
+        std::int32_t* tc = touch.data() + pend.sample * dof;
+        const float w = diff * pend.m;
+        for (std::size_t t = 0; t < pend.dir.index.size(); ++t) {
+          const std::int64_t c = pend.dir.index[t];
+          gs[c] += w * pend.dir.sign(t);
+          tc[c] += 1;
+        }
+      }
+    }
+    done += batch_pairs;
+  }
+
+  if (!dense_legacy) {
+    const float denom = 2.0f * cfg_.h;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* gs = sum.data() + s * dof;
+      const std::int32_t* tc = touch.data() + s * dof;
+      float* g = grad.raw() + s * per;
+      if (sub) {
+        // Finalize coefficients, then lift the estimate to image space.
+        for (std::int64_t c = 0; c < dof; ++c) {
+          if (tc[c] == 0) continue;
+          const float coef = gs[c] / (denom * static_cast<float>(tc[c]));
+          if (coef == 0.0f) continue;
+          const float* brow = sub->basis().raw() + c * per;
+          for (std::int64_t i = 0; i < per; ++i) g[i] += coef * brow[i];
+        }
+      } else {
+        for (std::int64_t i = 0; i < per; ++i) {
+          g[i] = tc[i] > 0
+                     ? gs[i] / (denom * static_cast<float>(tc[i]))
+                     : 0.0f;
+        }
       }
     }
   }

@@ -145,6 +145,8 @@ class QuantSteGradSource : public GradSource {
   int prepared_ = 0;
 };
 
+class ProbeSubspace;  // attack/probe_compression.h
+
 /// Derivative-free probing configuration for QuantFdGradSource.
 struct FdConfig {
   /// Probe half-step. Must clear the requantization staircase: one input
@@ -161,7 +163,32 @@ struct FdConfig {
   bool coordinate = false;
   /// Base seed of the probe-direction streams (split per sample/step).
   std::uint64_t seed = 0x5B5AULL;
+
+  // Probe-compression levers (ROADMAP item 3). All default off, which
+  // reproduces the pre-compression dense estimator bit-for-bit.
+
+  /// Estimate the gradient in a k-dimensional perturbation subspace
+  /// instead of full image space; 0 disables. Without an explicit
+  /// `subspace`, a random orthonormal basis is derived from `seed`.
+  int subspace_dim = 0;
+  /// Explicit basis override (e.g. a PCA basis fit from real images via
+  /// make_pca_subspace). Takes precedence over subspace_dim.
+  std::shared_ptr<const ProbeSubspace> subspace = nullptr;
+  /// Fraction of the probed degrees of freedom each probe touches
+  /// (sign-sparse directions, antithetically paired). 1.0 = dense.
+  float sparsity = 1.0f;
+  /// Schedule probe rows across samples AND probe pairs into large
+  /// batched int8 forwards instead of one 2*samples forward per sample.
+  bool batch_probes = false;
+  /// Row cap per batched probe forward (even; >= 2). Only read when
+  /// batch_probes is set.
+  std::int64_t max_probe_rows = 1024;
 };
+
+/// Applies the DIVA_FD_* environment overrides on top of `base`:
+/// DIVA_FD_H, DIVA_FD_SAMPLES, DIVA_FD_SUBSPACE, DIVA_FD_SPARSITY,
+/// DIVA_FD_BATCH, DIVA_FD_PROBE_ROWS.
+FdConfig fd_config_from_env(FdConfig base = {});
 
 /// Derivative-free adapter: estimates the gradient of the scalar
 /// objective term through the integer-only model, with no float twin at
@@ -182,10 +209,17 @@ class QuantFdGradSource : public GradSource {
  private:
   Tensor coordinate_grad(const Tensor& x, const GradRequest& req) const;
   Tensor spsa_grad(const Tensor& x, const GradRequest& req) const;
+  /// Resolves the active probe subspace for image dimension `per`:
+  /// the explicit cfg_.subspace if set, else a lazily built (and
+  /// cached) random basis when subspace_dim > 0, else null.
+  std::shared_ptr<const ProbeSubspace> ensure_subspace(
+      std::int64_t per) const;
 
   const QuantizedModel& model_;
   FdConfig cfg_;
   std::string label_;
+  mutable std::mutex sub_mu_;
+  mutable std::shared_ptr<const ProbeSubspace> sub_;
 };
 
 }  // namespace diva

@@ -1,0 +1,180 @@
+#include "attack/probe_compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "metrics/pca.h"
+#include "runtime/check.h"
+
+namespace diva {
+
+// ---------------------------------------------------------------------------
+// ProbeSubspace
+// ---------------------------------------------------------------------------
+
+ProbeSubspace::ProbeSubspace(Tensor basis, std::string kind)
+    : basis_(std::move(basis)), kind_(std::move(kind)) {
+  DIVA_CHECK(basis_.rank() == 2, "ProbeSubspace basis must be [k, D]");
+  DIVA_CHECK(basis_.dim(0) >= 1 && basis_.dim(0) <= basis_.dim(1),
+             "ProbeSubspace needs 1 <= k <= D, got [" << basis_.dim(0) << ", "
+                                                      << basis_.dim(1) << "]");
+}
+
+std::vector<float> ProbeSubspace::lift(const std::vector<float>& coeffs) const {
+  const std::int64_t k = dim(), d = image_dim();
+  DIVA_CHECK(static_cast<std::int64_t>(coeffs.size()) == k,
+             "lift expects " << k << " coefficients, got " << coeffs.size());
+  std::vector<float> out(static_cast<std::size_t>(d), 0.0f);
+  for (std::int64_t c = 0; c < k; ++c) {
+    const float cc = coeffs[static_cast<std::size_t>(c)];
+    if (cc == 0.0f) continue;
+    const float* row = basis_.raw() + c * d;
+    for (std::int64_t j = 0; j < d; ++j) {
+      out[static_cast<std::size_t>(j)] += cc * row[j];
+    }
+  }
+  return out;
+}
+
+std::vector<float> ProbeSubspace::project(const float* image) const {
+  const std::int64_t k = dim(), d = image_dim();
+  std::vector<float> out(static_cast<std::size_t>(k));
+  for (std::int64_t c = 0; c < k; ++c) {
+    const float* row = basis_.raw() + c * d;
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      acc += static_cast<double>(row[j]) * static_cast<double>(image[j]);
+    }
+    out[static_cast<std::size_t>(c)] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+std::shared_ptr<const ProbeSubspace> make_random_subspace(
+    std::int64_t image_dim, std::int64_t k, std::uint64_t seed) {
+  DIVA_CHECK(k >= 1 && k <= image_dim,
+             "random subspace needs 1 <= k <= D, got k=" << k
+                                                         << " D=" << image_dim);
+  Rng rng(seed);
+  // Gaussian rows, orthonormalized by modified Gram-Schmidt in double.
+  std::vector<std::vector<double>> rows(static_cast<std::size_t>(k));
+  for (std::int64_t r = 0; r < k; ++r) {
+    auto& row = rows[static_cast<std::size_t>(r)];
+    row.resize(static_cast<std::size_t>(image_dim));
+    for (;;) {
+      for (auto& v : row) v = static_cast<double>(rng.normal());
+      for (std::int64_t p = 0; p < r; ++p) {
+        const auto& prev = rows[static_cast<std::size_t>(p)];
+        double proj = 0.0;
+        for (std::int64_t j = 0; j < image_dim; ++j) {
+          proj += row[static_cast<std::size_t>(j)] *
+                  prev[static_cast<std::size_t>(j)];
+        }
+        for (std::int64_t j = 0; j < image_dim; ++j) {
+          row[static_cast<std::size_t>(j)] -=
+              proj * prev[static_cast<std::size_t>(j)];
+        }
+      }
+      double norm2 = 0.0;
+      for (const double v : row) norm2 += v * v;
+      if (norm2 > 1e-12) {  // a.s. true for Gaussian draws; redraw otherwise
+        const double inv = 1.0 / std::sqrt(norm2);
+        for (auto& v : row) v *= inv;
+        break;
+      }
+    }
+  }
+  Tensor basis(Shape{k, image_dim});
+  for (std::int64_t r = 0; r < k; ++r) {
+    for (std::int64_t j = 0; j < image_dim; ++j) {
+      basis.at(r, j) =
+          static_cast<float>(rows[static_cast<std::size_t>(r)]
+                                 [static_cast<std::size_t>(j)]);
+    }
+  }
+  return std::make_shared<ProbeSubspace>(std::move(basis), "rand");
+}
+
+std::shared_ptr<const ProbeSubspace> make_pca_subspace(const Tensor& images,
+                                                       int k) {
+  DIVA_CHECK(images.rank() >= 2, "make_pca_subspace needs [N, ...] images");
+  const std::int64_t n = images.dim(0);
+  DIVA_CHECK(n >= 2, "make_pca_subspace needs at least two images");
+  const std::int64_t d = images.numel() / n;
+  const std::int64_t kk =
+      std::min<std::int64_t>(k, std::min<std::int64_t>(n - 1, d));
+  DIVA_CHECK(kk >= 1, "make_pca_subspace k out of range");
+  Tensor flat(Shape{n, d});
+  std::memcpy(flat.raw(), images.raw(),
+              sizeof(float) * static_cast<std::size_t>(images.numel()));
+  // Snapshot/Gram eigensolve when observations are the small side:
+  // pixel-space D (e.g. 784) would make the direct D x D Jacobi
+  // intractable, and rank caps the useful k at n - 1 anyway.
+  PcaResult pca = (n - 1 < d) ? pca_fit_gram(flat, static_cast<int>(kk))
+                              : pca_fit(flat, static_cast<int>(kk));
+  return std::make_shared<ProbeSubspace>(std::move(pca.components), "pca");
+}
+
+// ---------------------------------------------------------------------------
+// SparseProbe
+// ---------------------------------------------------------------------------
+
+SparseProbe sample_sparse_probe(Rng& rng, std::int64_t dim, std::int64_t nnz) {
+  DIVA_CHECK(dim >= 1 && nnz >= 1 && nnz <= dim,
+             "sample_sparse_probe needs 1 <= nnz <= dim, got nnz="
+                 << nnz << " dim=" << dim);
+  SparseProbe sp;
+  sp.dim = dim;
+  if (nnz >= dim) {
+    // Dense probe: identity support, one bernoulli per coordinate in
+    // ascending order — the exact stream the legacy dense SPSA drew.
+    sp.index.resize(static_cast<std::size_t>(dim));
+    std::iota(sp.index.begin(), sp.index.end(), 0);
+  } else {
+    std::vector<std::uint8_t> taken(static_cast<std::size_t>(dim), 0);
+    sp.index.reserve(static_cast<std::size_t>(nnz));
+    while (static_cast<std::int64_t>(sp.index.size()) < nnz) {
+      const auto idx = static_cast<std::int32_t>(
+          rng.randint(static_cast<std::uint64_t>(dim)));
+      if (!taken[static_cast<std::size_t>(idx)]) {
+        taken[static_cast<std::size_t>(idx)] = 1;
+        sp.index.push_back(idx);
+      }
+    }
+    std::sort(sp.index.begin(), sp.index.end());
+  }
+  sp.signbits.assign((sp.index.size() + 7) / 8, 0);
+  for (std::size_t t = 0; t < sp.index.size(); ++t) {
+    if (rng.bernoulli(0.5)) {
+      sp.signbits[t >> 3] |= static_cast<std::uint8_t>(1u << (t & 7));
+    }
+  }
+  return sp;
+}
+
+SparseProbe encode_sparse_probe(const float* dense, std::int64_t dim) {
+  SparseProbe sp;
+  sp.dim = dim;
+  for (std::int64_t i = 0; i < dim; ++i) {
+    if (dense[i] != 0.0f) sp.index.push_back(static_cast<std::int32_t>(i));
+  }
+  sp.signbits.assign((sp.index.size() + 7) / 8, 0);
+  for (std::size_t t = 0; t < sp.index.size(); ++t) {
+    if (dense[sp.index[t]] > 0.0f) {
+      sp.signbits[t >> 3] |= static_cast<std::uint8_t>(1u << (t & 7));
+    }
+  }
+  return sp;
+}
+
+std::vector<float> decode_sparse_probe(const SparseProbe& probe) {
+  std::vector<float> out(static_cast<std::size_t>(probe.dim), 0.0f);
+  for (std::size_t t = 0; t < probe.index.size(); ++t) {
+    out[static_cast<std::size_t>(probe.index[t])] = probe.sign(t);
+  }
+  return out;
+}
+
+}  // namespace diva

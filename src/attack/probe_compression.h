@@ -1,0 +1,100 @@
+// Probe compression for derivative-free (SPSA) attacks on the int8
+// artifact.
+//
+// SPSA cost against the deployed model is probes × forwards: every PGD
+// step spends 2·samples probe rows per image, each a full-dimension
+// perturbation. This module supplies the three levers that compress
+// that budget (ROADMAP item 3):
+//
+//   ProbeSubspace      — a k-dimensional perturbation basis (PCA-fit
+//                        from real images, or a random orthonormal
+//                        projection). Probe directions are drawn in
+//                        coefficient space and lifted to image space,
+//                        so estimator cost scales with k instead of D.
+//   SparseProbe        — a sign-sparse probe direction (GeoMX bisparse
+//                        idiom): a random coordinate subset with ±1
+//                        signs bit-packed, paired antithetically.
+//   encode/decode      — dense ±1/0 vector <-> SparseProbe round-trip,
+//                        the compressed wire form of a probe.
+//
+// Everything here is deterministic: subspaces are a pure function of
+// (seed) or the fitting data, and sparse probes are a pure function of
+// the caller's Rng stream. When nnz == dim, sample_sparse_probe draws
+// exactly one bernoulli per coordinate in ascending order — the same
+// stream the pre-compression dense SPSA estimator consumed, so the
+// default configuration reproduces historical probe directions
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/rng.h"
+#include "tensor/tensor.h"
+
+namespace diva {
+
+/// A k-dimensional perturbation subspace with orthonormal basis rows.
+/// basis() is [k, D]: row c is the image-space direction of coefficient
+/// axis c. lift/project are exact adjoints up to float rounding.
+class ProbeSubspace {
+ public:
+  ProbeSubspace(Tensor basis, std::string kind);
+
+  std::int64_t dim() const { return basis_.dim(0); }
+  std::int64_t image_dim() const { return basis_.dim(1); }
+  const Tensor& basis() const { return basis_; }
+  /// "pca" or "rand" — recorded in labels and bench JSON.
+  const std::string& kind() const { return kind_; }
+
+  /// Coefficients [k] -> image-space direction [D]: sum_c c_c * row_c.
+  std::vector<float> lift(const std::vector<float>& coeffs) const;
+  /// Image vector [D] -> coefficients [k]: row_c · image.
+  std::vector<float> project(const float* image) const;
+
+ private:
+  Tensor basis_;
+  std::string kind_;
+};
+
+/// Random orthonormal subspace: k Gaussian rows in double precision,
+/// modified Gram-Schmidt, cast to float. Deterministic in (seed).
+std::shared_ptr<const ProbeSubspace> make_random_subspace(
+    std::int64_t image_dim, std::int64_t k, std::uint64_t seed);
+
+/// PCA subspace fit from a batch of images ([N, D] or NCHW, flattened
+/// per sample). Uses the Gram/snapshot eigensolve when N - 1 < D so
+/// pixel-space bases stay tractable; k is clamped to min(N - 1, D).
+std::shared_ptr<const ProbeSubspace> make_pca_subspace(const Tensor& images,
+                                                       int k);
+
+/// A sign-sparse probe direction over `dim` coordinates: `index` is the
+/// ascending support, bit t of `signbits` gives the sign of support
+/// entry t (1 -> +1, 0 -> -1). Untouched coordinates are zero.
+struct SparseProbe {
+  std::int64_t dim = 0;
+  std::vector<std::int32_t> index;
+  std::vector<std::uint8_t> signbits;
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(index.size()); }
+  /// Sign of support entry t (NOT coordinate t unless the probe is dense).
+  float sign(std::size_t t) const {
+    return (signbits[t >> 3] >> (t & 7)) & 1 ? 1.0f : -1.0f;
+  }
+};
+
+/// Draws a probe with `nnz` distinct random coordinates and random ±1
+/// signs from `rng`. When nnz == dim the support is the identity and
+/// exactly one bernoulli is drawn per coordinate in ascending order
+/// (the legacy dense SPSA stream).
+SparseProbe sample_sparse_probe(Rng& rng, std::int64_t dim, std::int64_t nnz);
+
+/// Dense ±1/0 vector -> SparseProbe (support = nonzeros, sign of value).
+SparseProbe encode_sparse_probe(const float* dense, std::int64_t dim);
+
+/// SparseProbe -> dense ±1/0 vector of length dim.
+std::vector<float> decode_sparse_probe(const SparseProbe& probe);
+
+}  // namespace diva

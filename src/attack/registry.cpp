@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "attack/probe_compression.h"
+
 namespace diva {
 
 namespace {
@@ -114,8 +116,25 @@ std::shared_ptr<GradSource> source(const QuantizedModel& model, Module& shadow,
   return std::make_shared<QuantSteGradSource>(model, shadow, std::move(label));
 }
 
+std::string fd_label(const FdConfig& cfg) {
+  if (cfg.coordinate) return "int8+fd+coord";
+  std::string label = "int8+fd";
+  if (cfg.subspace) {
+    label += "+" + cfg.subspace->kind() + std::to_string(cfg.subspace->dim());
+  } else if (cfg.subspace_dim > 0) {
+    label += "+sub" + std::to_string(cfg.subspace_dim);
+  }
+  if (cfg.sparsity < 1.0f) {
+    label +=
+        "+sp" + std::to_string(static_cast<int>(cfg.sparsity * 100.0f + 0.5f));
+  }
+  if (cfg.batch_probes) label += "+batch";
+  return label;
+}
+
 std::shared_ptr<GradSource> fd_source(const QuantizedModel& model,
                                       FdConfig cfg, std::string label) {
+  if (label == "int8+fd") label = fd_label(cfg);
   return std::make_shared<QuantFdGradSource>(model, cfg, std::move(label));
 }
 

@@ -54,8 +54,16 @@ std::shared_ptr<GradSource> source(Module& module, std::string label = "");
 std::shared_ptr<GradSource> source(const QuantizedModel& model, Module& shadow,
                                    std::string label = "int8+ste");
 
+/// Canonical display label for a derivative-free source: "int8+fd" plus
+/// one suffix per active probe-compression lever, e.g.
+/// "int8+fd+sub16+sp25+batch". Scenario cells and bench JSON use this
+/// so lever configurations are tellable apart in recorded results.
+std::string fd_label(const FdConfig& cfg);
+
 /// Builds a derivative-free source for the int8 artifact alone (SPSA by
-/// default; see FdConfig for the exact coordinate-wise estimator).
+/// default; see FdConfig for the exact coordinate-wise estimator). When
+/// `label` is left at its default, the lever-annotated fd_label(cfg) is
+/// used instead.
 std::shared_ptr<GradSource> fd_source(const QuantizedModel& model,
                                       FdConfig cfg = {},
                                       std::string label = "int8+fd");

@@ -78,6 +78,20 @@ void micro_kernel_scalar(const void* ap_v, const void* bp_v, std::int64_t kc,
   }
 }
 
+/// Scalar reference requant row — the pinned fixedpoint.h arithmetic
+/// every SIMD requant tier must reproduce bit-for-bit.
+void requant_row_scalar(const std::int32_t* raw, std::int64_t n,
+                        std::int32_t base, std::int32_t mult, int shift,
+                        std::int32_t out_zp, std::int32_t act_min,
+                        std::int32_t act_max, std::int8_t* out) {
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int32_t scaled =
+        multiply_by_quantized_multiplier(base + raw[j], mult, shift);
+    out[j] = static_cast<std::int8_t>(
+        std::clamp(scaled + out_zp, act_min, act_max));
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -93,6 +107,10 @@ IgemmVariant igemm_variant_scalar() {
           pack_a16,
           pack_b16,
           micro_kernel_scalar};
+}
+
+RequantVariant requant_variant_scalar() {
+  return {"scalar", requant_row_scalar};
 }
 
 }  // namespace detail
@@ -124,12 +142,8 @@ void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
     }
     const std::int32_t base =
         (ep.bias != nullptr ? ep.bias[0] : 0) - b_zp * rowsum;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const std::int32_t scaled = multiply_by_quantized_multiplier(
-          base + raw[j], ep.multiplier[0], ep.shift[0]);
-      out[j] = static_cast<std::int8_t>(
-          std::clamp(scaled + ep.out_zp, ep.act_min, ep.act_max));
-    }
+    kernel_dispatch().requant.row(raw, n, base, ep.multiplier[0], ep.shift[0],
+                                  ep.out_zp, ep.act_min, ep.act_max, out);
     count_igemm("scalar", n * k, /*packed_bytes=*/0);
     return;
   }
@@ -192,22 +206,15 @@ void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
   //   sum_p a[i,p] * (b[p,j] + bias - (b_zp + bias))
   //     = raw[i,j] - (b_zp + b_zp_bias) * rowsum_a[i].
   const std::int32_t zp_eff = b_zp + v.b_zp_bias;
+  const RequantVariant& rq = kernel_dispatch().requant;
   for (std::int64_t i = 0; i < m; ++i) {
     const std::int8_t* arow = a + i * lda;
     std::int32_t rowsum = 0;
     for (std::int64_t p = 0; p < k; ++p) rowsum += arow[p];
     const std::int32_t base =
         (ep.bias != nullptr ? ep.bias[i] : 0) - zp_eff * rowsum;
-    const std::int32_t mult = ep.multiplier[i];
-    const int shift = ep.shift[i];
-    const std::int32_t* rawrow = raw + i * n;
-    std::int8_t* orow = out + i * ldo;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const std::int32_t scaled =
-          multiply_by_quantized_multiplier(base + rawrow[j], mult, shift);
-      orow[j] = static_cast<std::int8_t>(
-          std::clamp(scaled + ep.out_zp, ep.act_min, ep.act_max));
-    }
+    rq.row(raw + i * n, n, base, ep.multiplier[i], ep.shift[i], ep.out_zp,
+           ep.act_min, ep.act_max, out + i * ldo);
   }
 }
 

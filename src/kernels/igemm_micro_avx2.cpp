@@ -11,7 +11,11 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
+
+#include "kernels/fixedpoint.h"
 
 namespace diva::detail {
 namespace {
@@ -93,7 +97,89 @@ void micro(const void* ap_v, const void* bp_v, std::int64_t kc,
   }
 }
 
+// --------------------------------------------------------------------------
+// Requantization epilogue, AVX2 (8 lanes / iteration).
+//
+// Must be bit-identical to the scalar fixedpoint.h chain. The SRDHM
+// rounding is vectorized with a constant +2^30 nudge and a logical
+// 64-bit right shift by 31: for every int64 product ab,
+//   trunc((ab + (ab >= 0 ? 2^30 : 1 - 2^30)) / 2^31)
+//     == low32((ab + 2^30) >> 31),
+// because the negative-half cases the sign-dependent nudge exists for
+// land on the same integer under floor division (case analysis over
+// remainders; both sides differ only past the truncated bits). The
+// INT32_MIN * INT32_MIN saturation case is masked separately.
+// --------------------------------------------------------------------------
+
+__m256i srdhm_avx2(__m256i a, __m256i b) {
+  const __m256i nudge = _mm256_set1_epi64x(1LL << 30);
+  __m256i even = _mm256_mul_epi32(a, b);  // lanes 0,2,4,6 -> 4 x int64
+  __m256i odd = _mm256_mul_epi32(_mm256_srli_epi64(a, 32),
+                                 _mm256_srli_epi64(b, 32));
+  even = _mm256_srli_epi64(_mm256_add_epi64(even, nudge), 31);
+  odd = _mm256_srli_epi64(_mm256_add_epi64(odd, nudge), 31);
+  __m256i res =
+      _mm256_blend_epi32(even, _mm256_slli_epi64(odd, 32), 0b10101010);
+  const __m256i i32min = _mm256_set1_epi32(INT32_MIN);
+  const __m256i sat = _mm256_and_si256(_mm256_cmpeq_epi32(a, i32min),
+                                       _mm256_cmpeq_epi32(b, i32min));
+  return _mm256_blendv_epi8(res, _mm256_set1_epi32(INT32_MAX), sat);
+}
+
+__m256i rdbpot_avx2(__m256i x, int exponent) {
+  if (exponent == 0) return x;
+  const std::int32_t mask =
+      static_cast<std::int32_t>((1u << exponent) - 1u);
+  const __m256i maskv = _mm256_set1_epi32(mask);
+  const __m256i rem = _mm256_and_si256(x, maskv);
+  __m256i res = _mm256_sra_epi32(x, _mm_cvtsi32_si128(exponent));
+  // threshold = mask >> 1, plus 1 where x < 0 (cmpgt mask is -1).
+  __m256i thr = _mm256_set1_epi32(mask >> 1);
+  thr = _mm256_sub_epi32(thr,
+                         _mm256_cmpgt_epi32(_mm256_setzero_si256(), x));
+  return _mm256_sub_epi32(res, _mm256_cmpgt_epi32(rem, thr));
+}
+
+void requant_row(const std::int32_t* raw, std::int64_t n, std::int32_t base,
+                 std::int32_t mult, int shift, std::int32_t out_zp,
+                 std::int32_t act_min, std::int32_t act_max,
+                 std::int8_t* out) {
+  const int left = shift > 0 ? shift : 0;
+  const int right = shift > 0 ? 0 : -shift;
+  const __m128i left_cnt = _mm_cvtsi32_si128(left);
+  const __m256i basev = _mm256_set1_epi32(base);
+  const __m256i multv = _mm256_set1_epi32(mult);
+  const __m256i zpv = _mm256_set1_epi32(out_zp);
+  const __m256i minv = _mm256_set1_epi32(act_min);
+  const __m256i maxv = _mm256_set1_epi32(act_max);
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256i x = _mm256_add_epi32(
+        basev,
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + j)));
+    // Wrapping 32-bit left shift == the scalar int64-widen-then-
+    // truncate (low 32 bits agree).
+    x = _mm256_sll_epi32(x, left_cnt);
+    x = rdbpot_avx2(srdhm_avx2(x, multv), right);
+    x = _mm256_add_epi32(x, zpv);
+    x = _mm256_min_epi32(_mm256_max_epi32(x, minv), maxv);
+    // Post-clamp values fit int8, so the saturating packs are exact.
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(x),
+                                        _mm256_extracti128_si256(x, 1));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + j),
+                     _mm_packs_epi16(p16, p16));
+  }
+  for (; j < n; ++j) {
+    const std::int32_t scaled =
+        multiply_by_quantized_multiplier(base + raw[j], mult, shift);
+    out[j] = static_cast<std::int8_t>(
+        std::clamp(scaled + out_zp, act_min, act_max));
+  }
+}
+
 }  // namespace
+
+RequantVariant requant_variant_avx2() { return {"avx2", requant_row}; }
 
 IgemmVariant igemm_variant_avx2() {
   return {"avx2",

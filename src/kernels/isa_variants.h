@@ -14,11 +14,14 @@ namespace diva::detail {
 
 SgemmVariant sgemm_variant_scalar();
 IgemmVariant igemm_variant_scalar();
+RequantVariant requant_variant_scalar();   // igemm.cpp
 
 SgemmVariant sgemm_variant_avx2();         // sgemm_micro_avx2.cpp
 IgemmVariant igemm_variant_avx2();         // igemm_micro_avx2.cpp
+RequantVariant requant_variant_avx2();     // igemm_micro_avx2.cpp
 SgemmVariant sgemm_variant_avx512();       // sgemm_micro_avx512.cpp
 IgemmVariant igemm_variant_avx512();       // igemm_micro_avx512.cpp
+RequantVariant requant_variant_avx512();   // igemm_micro_avx512.cpp
 IgemmVariant igemm_variant_avx512_vnni();  // igemm_micro_avx512_vnni.cpp
 
 }  // namespace diva::detail

@@ -47,6 +47,7 @@ KernelDispatch make_dispatch(IsaTier tier) {
   d.tier = tier;
   d.sgemm = detail::sgemm_variant_scalar();
   d.igemm = detail::igemm_variant_scalar();
+  d.requant = detail::requant_variant_scalar();
   switch (tier) {
     case IsaTier::kScalar:
       break;
@@ -54,17 +55,22 @@ KernelDispatch make_dispatch(IsaTier tier) {
     case IsaTier::kAvx2:
       d.sgemm = detail::sgemm_variant_avx2();
       d.igemm = detail::igemm_variant_avx2();
+      d.requant = detail::requant_variant_avx2();
       break;
 #endif
 #ifdef DIVA_ISA_HAVE_AVX512
     case IsaTier::kAvx512:
       d.sgemm = detail::sgemm_variant_avx512();
       d.igemm = detail::igemm_variant_avx512();
+      d.requant = detail::requant_variant_avx512();
       break;
 #ifdef DIVA_ISA_HAVE_AVX512VNNI
     case IsaTier::kAvx512Vnni:
       d.sgemm = detail::sgemm_variant_avx512();
       d.igemm = detail::igemm_variant_avx512_vnni();
+      // The VNNI tier changes only the inner product instruction; the
+      // requant epilogue reuses the AVX-512 F/BW variant.
+      d.requant = detail::requant_variant_avx512();
       break;
 #endif
 #endif

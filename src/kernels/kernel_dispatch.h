@@ -97,6 +97,20 @@ struct IgemmVariant {
   }
 };
 
+/// Requantization epilogue row kernel (gemmlowp/TFLite fixed point):
+///   out[j] = clamp(mbqm(base + raw[j], mult, shift) + out_zp,
+///                  act_min, act_max)              for j in [0, n)
+/// Same bit-exactness contract as the igemm microkernels: every tier
+/// must match the scalar fixedpoint.h arithmetic for all inputs.
+/// act_min/act_max must lie within [-128, 127] (true for every int8
+/// layer; the SIMD tiers narrow with saturating packs after the clamp).
+struct RequantVariant {
+  const char* name;
+  void (*row)(const std::int32_t* raw, std::int64_t n, std::int32_t base,
+              std::int32_t mult, int shift, std::int32_t out_zp,
+              std::int32_t act_min, std::int32_t act_max, std::int8_t* out);
+};
+
 /// Upper bounds over all variants' tile shapes, so drivers can keep
 /// fixed-size stack accumulators.
 inline constexpr std::int64_t kMaxSgemmMr = 8;
@@ -108,6 +122,7 @@ struct KernelDispatch {
   IsaTier tier = IsaTier::kScalar;
   SgemmVariant sgemm;
   IgemmVariant igemm;
+  RequantVariant requant;
 };
 
 /// The active dispatch table, resolved once on first use.

@@ -126,6 +126,79 @@ PcaResult pca_fit(const Tensor& x, int k) {
   return out;
 }
 
+PcaResult pca_fit_gram(const Tensor& x, int k) {
+  DIVA_CHECK(x.rank() == 2, "pca_fit_gram needs [N, D]");
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  DIVA_CHECK(n >= 2, "pca_fit_gram needs at least two observations");
+  DIVA_CHECK(k >= 1 && k <= std::min<std::int64_t>(n - 1, d),
+             "pca_fit_gram k out of range (k <= min(N - 1, D))");
+
+  PcaResult out;
+  out.mean.assign(static_cast<std::size_t>(d), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      out.mean[static_cast<std::size_t>(j)] += x.at(i, j);
+    }
+  }
+  for (auto& m : out.mean) m /= static_cast<float>(n);
+
+  // Centered observations in double.
+  std::vector<double> xc(static_cast<std::size_t>(n * d));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      xc[static_cast<std::size_t>(i * d + j)] =
+          static_cast<double>(x.at(i, j)) -
+          static_cast<double>(out.mean[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  // Gram matrix G = Xc Xc^T (N x N, unnormalized). Its eigenpairs
+  // (mu, u) give covariance eigenvalues mu / (n - 1) and components
+  // w = Xc^T u / sqrt(mu), which are unit-norm since |Xc^T u|^2 = mu.
+  std::vector<double> gram(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t a = 0; a < n; ++a) {
+    for (std::int64_t b = a; b < n; ++b) {
+      double acc = 0.0;
+      const double* ra = xc.data() + a * d;
+      const double* rb = xc.data() + b * d;
+      for (std::int64_t j = 0; j < d; ++j) acc += ra[j] * rb[j];
+      gram[static_cast<std::size_t>(a * n + b)] = acc;
+      gram[static_cast<std::size_t>(b * n + a)] = acc;
+    }
+  }
+
+  std::vector<double> vecs;
+  const auto eig = jacobi_eigen(gram, n, vecs);
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return eig[static_cast<std::size_t>(a)] > eig[static_cast<std::size_t>(b)];
+  });
+
+  out.components = Tensor(Shape{k, d});
+  out.explained_variance.resize(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    const int src = order[static_cast<std::size_t>(c)];
+    const double mu = eig[static_cast<std::size_t>(src)];
+    DIVA_CHECK(mu > 1e-9,
+               "pca_fit_gram: component " << c << " has (near-)zero variance "
+                                          << mu << "; reduce k");
+    out.explained_variance[static_cast<std::size_t>(c)] =
+        static_cast<float>(mu / static_cast<double>(n - 1));
+    const double inv = 1.0 / std::sqrt(mu);
+    for (std::int64_t j = 0; j < d; ++j) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        acc += xc[static_cast<std::size_t>(i * d + j)] *
+               vecs[static_cast<std::size_t>(i * n + src)];
+      }
+      out.components.at(c, j) = static_cast<float>(acc * inv);
+    }
+  }
+  return out;
+}
+
 Tensor pca_transform(const PcaResult& pca, const Tensor& x) {
   DIVA_CHECK(x.rank() == 2 && x.dim(1) == pca.components.dim(1),
              "pca_transform dimension mismatch");
@@ -140,6 +213,26 @@ Tensor pca_transform(const PcaResult& pca, const Tensor& x) {
                pca.components.at(c, j);
       }
       out.at(i, c) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor pca_inverse_transform(const PcaResult& pca, const Tensor& coeffs) {
+  DIVA_CHECK(coeffs.rank() == 2 && coeffs.dim(1) == pca.components.dim(0),
+             "pca_inverse_transform dimension mismatch");
+  const std::int64_t n = coeffs.dim(0);
+  const std::int64_t k = pca.components.dim(0);
+  const std::int64_t d = pca.components.dim(1);
+  Tensor out(Shape{n, d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      double acc = static_cast<double>(pca.mean[static_cast<std::size_t>(j)]);
+      for (std::int64_t c = 0; c < k; ++c) {
+        acc += static_cast<double>(coeffs.at(i, c)) *
+               static_cast<double>(pca.components.at(c, j));
+      }
+      out.at(i, j) = static_cast<float>(acc);
     }
   }
   return out;

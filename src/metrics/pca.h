@@ -18,7 +18,17 @@ struct PcaResult {
 /// Fits k principal components of row-observations X [N, D].
 PcaResult pca_fit(const Tensor& x, int k);
 
+/// Snapshot/Gram-trick fit for N << D (e.g. pixel-space images): solves
+/// the N x N Gram eigenproblem instead of the D x D covariance, so the
+/// Jacobi cost scales with the observation count. Requires
+/// k <= min(N - 1, D) and nonzero variance along every kept component.
+PcaResult pca_fit_gram(const Tensor& x, int k);
+
 /// Projects observations [N, D] onto the fitted components -> [N, k].
 Tensor pca_transform(const PcaResult& pca, const Tensor& x);
+
+/// Reconstructs observations from coefficients: [N, k] -> [N, D],
+/// mean + sum_c coeff_c * component_c. Adjoint of pca_transform.
+Tensor pca_inverse_transform(const PcaResult& pca, const Tensor& coeffs);
 
 }  // namespace diva

@@ -6,12 +6,19 @@
 #include <ostream>
 #include <utility>
 
+#include "attack/probe_compression.h"
 #include "kernels/cpu_features.h"
 #include "kernels/kernel_dispatch.h"
+#include "telemetry/telemetry.h"
 
 namespace diva::scenario {
 
 namespace {
+
+std::uint64_t counter_of(const telemetry::Snapshot& s, const char* name) {
+  const auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
 
 ModelFn eval_fn(Module& m) {
   m.set_training(false);
@@ -59,6 +66,9 @@ const char* to_string(AdaptedKind kind) {
     case AdaptedKind::kQat: return "qat";
     case AdaptedKind::kInt8Ste: return "int8-ste";
     case AdaptedKind::kInt8Fd: return "int8-fd";
+    case AdaptedKind::kInt8FdSub: return "int8-fd-sub";
+    case AdaptedKind::kInt8FdSparse: return "int8-fd-sparse";
+    case AdaptedKind::kInt8FdBatch: return "int8-fd-batch";
     case AdaptedKind::kInt8Batched: return "int8-batched";
   }
   return "?";
@@ -78,7 +88,9 @@ bool parse_original_kind(const std::string& name, OriginalKind* out) {
 bool parse_adapted_kind(const std::string& name, AdaptedKind* out) {
   for (const AdaptedKind kind :
        {AdaptedKind::kFloat, AdaptedKind::kQat, AdaptedKind::kInt8Ste,
-        AdaptedKind::kInt8Fd, AdaptedKind::kInt8Batched}) {
+        AdaptedKind::kInt8Fd, AdaptedKind::kInt8FdSub,
+        AdaptedKind::kInt8FdSparse, AdaptedKind::kInt8FdBatch,
+        AdaptedKind::kInt8Batched}) {
     if (name == to_string(kind)) {
       *out = kind;
       return true;
@@ -95,8 +107,10 @@ const std::vector<OriginalKind>& all_original_kinds() {
 
 const std::vector<AdaptedKind>& all_adapted_kinds() {
   static const std::vector<AdaptedKind> kinds = {
-      AdaptedKind::kFloat, AdaptedKind::kQat, AdaptedKind::kInt8Ste,
-      AdaptedKind::kInt8Fd, AdaptedKind::kInt8Batched};
+      AdaptedKind::kFloat,        AdaptedKind::kQat,
+      AdaptedKind::kInt8Ste,      AdaptedKind::kInt8Fd,
+      AdaptedKind::kInt8FdSub,    AdaptedKind::kInt8FdSparse,
+      AdaptedKind::kInt8FdBatch,  AdaptedKind::kInt8Batched};
   return kinds;
 }
 
@@ -152,6 +166,9 @@ std::string pool_missing_reason(const ModelPool& pool, OriginalKind original,
       }
       break;
     case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8FdSub:
+    case AdaptedKind::kInt8FdSparse:
+    case AdaptedKind::kInt8FdBatch:
     case AdaptedKind::kInt8Batched:
       if (pool.quantized == nullptr) {
         return "model pool lacks the quantized artifact";
@@ -172,6 +189,26 @@ std::shared_ptr<GradSource> make_original_source(const ModelPool& pool,
   return nullptr;
 }
 
+FdConfig resolved_fd_for(AdaptedKind kind, const FdConfig& base) {
+  FdConfig fd = base;
+  switch (kind) {
+    case AdaptedKind::kInt8FdSub:
+      if (!fd.subspace && fd.subspace_dim <= 0) {
+        fd.subspace_dim = kDefaultFdSubspaceDim;
+      }
+      break;
+    case AdaptedKind::kInt8FdSparse:
+      if (fd.sparsity >= 1.0f) fd.sparsity = kDefaultFdSparsity;
+      break;
+    case AdaptedKind::kInt8FdBatch:
+      fd.batch_probes = true;
+      break;
+    default:
+      break;
+  }
+  return fd;
+}
+
 std::shared_ptr<GradSource> make_adapted_source(const ModelPool& pool,
                                                 AdaptedKind kind,
                                                 const FdConfig& fd) {
@@ -182,8 +219,11 @@ std::shared_ptr<GradSource> make_adapted_source(const ModelPool& pool,
     case AdaptedKind::kInt8Ste:
       return source(*pool.quantized, *pool.adapted_qat);
     case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8FdSub:
+    case AdaptedKind::kInt8FdSparse:
+    case AdaptedKind::kInt8FdBatch:
     case AdaptedKind::kInt8Batched:
-      return fd_source(*pool.quantized, fd);
+      return fd_source(*pool.quantized, resolved_fd_for(kind, fd));
   }
   return nullptr;
 }
@@ -194,6 +234,9 @@ ModelFn deployed_model_fn(const ModelPool& pool, AdaptedKind kind) {
     case AdaptedKind::kQat: return eval_fn(*pool.adapted_qat);
     case AdaptedKind::kInt8Ste:
     case AdaptedKind::kInt8Fd:
+    case AdaptedKind::kInt8FdSub:
+    case AdaptedKind::kInt8FdSparse:
+    case AdaptedKind::kInt8FdBatch:
     case AdaptedKind::kInt8Batched:
       return [q = pool.quantized](const Tensor& x) { return q->forward(x); };
   }
@@ -314,12 +357,22 @@ CellResult ScenarioMatrix::run_cell(const CellSpec& cell,
     engine = std::make_unique<AttackEngine>(EngineConfig{
         .threads = r.threads, .shard_size = cfg_.shard_size});
   }
+  // Telemetry deltas around the timed window give the deployed-query
+  // cost of exactly this attack run (PR 8 counters; all zero when
+  // telemetry is disabled).
+  const telemetry::Snapshot telem_base = telemetry::snapshot();
   const auto t0 = std::chrono::steady_clock::now();
   const Tensor adv = batched ? engine->run(*attack, eval.images, eval.labels)
                              : attack->perturb(eval.images, eval.labels);
   r.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  const telemetry::Snapshot telem =
+      telemetry::diff(telemetry::snapshot(), telem_base);
+  r.deployed_queries = counter_of(telem, "quant.forward.rows");
+  r.probe_rows = counter_of(telem, "attack.fd.spsa_probes") +
+                 counter_of(telem, "attack.fd.coordinate_probes");
+  r.probe_forwards = counter_of(telem, "attack.fd.probe_forwards");
   const std::int64_t n = eval.images.dim(0);
   r.images_per_sec =
       r.seconds > 0.0 ? static_cast<double>(n) / r.seconds : 0.0;
@@ -330,6 +383,10 @@ CellResult ScenarioMatrix::run_cell(const CellSpec& cell,
                        eval.labels);
   r.total = ev.total;
   r.adapted_fooled = ev.adapted_fooled;
+  if (r.deployed_queries > 0 && r.adapted_fooled > 0) {
+    r.queries_per_fooled = static_cast<double>(r.deployed_queries) /
+                           static_cast<double>(r.adapted_fooled);
+  }
   r.evasion_top1_pct = ev.top1_rate();
   r.adapted_fooled_pct = ev.attack_only_rate();
   r.orig_preserved_pct =
@@ -391,6 +448,15 @@ std::string to_json(const CellResult& r, const RunnerConfig& cfg) {
   s += ",\"alpha\":" + num(cfg.spec.cfg.alpha, "%.6f");
   s += ",\"steps\":" + std::to_string(cfg.spec.cfg.steps);
   s += ",\"fd_samples\":" + std::to_string(cfg.fd.samples);
+  // Resolved probe-compression levers of this cell's column, so
+  // compressed columns are tellable apart in recorded sweeps.
+  const FdConfig fd = resolved_fd_for(r.cell.adapted, cfg.fd);
+  s += ",\"fd_subspace_dim\":" +
+       std::to_string(fd.subspace ? fd.subspace->dim()
+                                  : static_cast<std::int64_t>(fd.subspace_dim));
+  s += ",\"fd_sparsity\":" + num(fd.sparsity, "%.3f");
+  s += std::string(",\"fd_batch_probes\":") +
+       (fd.batch_probes ? "true" : "false");
   s += ",\"threads\":" + std::to_string(r.threads);
   s += ",\"total\":" + std::to_string(r.total);
   s += ",\"adapted_fooled\":" + std::to_string(r.adapted_fooled);
@@ -400,6 +466,10 @@ std::string to_json(const CellResult& r, const RunnerConfig& cfg) {
   s += ",\"linf\":" + num(r.linf, "%.6f");
   s += ",\"mean_l2\":" + num(r.mean_l2, "%.6f");
   s += ",\"mean_steps_to_evade\":" + num(r.mean_steps_to_evade, "%.2f");
+  s += ",\"deployed_queries\":" + std::to_string(r.deployed_queries);
+  s += ",\"probe_rows\":" + std::to_string(r.probe_rows);
+  s += ",\"probe_forwards\":" + std::to_string(r.probe_forwards);
+  s += ",\"queries_per_fooled\":" + num(r.queries_per_fooled, "%.1f");
   s += ",\"seconds\":" + num(r.seconds, "%.4f");
   s += ",\"images_per_sec\":" + num(r.images_per_sec, "%.2f");
   s += "}";

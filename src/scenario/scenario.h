@@ -24,6 +24,13 @@
 //                 gradients via the QAT shadow (§4.2's twin gradients).
 //   int8-fd       deployed artifact alone, SPSA/finite differences —
 //                 true-artifact gradients, no float twin.
+//   int8-fd-sub   probe-compressed SPSA: gradients estimated in a
+//                 k-dim perturbation subspace (k = fd.subspace_dim or
+//                 kDefaultFdSubspaceDim) and lifted to image space.
+//   int8-fd-sparse probe-compressed SPSA: sign-sparse probe directions
+//                 touching a fd.sparsity fraction of coordinates.
+//   int8-fd-batch  same estimator, probe rows packed across samples
+//                 and pairs into large batched int8 forwards.
 //   int8-batched  same derivative-free artifact target, executed
 //                 through the AttackEngine (N-wide batched int8
 //                 executor sharded across worker threads).
@@ -33,6 +40,7 @@
 // cell measures transfer, exactly like the paper's Fig. 5.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -49,7 +57,16 @@ enum class OriginalKind { kNone, kFloat, kSurrogate };
 
 /// The adapted-model representation the attack differentiates through
 /// (matrix column).
-enum class AdaptedKind { kFloat, kQat, kInt8Ste, kInt8Fd, kInt8Batched };
+enum class AdaptedKind {
+  kFloat,
+  kQat,
+  kInt8Ste,
+  kInt8Fd,
+  kInt8FdSub,
+  kInt8FdSparse,
+  kInt8FdBatch,
+  kInt8Batched,
+};
 
 const char* to_string(OriginalKind kind);
 const char* to_string(AdaptedKind kind);
@@ -103,8 +120,21 @@ std::string pool_missing_reason(const ModelPool& pool, OriginalKind original,
 std::shared_ptr<GradSource> make_original_source(const ModelPool& pool,
                                                  OriginalKind kind);
 
-/// Gradient source for the matrix column. kInt8Fd/kInt8Batched probe
-/// with `fd`; requires the pool model(s) for the kind.
+/// Default levers for the probe-compressed columns when the sweep-wide
+/// FdConfig leaves them off.
+inline constexpr int kDefaultFdSubspaceDim = 16;
+inline constexpr float kDefaultFdSparsity = 0.25f;
+
+/// The FdConfig a column actually probes with: `base` plus the lever
+/// the probe-compressed kind mandates (subspace_dim for kInt8FdSub,
+/// sparsity for kInt8FdSparse, batch_probes for kInt8FdBatch). Levers
+/// already active in `base` are kept, so a sweep can pin e.g. a PCA
+/// subspace for every compressed column at once.
+FdConfig resolved_fd_for(AdaptedKind kind, const FdConfig& base);
+
+/// Gradient source for the matrix column. The int8-fd* and
+/// int8-batched columns probe with resolved_fd_for(kind, fd); requires
+/// the pool model(s) for the kind.
 std::shared_ptr<GradSource> make_adapted_source(const ModelPool& pool,
                                                 AdaptedKind kind,
                                                 const FdConfig& fd);
@@ -154,6 +184,16 @@ struct CellResult {
   double seconds = 0.0;
   double images_per_sec = 0.0;
   unsigned threads = 1;  // execution width of the timed run
+
+  // Deployed-artifact query accounting for the timed run, from
+  // telemetry deltas (all zero when telemetry is disabled). This is the
+  // queries-per-evasion axis of the probe-compression sweeps.
+  std::uint64_t deployed_queries = 0;  // quant.forward rows
+  std::uint64_t probe_rows = 0;        // FD probe rows (SPSA + coordinate)
+  std::uint64_t probe_forwards = 0;    // probe forward calls (batching)
+  /// deployed_queries / adapted_fooled; -1 when nothing was fooled or
+  /// telemetry was off.
+  double queries_per_fooled = -1.0;
 };
 
 class ScenarioMatrix {

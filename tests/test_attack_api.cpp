@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "attack/engine.h"
+#include "attack/probe_compression.h"
 #include "attack/registry.h"
 #include "core/trainer.h"
 #include "data/synth_digits.h"
@@ -262,6 +263,37 @@ TEST(AttackEngine2, FdSourceShardedEqualsSequentialUpTo16Threads) {
   }
 }
 
+TEST(AttackEngine2, CompressedFdVariantsShardedEqualSequential) {
+  // The probe-compression levers (subspace, sparsity, batching) keep
+  // the per-sample (seed, global sample, step) stream keying, so every
+  // compressed estimator must stay bit-identical under engine sharding
+  // — the same determinism contract the dense estimator pins above.
+  auto& f = fixture();
+  const Dataset eval = small_eval(6);
+  AttackSpec spec = quick_spec(2);
+  const FdConfig variants[] = {
+      {.samples = 4, .subspace_dim = 8},
+      {.samples = 4, .sparsity = 0.25f},
+      {.samples = 4, .batch_probes = true, .max_probe_rows = 6},
+      {.samples = 4,
+       .subspace_dim = 8,
+       .sparsity = 0.5f,
+       .batch_probes = true,
+       .max_probe_rows = 10},
+  };
+  for (const FdConfig& cfg : variants) {
+    auto attack =
+        make_attack("pgd", {nullptr, fd_source(*f.quantized, cfg)}, spec);
+    const Tensor sequential = attack->perturb(eval.images, eval.labels);
+    for (const unsigned threads : {2u, 8u}) {
+      const AttackEngine engine({.threads = threads, .shard_size = 2});
+      const Tensor sharded = engine.run(*attack, eval.images, eval.labels);
+      EXPECT_EQ(max_abs(sub(sequential, sharded)), 0.0f)
+          << fd_label(cfg) << " with " << threads << " threads";
+    }
+  }
+}
+
 TEST(AttackEngine2, RandomStartIsShardInvariant) {
   const Dataset eval = small_eval(8);
   AttackSpec spec = quick_spec(2);
@@ -398,6 +430,55 @@ TEST(QuantTarget, FdProbesAreShardAndReplayInvariant) {
     diff = std::max(diff, std::fabs(g_full[2 * per + i] - g_shard[i]));
   }
   EXPECT_EQ(diff, 0.0f);
+}
+
+TEST(QuantTarget, BatchedProbeSchedulingIsBitIdenticalToUnbatched) {
+  // Cross-sample probe batching only reschedules forwards — same probe
+  // directions, same accumulation order per sample — so switching it on
+  // (at any row cap) must not move a single output bit.
+  auto& f = fixture();
+  const Dataset eval = small_eval(5);
+  const AttackSpec spec = quick_spec(2);
+  const FdConfig bases[] = {
+      {.samples = 4},
+      {.samples = 4, .subspace_dim = 8},
+      {.samples = 4, .sparsity = 0.25f},
+  };
+  for (const FdConfig& base : bases) {
+    auto plain =
+        make_attack("pgd", {nullptr, fd_source(*f.quantized, base)}, spec);
+    const Tensor want = plain->perturb(eval.images, eval.labels);
+    for (const std::int64_t rows : {2, 6, 64}) {
+      FdConfig batched = base;
+      batched.batch_probes = true;
+      batched.max_probe_rows = rows;
+      auto attack = make_attack(
+          "pgd", {nullptr, fd_source(*f.quantized, batched)}, spec);
+      const Tensor got = attack->perturb(eval.images, eval.labels);
+      EXPECT_EQ(max_abs(sub(want, got)), 0.0f)
+          << fd_label(base) << " rows_cap=" << rows;
+    }
+  }
+}
+
+TEST(QuantTarget, FdLabelsEncodeCompressionLevers) {
+  EXPECT_EQ(fd_label({}), "int8+fd");
+  EXPECT_EQ(fd_label({.coordinate = true}), "int8+fd+coord");
+  EXPECT_EQ(fd_label({.subspace_dim = 16}), "int8+fd+sub16");
+  EXPECT_EQ(fd_label({.sparsity = 0.25f}), "int8+fd+sp25");
+  EXPECT_EQ(fd_label({.batch_probes = true}), "int8+fd+batch");
+  EXPECT_EQ(fd_label({.subspace_dim = 8, .sparsity = 0.5f,
+                      .batch_probes = true}),
+            "int8+fd+sub8+sp50+batch");
+  // An explicit basis reports its kind (and the registry's default
+  // source label is exactly this string).
+  auto& f = fixture();
+  FdConfig with_basis;
+  with_basis.subspace = make_random_subspace(
+      SynthDigits::kChannels * SynthDigits::kHeight * SynthDigits::kWidth, 4,
+      1);
+  EXPECT_EQ(fd_label(with_basis), "int8+fd+rand4");
+  EXPECT_EQ(fd_source(*f.quantized, with_basis)->name(), "int8+fd+rand4");
 }
 
 TEST(QuantTarget, SteLogitsComeFromIntegerModel) {

@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "kernels/cpu_features.h"
+#include "kernels/fixedpoint.h"
 #include "kernels/gemm.h"
 #include "kernels/igemm.h"
 #include "kernels/kernel_dispatch.h"
@@ -178,6 +180,86 @@ TEST(IsaDispatch, IgemmAllTiersBitIdenticalToReferenceAcrossFuzzShapes) {
                                  static_cast<std::size_t>(c.n)))
             << "tier " << isa_tier_name(t) << " shape " << c.m << "x" << c.n
             << "x" << c.k << " row " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// requant epilogue: every tier bit-identical to the scalar
+// fixedpoint.h chain, including the SRDHM saturation and rounding
+// edge cases and every SIMD tail length.
+// ---------------------------------------------------------------------------
+
+TEST(IsaDispatch, RequantAllTiersBitIdenticalToScalarAcrossFuzzInputs) {
+  TierGuard guard;
+  const std::vector<IsaTier> tiers = available_isa_tiers();
+  // Lengths straddle the 8-lane (AVX2) and 16-lane (AVX-512) widths
+  // plus every tail residue; 1 and 7 are pure-tail rows.
+  const std::int64_t lens[] = {1, 7, 8, 9, 15, 16, 17, 31, 33, 64, 257};
+  int fuzz = 0;
+  for (const std::int64_t n : lens) {
+    ++fuzz;
+    Rng rng(0xE0 + fuzz);
+    std::vector<std::int32_t> raw(static_cast<std::size_t>(n));
+    for (auto& x : raw) {
+      // |raw| <= 2^30, so base + raw stays inside int32 for the small
+      // bases below (the scalar path adds them in 32-bit).
+      x = static_cast<std::int32_t>(rng.randint(1u << 31)) - (1 << 30);
+    }
+    // Rounding-half boundaries and zero, placed at lane 0 and mid-lane.
+    raw[0] = 1 << 29;
+    if (n > 2) raw[2] = -(1 << 29);
+    if (n > 5) raw[5] = 0;
+    struct Cfg {
+      std::int32_t base, mult;
+      int shift;
+    };
+    const Cfg cfgs[] = {
+        // Realistic TFLite range: mult in [2^30, 2^31), right shifts.
+        {static_cast<std::int32_t>(rng.randint(1 << 20)) - (1 << 19),
+         (1 << 30) + static_cast<std::int32_t>(rng.randint(1u << 30)),
+         -static_cast<int>(rng.randint(9))},
+        // Left shift branch (shift > 0) with 32-bit wraparound.
+        {0, (1 << 30) + 12345, 4},
+        // Deep right shift: exponent 30 is the largest UB-free one.
+        {7, std::numeric_limits<std::int32_t>::max(), -30},
+        // Negative multiplier flips every product's sign/nudge path.
+        {-3, -(1 << 30) - 999, -5},
+        // SRDHM saturation arm: INT32_MIN * INT32_MIN -> INT32_MAX
+        // (raw[0] is overwritten below for this case).
+        {0, std::numeric_limits<std::int32_t>::min(), -2},
+    };
+    int ci = 0;
+    for (const Cfg& cfg : cfgs) {
+      ++ci;
+      std::vector<std::int32_t> vals = raw;
+      if (cfg.mult == std::numeric_limits<std::int32_t>::min()) {
+        vals[0] = std::numeric_limits<std::int32_t>::min();
+      }
+      const std::int32_t out_zp =
+          static_cast<std::int32_t>(rng.randint(17)) - 8;
+      const std::int32_t act_min = ci % 2 == 0 ? -20 : -128;
+      const std::int32_t act_max = ci % 2 == 0 ? 40 : 127;
+      std::vector<std::int8_t> want(static_cast<std::size_t>(n));
+      for (std::int64_t j = 0; j < n; ++j) {
+        const std::int32_t scaled = multiply_by_quantized_multiplier(
+            cfg.base + vals[static_cast<std::size_t>(j)], cfg.mult,
+            cfg.shift);
+        want[static_cast<std::size_t>(j)] = static_cast<std::int8_t>(
+            std::clamp(scaled + out_zp, act_min, act_max));
+      }
+      for (const IsaTier t : tiers) {
+        force_isa_tier(t);
+        std::vector<std::int8_t> got(static_cast<std::size_t>(n), 99);
+        kernel_dispatch().requant.row(vals.data(), n, cfg.base, cfg.mult,
+                                      cfg.shift, out_zp, act_min, act_max,
+                                      got.data());
+        ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                                 static_cast<std::size_t>(n)))
+            << "tier " << isa_tier_name(t) << " ("
+            << kernel_dispatch().requant.name << ") n=" << n
+            << " cfg=" << ci;
       }
     }
   }

@@ -1,0 +1,229 @@
+// Unit tests for the probe-compression primitives behind the
+// compressed SPSA estimators: subspace lift/project round-trips,
+// orthonormality of both basis kinds, the Gram-trick PCA fit, and the
+// sign-sparse probe encode/decode + sampling determinism that the
+// attack-level bit-identity tests in test_attack_api.cpp build on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "attack/probe_compression.h"
+#include "metrics/pca.h"
+#include "runtime/check.h"
+#include "runtime/rng.h"
+#include "tensor/tensor.h"
+#include "test_helpers.h"
+
+namespace diva {
+namespace {
+
+using testing::random_tensor;
+
+double dot(const float* a, const float* b, std::int64_t n) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Random orthonormal subspaces.
+// ---------------------------------------------------------------------------
+
+TEST(ProbeSubspace, RandomBasisRowsAreOrthonormal) {
+  const auto sub = make_random_subspace(/*image_dim=*/48, /*k=*/12, 0xFEED);
+  ASSERT_EQ(sub->dim(), 12);
+  ASSERT_EQ(sub->image_dim(), 48);
+  EXPECT_EQ(sub->kind(), "rand");
+  const Tensor& b = sub->basis();
+  for (std::int64_t r = 0; r < sub->dim(); ++r) {
+    for (std::int64_t s = r; s < sub->dim(); ++s) {
+      const double d = dot(b.raw() + r * 48, b.raw() + s * 48, 48);
+      EXPECT_NEAR(d, r == s ? 1.0 : 0.0, 1e-4)
+          << "rows " << r << "," << s;
+    }
+  }
+}
+
+TEST(ProbeSubspace, RandomBasisIsDeterministicInSeedOnly) {
+  const auto a = make_random_subspace(32, 8, 7);
+  const auto b = make_random_subspace(32, 8, 7);
+  const auto c = make_random_subspace(32, 8, 8);
+  ASSERT_EQ(a->basis().numel(), b->basis().numel());
+  float max_diff = 0.0f, seed_diff = 0.0f;
+  for (std::int64_t i = 0; i < a->basis().numel(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(a->basis()[i] - b->basis()[i]));
+    seed_diff = std::max(seed_diff,
+                         std::abs(a->basis()[i] - c->basis()[i]));
+  }
+  EXPECT_EQ(max_diff, 0.0f);
+  EXPECT_GT(seed_diff, 0.0f);
+}
+
+TEST(ProbeSubspace, LiftProjectRoundTripsCoefficients) {
+  // project(lift(c)) == c for orthonormal rows (up to float rounding):
+  // the k coefficients survive the trip through D-dimensional image
+  // space, which is what lets the estimator accumulate per-coefficient.
+  const auto sub = make_random_subspace(60, 10, 0xABCD);
+  Rng rng(3);
+  std::vector<float> coeffs(10);
+  for (auto& c : coeffs) c = rng.uniform(-2.0f, 2.0f);
+  const std::vector<float> image = sub->lift(coeffs);
+  ASSERT_EQ(image.size(), 60u);
+  const std::vector<float> back = sub->project(image.data());
+  ASSERT_EQ(back.size(), 10u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back[i], coeffs[i], 1e-4f) << "coefficient " << i;
+  }
+}
+
+TEST(ProbeSubspace, BasisShapeIsValidated) {
+  EXPECT_THROW(ProbeSubspace(Tensor(Shape{4}), "rand"), Error);
+  EXPECT_THROW(make_random_subspace(8, 0, 1), Error);
+  EXPECT_THROW(make_random_subspace(8, 9, 1), Error);
+}
+
+// ---------------------------------------------------------------------------
+// PCA bases (Gram-trick fit) over image batches.
+// ---------------------------------------------------------------------------
+
+TEST(ProbeSubspace, GramFitMatchesCovarianceFitOnSmallData) {
+  // N > D so both solvers apply: the Gram/snapshot eigensolve must
+  // reproduce the covariance-side fit — same spectrum, same axes up to
+  // per-component sign.
+  const Tensor x = random_tensor(Shape{12, 5}, 99);
+  const PcaResult cov = pca_fit(x, 4);
+  const PcaResult gram = pca_fit_gram(x, 4);
+  ASSERT_EQ(gram.components.dim(0), 4);
+  ASSERT_EQ(gram.components.dim(1), 5);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(gram.explained_variance[c], cov.explained_variance[c],
+                1e-3f * (1.0f + cov.explained_variance[c]))
+        << "component " << c;
+    const double d =
+        dot(gram.components.raw() + c * 5, cov.components.raw() + c * 5, 5);
+    EXPECT_NEAR(std::abs(d), 1.0, 1e-3) << "component " << c;
+  }
+}
+
+TEST(ProbeSubspace, PcaSubspaceFromImagesIsOrthonormalAndClamped) {
+  // NCHW batch with N - 1 < D: the snapshot path. k clamps to N - 1.
+  const Tensor images = random_tensor(Shape{9, 1, 4, 6}, 21);
+  const auto sub = make_pca_subspace(images, /*k=*/16);
+  EXPECT_EQ(sub->kind(), "pca");
+  EXPECT_EQ(sub->image_dim(), 24);
+  EXPECT_EQ(sub->dim(), 8);  // min(16, N - 1 = 8, D = 24)
+  const Tensor& b = sub->basis();
+  for (std::int64_t r = 0; r < sub->dim(); ++r) {
+    for (std::int64_t s = r; s < sub->dim(); ++s) {
+      EXPECT_NEAR(dot(b.raw() + r * 24, b.raw() + s * 24, 24),
+                  r == s ? 1.0 : 0.0, 1e-3)
+          << "rows " << r << "," << s;
+    }
+  }
+}
+
+TEST(ProbeSubspace, PcaInverseTransformReconstructsProjection) {
+  const Tensor x = random_tensor(Shape{10, 6}, 5);
+  const PcaResult pca = pca_fit(x, 6);  // full rank: lossless
+  const Tensor coeffs = pca_transform(pca, x);
+  const Tensor back = pca_inverse_transform(pca, coeffs);
+  ASSERT_EQ(back.shape(), x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-3f) << "flat index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sign-sparse probes.
+// ---------------------------------------------------------------------------
+
+TEST(SparseProbe, SampleProducesExactSupportSizeAscendingAndDistinct) {
+  Rng rng(0x5EED);
+  for (const std::int64_t nnz : {1, 3, 7, 16}) {
+    const SparseProbe p = sample_sparse_probe(rng, /*dim=*/32, nnz);
+    EXPECT_EQ(p.dim, 32);
+    ASSERT_EQ(p.nnz(), nnz);
+    std::set<std::int32_t> seen;
+    for (std::int64_t t = 0; t < p.nnz(); ++t) {
+      const std::int32_t idx = p.index[static_cast<std::size_t>(t)];
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, 32);
+      if (t > 0) {
+        EXPECT_LT(p.index[static_cast<std::size_t>(t - 1)], idx);
+      }
+      seen.insert(idx);
+      EXPECT_NE(p.sign(static_cast<std::size_t>(t)), 0.0f);
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(nnz));
+  }
+}
+
+TEST(SparseProbe, DenseSampleConsumesTheLegacyBernoulliStream) {
+  // nnz == dim must replay the historical dense SPSA draw: one
+  // bernoulli per coordinate, ascending — this is what keeps the
+  // default estimator bit-identical to the pre-compression one.
+  Rng a(42), b(42);
+  const SparseProbe p = sample_sparse_probe(a, 24, 24);
+  ASSERT_EQ(p.nnz(), 24);
+  for (std::int64_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(p.index[static_cast<std::size_t>(i)], i);
+    const float legacy = b.bernoulli(0.5) ? 1.0f : -1.0f;
+    EXPECT_EQ(p.sign(static_cast<std::size_t>(i)), legacy)
+        << "coordinate " << i;
+  }
+  // And the generators end in the same state.
+  EXPECT_EQ(a.randint(1u << 30), b.randint(1u << 30));
+}
+
+TEST(SparseProbe, SamplingIsDeterministicInTheRngStream) {
+  Rng a(7), b(7);
+  for (int rep = 0; rep < 5; ++rep) {
+    const SparseProbe pa = sample_sparse_probe(a, 40, 10);
+    const SparseProbe pb = sample_sparse_probe(b, 40, 10);
+    EXPECT_EQ(pa.index, pb.index) << "rep " << rep;
+    EXPECT_EQ(pa.signbits, pb.signbits) << "rep " << rep;
+  }
+}
+
+TEST(SparseProbe, EncodeDecodeRoundTripsEveryDenseSignVector) {
+  Rng rng(11);
+  for (int rep = 0; rep < 8; ++rep) {
+    const std::int64_t dim = 5 + 9 * rep;
+    std::vector<float> dense(static_cast<std::size_t>(dim), 0.0f);
+    for (auto& v : dense) {
+      const auto r = rng.randint(3);
+      v = r == 0 ? 0.0f : (r == 1 ? 1.0f : -1.0f);
+    }
+    const SparseProbe p = encode_sparse_probe(dense.data(), dim);
+    EXPECT_EQ(p.dim, dim);
+    const std::vector<float> back = decode_sparse_probe(p);
+    EXPECT_EQ(back, dense) << "rep " << rep;
+  }
+}
+
+TEST(SparseProbe, DecodedSampleHasUnitEntriesExactlyOnSupport) {
+  Rng rng(13);
+  const SparseProbe p = sample_sparse_probe(rng, 50, 12);
+  const std::vector<float> dense = decode_sparse_probe(p);
+  ASSERT_EQ(dense.size(), 50u);
+  std::int64_t nonzero = 0;
+  for (const float v : dense) {
+    if (v != 0.0f) {
+      ++nonzero;
+      EXPECT_EQ(std::abs(v), 1.0f);
+    }
+  }
+  EXPECT_EQ(nonzero, 12);
+  // Round-trip back through encode preserves support and signs.
+  const SparseProbe again = encode_sparse_probe(dense.data(), 50);
+  EXPECT_EQ(again.index, p.index);
+  EXPECT_EQ(again.signbits, p.signbits);
+}
+
+}  // namespace
+}  // namespace diva

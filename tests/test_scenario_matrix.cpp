@@ -137,8 +137,8 @@ Dataset small_eval(int n) {
 TEST(ScenarioMatrix, EnumeratesEveryBuiltinCell) {
   const ScenarioMatrix matrix(fixture().pool(), quick_config());
   const auto cells = matrix.enumerate();
-  // 6 builtin attacks x 3 original rows x 5 adapted columns.
-  EXPECT_EQ(cells.size(), 6u * 3u * 5u);
+  // 6 builtin attacks x 3 original rows x 8 adapted columns.
+  EXPECT_EQ(cells.size(), 6u * 3u * 8u);
   std::set<std::string> keys;
   for (const CellSpec& c : cells) {
     keys.insert(c.attack + "|" + to_string(c.original) + "|" +
@@ -147,6 +147,10 @@ TEST(ScenarioMatrix, EnumeratesEveryBuiltinCell) {
   EXPECT_EQ(keys.size(), cells.size()) << "duplicate cells";
   EXPECT_TRUE(keys.count("diva|surrogate|int8-fd"));
   EXPECT_TRUE(keys.count("pgd|none|int8-batched"));
+  // The probe-compression columns are first-class matrix cells.
+  EXPECT_TRUE(keys.count("diva|float|int8-fd-sub"));
+  EXPECT_TRUE(keys.count("pgd|none|int8-fd-sparse"));
+  EXPECT_TRUE(keys.count("diva|surrogate|int8-fd-batch"));
 }
 
 TEST(ScenarioMatrix, RunAllEmitsOneRecordPerCellWithRowTraitSkips) {
@@ -175,8 +179,8 @@ TEST(ScenarioMatrix, RunAllEmitsOneRecordPerCellWithRowTraitSkips) {
     }
   }
   // Runnable cells: 4 single-model attacks on the 'none' row + 2 pair
-  // attacks on the float and surrogate rows, times 5 columns each.
-  EXPECT_EQ(ran, (4 + 2 * 2) * 5);
+  // attacks on the float and surrogate rows, times 8 columns each.
+  EXPECT_EQ(ran, (4 + 2 * 2) * 8);
   EXPECT_EQ(skipped, static_cast<int>(results.size()) - ran);
 }
 
@@ -185,7 +189,8 @@ TEST(ScenarioMatrix, SurrogateInt8CellsRun) {
   const ScenarioMatrix matrix(fixture().pool(), quick_config());
   const Dataset eval = small_eval(4);
   for (const AdaptedKind adapted :
-       {AdaptedKind::kInt8Ste, AdaptedKind::kInt8Fd,
+       {AdaptedKind::kInt8Ste, AdaptedKind::kInt8Fd, AdaptedKind::kInt8FdSub,
+        AdaptedKind::kInt8FdSparse, AdaptedKind::kInt8FdBatch,
         AdaptedKind::kInt8Batched}) {
     const CellResult r =
         matrix.run_cell({"diva", OriginalKind::kSurrogate, adapted}, eval);
@@ -271,6 +276,36 @@ TEST(ScenarioMatrix, BatchedCellIsEngineWidthInvariant) {
   }
 }
 
+TEST(ScenarioMatrix, CompressedColumnsResolveLeversAndCountQueries) {
+  // Column -> lever resolution: each compressed column switches exactly
+  // its lever on (with the documented default strength) and leaves the
+  // base column untouched.
+  const FdConfig base;
+  EXPECT_EQ(resolved_fd_for(AdaptedKind::kInt8FdSub, base).subspace_dim,
+            kDefaultFdSubspaceDim);
+  EXPECT_EQ(resolved_fd_for(AdaptedKind::kInt8FdSparse, base).sparsity,
+            kDefaultFdSparsity);
+  EXPECT_TRUE(resolved_fd_for(AdaptedKind::kInt8FdBatch, base).batch_probes);
+  EXPECT_EQ(resolved_fd_for(AdaptedKind::kInt8Fd, base).subspace_dim, 0);
+  EXPECT_EQ(resolved_fd_for(AdaptedKind::kInt8Fd, base).sparsity, 1.0f);
+  // An explicit user lever wins over the column default.
+  FdConfig custom;
+  custom.subspace_dim = 4;
+  EXPECT_EQ(resolved_fd_for(AdaptedKind::kInt8FdSub, custom).subspace_dim, 4);
+
+  // A compressed cell runs end-to-end and records its deployed-query
+  // cost from telemetry.
+  const ScenarioMatrix matrix(fixture().pool(), quick_config());
+  const CellResult r = matrix.run_cell(
+      {"pgd", OriginalKind::kNone, AdaptedKind::kInt8FdSub}, small_eval(3));
+  ASSERT_TRUE(r.ran) << r.skip_reason;
+  EXPECT_GT(r.deployed_queries, 0u);
+  EXPECT_GT(r.probe_rows, 0u);
+  EXPECT_GT(r.probe_forwards, 0u);
+  EXPECT_GE(r.deployed_queries, r.probe_rows)
+      << "probe rows are deployed queries";
+}
+
 // ---------------------------------------------------------------------------
 // Skip and error paths.
 // ---------------------------------------------------------------------------
@@ -287,7 +322,8 @@ TEST(ScenarioMatrix, MissingPoolModelsProduceSkipReasons) {
   EXPECT_NE(surro.skip_reason.find("surrogate"), std::string::npos);
 
   for (const AdaptedKind adapted :
-       {AdaptedKind::kInt8Ste, AdaptedKind::kInt8Fd,
+       {AdaptedKind::kInt8Ste, AdaptedKind::kInt8Fd, AdaptedKind::kInt8FdSub,
+        AdaptedKind::kInt8FdSparse, AdaptedKind::kInt8FdBatch,
         AdaptedKind::kInt8Batched}) {
     const CellResult r = matrix.run_cell(
         {"pgd", OriginalKind::kNone, adapted}, small_eval(2));
@@ -341,7 +377,7 @@ TEST(ScenarioMatrix, FactoryRejectionBecomesASkipRecordNotAnAbort) {
   EXPECT_TRUE(ok.ran) << ok.skip_reason;
   // The whole-grid sweep must also complete rather than abort.
   const auto all = matrix.run_all(small_eval(2));
-  EXPECT_EQ(all.size(), 1u * 3u * 5u);  // sweep completed, no abort
+  EXPECT_EQ(all.size(), 1u * 3u * 8u);  // sweep completed, no abort
 }
 
 TEST(ScenarioMatrix, UnknownAttackKindThrowsNotSkips) {
@@ -425,7 +461,10 @@ TEST(ScenarioMatrix, JsonRecordCarriesTheSchema) {
         "\"status\":\"ok\"", "\"epsilon\":", "\"steps\":", "\"fd_samples\":",
         "\"total\":3", "\"evasion_top1_pct\":", "\"adapted_fooled_pct\":",
         "\"orig_preserved_pct\":", "\"linf\":", "\"mean_l2\":",
-        "\"mean_steps_to_evade\":", "\"seconds\":", "\"images_per_sec\":",
+        "\"mean_steps_to_evade\":", "\"fd_subspace_dim\":0",
+        "\"fd_sparsity\":1.000", "\"fd_batch_probes\":false",
+        "\"deployed_queries\":", "\"probe_rows\":", "\"probe_forwards\":",
+        "\"queries_per_fooled\":", "\"seconds\":", "\"images_per_sec\":",
         "\"threads\":1"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }

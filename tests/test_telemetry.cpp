@@ -535,6 +535,72 @@ TEST_F(AttackTelemetryTest, SpsaProbeCountMatchesConfiguredBudgetExactly) {
             static_cast<std::uint64_t>(steps));  // one FD source
 }
 
+TEST_F(AttackTelemetryTest, CompressedVariantsPinProbeBudgetsExactly) {
+  // Every probe-compression lever must keep the paper's query-budget
+  // invariant — spsa_probes == n * steps * 2 * samples — while moving
+  // only the per-forward packing (probe_forwards) and the touched
+  // degrees of freedom (probe_dof).
+  const std::int64_t n = 2;
+  const int steps = 2, samples = 4;
+  const std::int64_t d = 28 * 28;
+  const Tensor x = random_tensor(Shape{n, 1, 28, 28}, 604, 0.0f, 1.0f);
+  const std::vector<int> y = {0, 1};
+
+  AttackSpec spec;
+  spec.cfg.epsilon = 0.05f;
+  spec.cfg.alpha = 0.01f;
+  spec.cfg.steps = steps;
+
+  struct Case {
+    FdConfig fd;
+    std::uint64_t nnz;       // probed degrees of freedom per probe
+    std::uint64_t forwards;  // probe forwards per step
+  };
+  const Case cases[] = {
+      // Dense unbatched: one 2*samples-row forward per sample per step.
+      {{.samples = samples},
+       static_cast<std::uint64_t>(d),
+       static_cast<std::uint64_t>(n)},
+      // Subspace: probes span k coefficients instead of d pixels.
+      {{.samples = samples, .subspace_dim = 8}, 8,
+       static_cast<std::uint64_t>(n)},
+      // Sign-sparse: each probe touches round(0.25 * d) pixels.
+      {{.samples = samples, .sparsity = 0.25f}, 196,
+       static_cast<std::uint64_t>(n)},
+      // Batched: n * samples = 8 pairs packed 3 per forward (cap 6
+      // rows), so ceil(8 / 3) = 3 forwards per step instead of n.
+      {{.samples = samples, .batch_probes = true, .max_probe_rows = 6},
+       static_cast<std::uint64_t>(d), 3},
+      // All levers at once: nnz = round(0.5 * k).
+      {{.samples = samples,
+        .subspace_dim = 8,
+        .sparsity = 0.5f,
+        .batch_probes = true,
+        .max_probe_rows = 6},
+       4, 3},
+  };
+  const auto budget = static_cast<std::uint64_t>(n * steps * 2 * samples);
+  for (const Case& c : cases) {
+    auto attack =
+        make_attack("pgd", {nullptr, fd_source(*quantized_, c.fd)}, spec);
+    const Snapshot before = telemetry::snapshot();
+    (void)attack->perturb(x, y);
+    const Snapshot after = telemetry::snapshot();
+    const std::string label = fd_label(c.fd);
+    EXPECT_EQ(counter_delta(after, before, "attack.fd.spsa_probes"), budget)
+        << label;
+    EXPECT_EQ(counter_delta(after, before, "attack.fd.probe_forwards"),
+              c.forwards * static_cast<std::uint64_t>(steps))
+        << label;
+    EXPECT_EQ(counter_delta(after, before, "attack.fd.probe_dof"),
+              budget * c.nnz)
+        << label;
+    // Probe rows all hit the deployed artifact's query counter.
+    EXPECT_GE(counter_delta(after, before, "quant.forward.rows"), budget)
+        << label;
+  }
+}
+
 TEST_F(AttackTelemetryTest, CoordinateProbeCountMatchesPixelBudget) {
   const std::int64_t n = 1;
   const Tensor x = random_tensor(Shape{n, 1, 28, 28}, 602, 0.0f, 1.0f);
