@@ -68,7 +68,7 @@ int main() {
   const std::string json_path =
       env_string("DIVA_ISA_BENCH_JSON", "isa_dispatch.json");
   const int rounds =
-      static_cast<int>(env_int("DIVA_ISA_BENCH_ROUNDS", smoke ? 1 : 3));
+      static_cast<int>(env_int_positive("DIVA_ISA_BENCH_ROUNDS", smoke ? 1 : 3));
 
   std::ofstream json(json_path);
   DIVA_CHECK(json.good(), "cannot open JSON output path " << json_path);

@@ -89,6 +89,36 @@ void print_sec42_comparison(const std::vector<CellResult>& results) {
   table.print();
 }
 
+void print_defense_comparison(const std::vector<CellResult>& results) {
+  // Defense rows: the same attacker (DIVA probing the deployed target
+  // with SPSA) against the static artifact, the EI-MTD twin pool, and
+  // the early-exit dynamic model.
+  std::map<std::string, const CellResult*> by_key;
+  for (const CellResult& r : results) by_key[cell_key(r)] = &r;
+
+  banner("Deployed defenses — static artifact vs EI-MTD vs early-exit "
+         "(DIVA, fd probes)");
+  TablePrinter table({"deployed target", "evade%", "fooled%", "orig-ok%",
+                      "queries"});
+  const struct {
+    const char* key;
+    const char* target;
+  } rows[] = {
+      {"diva|float|int8-fd", "static int8 artifact"},
+      {"diva|float|int8-mtd", "EI-MTD twin pool"},
+      {"diva|float|int8-ee", "early-exit dynamic"},
+  };
+  for (const auto& row : rows) {
+    const auto it = by_key.find(row.key);
+    if (it == by_key.end() || !it->second->ran) continue;
+    const CellResult& r = *it->second;
+    table.add_row({row.target, fmt(r.evasion_top1_pct),
+                   fmt(r.adapted_fooled_pct), fmt(r.orig_preserved_pct),
+                   std::to_string(r.deployed_queries)});
+  }
+  table.print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,6 +162,15 @@ int main(int argc, char** argv) {
   pool.adapted_float = &zoo.pruned(arch);
   pool.adapted_qat = &zoo.adapted_qat(arch);
   pool.quantized = &zoo.quantized(arch);
+  // Deployed-defense rows: an EI-MTD pool of two differently-quantized
+  // twins (the base and pruned-track artifacts), and an early-exit
+  // dynamic model whose cheap head is the pruned artifact.
+  const MovingTargetModel mtd(
+      {&zoo.quantized(arch), &zoo.pruned_quantized(arch)});
+  const EarlyExitModel early_exit(&zoo.pruned_quantized(arch),
+                                  &zoo.quantized(arch), 0.5f);
+  pool.mtd = &mtd;
+  pool.early_exit = &early_exit;
 
   const Dataset eval = bench::make_eval_set(
       zoo.val_set(),
@@ -188,6 +227,8 @@ int main(int argc, char** argv) {
   print_matrix_table(results);
   std::printf("\n");
   print_sec42_comparison(results);
+  std::printf("\n");
+  print_defense_comparison(results);
 
   std::printf("\nwrote %zu JSON records to %s\n", results.size(),
               json_path.c_str());

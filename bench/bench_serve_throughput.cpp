@@ -99,10 +99,11 @@ int main() {
   const bool smoke = env_flag("DIVA_SERVE_SMOKE", false);
   const std::string json_path =
       env_string("DIVA_SERVE_JSON", "serve_throughput.json");
-  const int steps = static_cast<int>(env_int("DIVA_SERVE_STEPS", smoke ? 3 : 6));
-  const std::int64_t batch = env_int("DIVA_SERVE_BATCH", smoke ? 8 : 16);
+  const int steps =
+      static_cast<int>(env_int_positive("DIVA_SERVE_STEPS", smoke ? 3 : 6));
+  const std::int64_t batch = env_int_positive("DIVA_SERVE_BATCH", smoke ? 8 : 16);
   const int requests = static_cast<int>(
-      env_int("DIVA_SERVE_REQUESTS", smoke ? 2 : 4));
+      env_int_positive("DIVA_SERVE_REQUESTS", smoke ? 2 : 4));
 
   std::ofstream json(json_path);
   DIVA_CHECK(json.good(), "cannot open JSON output path " << json_path);

@@ -90,19 +90,31 @@ void QuantSteGradSource::restore() {
 
 FdConfig fd_config_from_env(FdConfig base) {
   base.h = static_cast<float>(env_double("DIVA_FD_H", base.h));
-  base.samples = static_cast<int>(env_int("DIVA_FD_SAMPLES", base.samples));
+  base.samples =
+      static_cast<int>(env_int_positive("DIVA_FD_SAMPLES", base.samples));
   base.subspace_dim =
-      static_cast<int>(env_int("DIVA_FD_SUBSPACE", base.subspace_dim));
+      static_cast<int>(env_int_nonneg("DIVA_FD_SUBSPACE", base.subspace_dim));
   base.sparsity =
       static_cast<float>(env_double("DIVA_FD_SPARSITY", base.sparsity));
   base.batch_probes = env_flag("DIVA_FD_BATCH", base.batch_probes);
-  base.max_probe_rows = env_int("DIVA_FD_PROBE_ROWS", base.max_probe_rows);
+  base.max_probe_rows =
+      env_int_positive("DIVA_FD_PROBE_ROWS", base.max_probe_rows);
   return base;
 }
 
 QuantFdGradSource::QuantFdGradSource(const QuantizedModel& model,
                                      FdConfig cfg, std::string label)
-    : model_(model), cfg_(std::move(cfg)), label_(std::move(label)) {
+    : QuantFdGradSource(
+          [&model](const Tensor& x) { return model.forward(x); },
+          std::move(cfg), std::move(label)) {}
+
+QuantFdGradSource::QuantFdGradSource(
+    std::function<Tensor(const Tensor&)> forward, FdConfig cfg,
+    std::string label)
+    : forward_(std::move(forward)),
+      cfg_(std::move(cfg)),
+      label_(std::move(label)) {
+  DIVA_CHECK(forward_ != nullptr, "QuantFdGradSource needs a forward fn");
   DIVA_CHECK(cfg_.h > 0.0f, "finite-difference step must be positive");
   DIVA_CHECK(cfg_.samples >= 1, "need at least one SPSA probe pair");
   DIVA_CHECK(cfg_.sparsity > 0.0f && cfg_.sparsity <= 1.0f,
@@ -111,7 +123,7 @@ QuantFdGradSource::QuantFdGradSource(const QuantizedModel& model,
              "batched probing needs max_probe_rows >= 2");
 }
 
-Tensor QuantFdGradSource::logits(const Tensor& x) { return model_.forward(x); }
+Tensor QuantFdGradSource::logits(const Tensor& x) { return forward_(x); }
 
 Tensor QuantFdGradSource::input_grad(const Tensor& x, const GradRequest& req) {
   DIVA_CHECK(req.values, "QuantFdGradSource needs a scalar-values closure");
@@ -145,7 +157,7 @@ Tensor QuantFdGradSource::coordinate_grad(const Tensor& x,
       }
       DIVA_TELEM_COUNT("attack.fd.coordinate_probes",
                        static_cast<std::uint64_t>(2 * chunk));
-      const Tensor probe_logits = model_.forward(probes);
+      const Tensor probe_logits = forward_(probes);
       const std::vector<std::int64_t> rows(
           static_cast<std::size_t>(2 * chunk), s);
       const std::vector<float> v = req.values(probe_logits, rows);
@@ -333,7 +345,7 @@ Tensor QuantFdGradSource::spsa_grad(const Tensor& x,
     DIVA_TELEM_COUNT("attack.fd.probe_forwards", 1);
     DIVA_TELEM_COUNT("attack.fd.probe_dof",
                      static_cast<std::uint64_t>(2 * batch_pairs * nnz));
-    const Tensor probe_logits = model_.forward(probes);
+    const Tensor probe_logits = forward_(probes);
     const std::vector<float> v = req.values(probe_logits, rows);
 
     for (std::int64_t p = 0; p < batch_pairs; ++p) {

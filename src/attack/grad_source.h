@@ -202,6 +202,13 @@ class QuantFdGradSource : public GradSource {
   explicit QuantFdGradSource(const QuantizedModel& model, FdConfig cfg = {},
                              std::string label = "int8+fd");
 
+  /// Probes an arbitrary deployed forward function instead of a bare
+  /// QuantizedModel — the hook defense wrappers (moving-target pools,
+  /// early-exit models) use to become derivative-free attack targets.
+  /// `forward` must be thread-safe and deterministic per row.
+  QuantFdGradSource(std::function<Tensor(const Tensor&)> forward,
+                    FdConfig cfg, std::string label);
+
   Tensor logits(const Tensor& x) override;
   Tensor input_grad(const Tensor& x, const GradRequest& req) override;
   std::string name() const override { return label_; }
@@ -215,7 +222,7 @@ class QuantFdGradSource : public GradSource {
   std::shared_ptr<const ProbeSubspace> ensure_subspace(
       std::int64_t per) const;
 
-  const QuantizedModel& model_;
+  std::function<Tensor(const Tensor&)> forward_;
   FdConfig cfg_;
   std::string label_;
   mutable std::mutex sub_mu_;

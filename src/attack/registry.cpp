@@ -138,6 +138,15 @@ std::shared_ptr<GradSource> fd_source(const QuantizedModel& model,
   return std::make_shared<QuantFdGradSource>(model, cfg, std::move(label));
 }
 
+std::shared_ptr<GradSource> fd_source(
+    std::function<Tensor(const Tensor&)> forward, FdConfig cfg,
+    std::string label_suffix) {
+  std::string label = fd_label(cfg);
+  if (!label_suffix.empty()) label += "+" + label_suffix;
+  return std::make_shared<QuantFdGradSource>(std::move(forward), cfg,
+                                             std::move(label));
+}
+
 void register_attack(const std::string& kind, AttackFactory factory) {
   // Permissive traits: kinds registered without declaring requirements
   // keep the pre-traits contract — make_attack never pre-rejects their

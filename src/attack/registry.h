@@ -68,6 +68,14 @@ std::shared_ptr<GradSource> fd_source(const QuantizedModel& model,
                                       FdConfig cfg = {},
                                       std::string label = "int8+fd");
 
+/// Derivative-free source over an arbitrary deployed forward function —
+/// how defended / dynamic artifacts (moving-target pools, early-exit
+/// models) become attack targets. `forward` must be thread-safe and
+/// deterministic per row. The label suffix is appended to fd_label(cfg).
+std::shared_ptr<GradSource> fd_source(
+    std::function<Tensor(const Tensor&)> forward, FdConfig cfg,
+    std::string label_suffix);
+
 using AttackFactory = std::function<std::unique_ptr<Attack>(
     const AttackTargets&, const AttackSpec&)>;
 

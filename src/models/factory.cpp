@@ -13,7 +13,15 @@ namespace diva {
 
 namespace {
 
-enum class Act { kNone, kRelu, kRelu6 };
+enum class Act { kNone, kRelu, kRelu6, kSigmoid, kHardSigmoid, kLeakyRelu };
+
+/// Activations the int8 compiler lowers to a 256-entry LUT rather than
+/// fusing into the requant clamp. In QAT mode they need their own
+/// fake-quant grid on both sides (conv output and activation output).
+bool is_lut_act(Act act) {
+  return act == Act::kSigmoid || act == Act::kHardSigmoid ||
+         act == Act::kLeakyRelu;
+}
 
 /// Emits layers into a Sequential according to the construction mode.
 class NetBuilder {
@@ -36,8 +44,7 @@ class NetBuilder {
     if (mode_ == NetMode::kFloat) {
       seq.add(std::make_unique<BatchNorm2d>(name + "_bn", out_c));
     }
-    add_act(seq, name, act);
-    add_fq(seq, name);
+    finish_unit(seq, name, act);
   }
 
   void depthwise(Sequential& seq, const std::string& name,
@@ -53,8 +60,7 @@ class NetBuilder {
     if (mode_ == NetMode::kFloat) {
       seq.add(std::make_unique<BatchNorm2d>(name + "_bn", channels));
     }
-    add_act(seq, name, act);
-    add_fq(seq, name);
+    finish_unit(seq, name, act);
   }
 
   void dense(Sequential& seq, const std::string& name, std::int64_t in_f,
@@ -82,8 +88,12 @@ class NetBuilder {
     }
     seq.add(std::make_unique<Residual>(name, std::move(main),
                                        std::move(shortcut)));
-    add_act(seq, name + "_post", act);
-    add_fq(seq, name + "_post");
+    if (is_lut_act(act)) {
+      // The add gets its own output grid; the LUT activation follows as
+      // a standalone unit with a second grid.
+      add_fq(seq, name + "_add");
+    }
+    finish_unit(seq, name + "_post", act);
   }
 
   /// DenseNet growth layer: concat(x, conv(x)).
@@ -107,6 +117,27 @@ class NetBuilder {
       seq.add(std::make_unique<Relu>(name + "_relu"));
     } else if (act == Act::kRelu6) {
       seq.add(std::make_unique<Relu6>(name + "_relu6"));
+    } else if (act == Act::kSigmoid) {
+      seq.add(std::make_unique<Sigmoid>(name + "_sigmoid"));
+    } else if (act == Act::kHardSigmoid) {
+      seq.add(std::make_unique<HardSigmoid>(name + "_hsig"));
+    } else if (act == Act::kLeakyRelu) {
+      seq.add(std::make_unique<LeakyRelu>(name + "_lrelu"));
+    }
+  }
+
+  /// Activation + fake-quant tail of a conv/depthwise unit. ReLU-family
+  /// activations fuse into the producing op's requant clamp, so they sit
+  /// before the single fake-quant; LUT activations need the producer's
+  /// own grid first and a second grid after the activation.
+  void finish_unit(Sequential& seq, const std::string& name, Act act) {
+    if (is_lut_act(act)) {
+      add_fq(seq, name);
+      add_act(seq, name, act);
+      add_fq(seq, name + "_act");
+    } else {
+      add_act(seq, name, act);
+      add_fq(seq, name);
     }
   }
 
@@ -222,6 +253,28 @@ std::unique_ptr<Sequential> make_digit_net(NetMode mode) {
   b.conv(*net, "c3", 32, 32, 3, 1, 1, Act::kRelu);
   net->add(std::make_unique<GlobalAvgPool>("gap"));
   b.dense(*net, "fc", 32, 10);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_edge_residual_net(int num_classes,
+                                                   NetMode mode,
+                                                   std::int64_t in_c) {
+  DIVA_CHECK(num_classes > 1, "need at least two classes");
+  // MobileNet-style residual fixture for the extended op catalog: every
+  // LUT activation kind (hard-sigmoid, leaky-relu, sigmoid), an average
+  // pool, and an identity-shortcut residual add — on top of the usual
+  // depthwise/pointwise/GAP/dense ops.
+  NetBuilder b(mode);
+  auto net = std::make_unique<Sequential>("edgenet");
+  b.input_stub(*net);
+  b.conv(*net, "stem", in_c, 8, 3, 1, 1, Act::kHardSigmoid);
+  b.depthwise(*net, "b0_dw", 8, 3, 1, 1, Act::kLeakyRelu);
+  b.conv(*net, "b0_pw", 8, 16, 1, 1, 0, Act::kRelu6);
+  net->add(std::make_unique<AvgPool2d>("pool", 2));
+  b.residual(*net, "r0", 16, 16, 1, Act::kLeakyRelu);
+  b.conv(*net, "head", 16, 16, 1, 1, 0, Act::kSigmoid);
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  b.dense(*net, "fc", 16, num_classes);
   return net;
 }
 

@@ -40,6 +40,14 @@ std::unique_ptr<Sequential> make_model(Arch arch, int num_classes,
 /// 28x28x1 digit classifier (Figure 4 / MNIST track).
 std::unique_ptr<Sequential> make_digit_net(NetMode mode);
 
+/// MobileNet-style residual fixture exercising the extended quantized op
+/// catalog: LUT activations (sigmoid / hard-sigmoid / leaky-relu), an
+/// identity-shortcut residual add (TFLite double-rescale), and average
+/// pooling. `in_c` selects input depth (1 = digit-shaped, 3 = image).
+std::unique_ptr<Sequential> make_edge_residual_net(int num_classes,
+                                                   NetMode mode,
+                                                   std::int64_t in_c = 1);
+
 /// Face-recognition model (§6): ResNet topology, one logit per identity.
 std::unique_ptr<Sequential> make_face_net(int num_identities, NetMode mode);
 

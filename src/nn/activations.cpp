@@ -1,5 +1,7 @@
 #include "nn/activations.h"
 
+#include <cmath>
+
 namespace diva {
 
 Tensor Relu::forward(const Tensor& x) {
@@ -37,6 +39,47 @@ Tensor Relu6::backward(const Tensor& grad_out) {
   for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
     const float x = cached_input_[i];
     grad_in[i] = (x > 0.0f && x < 6.0f) ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor Sigmoid::forward(const Tensor& x) {
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  DIVA_CHECK(grad_out.shape() == cached_output_.shape(),
+             name() << ": bad grad shape");
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad_in[i] = grad_out[i] * y * (1.0f - y);
+  }
+  return grad_in;
+}
+
+Tensor HardSigmoid::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float y = x[i] / 6.0f + 0.5f;
+    out[i] = y <= 0.0f ? 0.0f : (y >= 1.0f ? 1.0f : y);
+  }
+  return out;
+}
+
+Tensor HardSigmoid::backward(const Tensor& grad_out) {
+  DIVA_CHECK(grad_out.shape() == cached_input_.shape(),
+             name() << ": bad grad shape");
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    const float x = cached_input_[i];
+    grad_in[i] = (x > -3.0f && x < 3.0f) ? grad_out[i] / 6.0f : 0.0f;
   }
   return grad_in;
 }

@@ -30,6 +30,29 @@ class Relu6 : public Module {
   Tensor cached_input_;
 };
 
+/// Logistic sigmoid: y = 1 / (1 + exp(-x)).
+class Sigmoid : public Module {
+ public:
+  explicit Sigmoid(std::string name = "sigmoid") : Module(std::move(name)) {}
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Hard sigmoid, TFLite convention: y = clamp(x / 6 + 0.5, 0, 1).
+class HardSigmoid : public Module {
+ public:
+  explicit HardSigmoid(std::string name = "hard_sigmoid")
+      : Module(std::move(name)) {}
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_input_;
+};
+
 /// Leaky ReLU with fixed negative slope.
 class LeakyRelu : public Module {
  public:

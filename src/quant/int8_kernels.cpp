@@ -1,6 +1,7 @@
 #include "quant/int8_kernels.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "kernels/igemm.h"
 #include "kernels/im2col.h"
@@ -261,6 +262,54 @@ void qrequantize(std::span<const std::int8_t> in, QuantParams qp_in,
         (static_cast<std::int32_t>(in[i]) - qp_in.zero_point) << kLeftShift;
     const std::int32_t r = multiply_by_quantized_multiplier(d, mult, shift);
     out[i] = clamp_to_int8(r + qp_out.zero_point, kQmin, kQmax);
+  }
+}
+
+namespace {
+
+float lut_activation(LutKind kind, float x, float slope) {
+  switch (kind) {
+    case LutKind::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case LutKind::kHardSigmoid: {
+      const float y = x / 6.0f + 0.5f;
+      return y <= 0.0f ? 0.0f : (y >= 1.0f ? 1.0f : y);
+    }
+    case LutKind::kLeakyRelu:
+      return x > 0.0f ? x : slope * x;
+  }
+  DIVA_FAIL("unknown LutKind");
+}
+
+}  // namespace
+
+std::vector<std::int8_t> build_activation_lut(LutKind kind, QuantParams qp_in,
+                                              QuantParams qp_out, float slope) {
+  std::vector<std::int8_t> lut(256);
+  for (int q = kQmin; q <= kQmax; ++q) {
+    const float x = qp_in.dequantize(static_cast<std::int8_t>(q));
+    lut[static_cast<std::size_t>(q + 128)] =
+        qp_out.quantize(lut_activation(kind, x, slope));
+  }
+  return lut;
+}
+
+void qlut(std::span<const std::int8_t> in, std::span<const std::int8_t> lut,
+          std::span<std::int8_t> out) {
+  DIVA_CHECK(lut.size() == 256, "qlut table must have 256 entries");
+  DIVA_CHECK(in.size() == out.size(), "qlut size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = lut[static_cast<std::size_t>(static_cast<int>(in[i]) + 128)];
+  }
+}
+
+void qlut_reference(std::span<const std::int8_t> in, LutKind kind,
+                    QuantParams qp_in, QuantParams qp_out, float slope,
+                    std::span<std::int8_t> out) {
+  DIVA_CHECK(in.size() == out.size(), "qlut_reference size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float x = qp_in.dequantize(in[i]);
+    out[i] = qp_out.quantize(lut_activation(kind, x, slope));
   }
 }
 

@@ -106,6 +106,28 @@ void qadd(std::span<const std::int8_t> a, QuantParams qp_a,
 void qrequantize(std::span<const std::int8_t> in, QuantParams qp_in,
                  QuantParams qp_out, std::span<std::int8_t> out);
 
+/// Non-linear activations that do not map onto the fused requant clamp
+/// (sigmoid / hard-sigmoid / leaky-relu) are lowered to a 256-entry
+/// lookup table, TFLite style: lut[q + 128] = quantize_out(f(dequant_in(q))).
+enum class LutKind { kSigmoid, kHardSigmoid, kLeakyRelu };
+
+/// Builds the 256-entry int8 table for `kind` between the two affine
+/// grids. `slope` is only read for kLeakyRelu.
+std::vector<std::int8_t> build_activation_lut(LutKind kind, QuantParams qp_in,
+                                              QuantParams qp_out,
+                                              float slope = 0.01f);
+
+/// Applies a 256-entry table elementwise: out[i] = lut[in[i] + 128].
+void qlut(std::span<const std::int8_t> in, std::span<const std::int8_t> lut,
+          std::span<std::int8_t> out);
+
+/// Scalar reference for qlut: recomputes each element through the float
+/// activation instead of the table. Bit-exact with qlut by construction
+/// (the table itself is built from the same per-entry float math).
+void qlut_reference(std::span<const std::int8_t> in, LutKind kind,
+                    QuantParams qp_in, QuantParams qp_out, float slope,
+                    std::span<std::int8_t> out);
+
 /// int8 max pooling over one CHW image.
 void qmaxpool2d(const std::int8_t* in, const ConvGeom& g, std::int8_t* out);
 

@@ -160,6 +160,18 @@ struct Builder {
     return ops.back().out;
   }
 
+  int emit_lut(LutKind kind, float slope, const QuantParams& out_qp,
+               int in_slot) {
+    const QSlot& in = slots[static_cast<std::size_t>(in_slot)];
+    QOp op;
+    op.kind = QOp::Kind::kLut;
+    op.in0 = in_slot;
+    op.weights = build_activation_lut(kind, in.qp, out_qp, slope);
+    op.out = add_slot(in.shape, out_qp);
+    ops.push_back(std::move(op));
+    return ops.back().out;
+  }
+
   int emit_add(int a, int b, ReluKind relu, const QuantParams& out_qp) {
     const QSlot& sa = slots[static_cast<std::size_t>(a)];
     DIVA_CHECK(sa.shape == slots[static_cast<std::size_t>(b)].shape,
@@ -197,6 +209,26 @@ ReluKind relu_kind_of(Module* m) {
   if (dynamic_cast<Relu6*>(m) != nullptr) return ReluKind::kRelu6;
   if (dynamic_cast<Relu*>(m) != nullptr) return ReluKind::kRelu;
   return ReluKind::kNone;
+}
+
+/// Activations that lower to a 256-entry LUT instead of a fused clamp.
+struct LutMatch {
+  bool matched = false;
+  LutKind kind = LutKind::kSigmoid;
+  float slope = 0.0f;
+};
+
+LutMatch lut_kind_of(Module* m) {
+  if (dynamic_cast<Sigmoid*>(m) != nullptr) {
+    return {true, LutKind::kSigmoid, 0.0f};
+  }
+  if (dynamic_cast<HardSigmoid*>(m) != nullptr) {
+    return {true, LutKind::kHardSigmoid, 0.0f};
+  }
+  if (auto* lr = dynamic_cast<LeakyRelu*>(m)) {
+    return {true, LutKind::kLeakyRelu, lr->slope()};
+  }
+  return {};
 }
 
 /// Looks ahead from position i+1 for "(Relu)? ActFakeQuant"; returns the
@@ -271,6 +303,17 @@ int Builder::build_sequential(Sequential& seq, int in_slot) {
                                        << "' must be followed by ActFakeQuant");
       cur = emit_dense(*dense, la.relu, frozen_qparams(*la.fq), cur);
       i += 1 + la.consumed;
+      continue;
+    }
+    if (const LutMatch lut = lut_kind_of(m); lut.matched) {
+      ActFakeQuant* fq =
+          i + 1 < kids.size() ? dynamic_cast<ActFakeQuant*>(kids[i + 1])
+                              : nullptr;
+      DIVA_CHECK(fq != nullptr,
+                 "LUT activation '" << m->name()
+                                    << "' must be followed by ActFakeQuant");
+      cur = emit_lut(lut.kind, lut.slope, frozen_qparams(*fq), cur);
+      i += 2;
       continue;
     }
     if (auto* res = dynamic_cast<Residual*>(m)) {
@@ -491,6 +534,11 @@ void QuantizedModel::run_batch_int8(const float* images, std::int64_t n,
              {dst, static_cast<std::size_t>(n * out_n)});
         break;
       }
+      case QOp::Kind::kLut:
+        qlut({src, static_cast<std::size_t>(n * in_n)},
+             {op.weights.data(), op.weights.size()},
+             {dst, static_cast<std::size_t>(n * out_n)});
+        break;
       case QOp::Kind::kConcat: {
         const std::int8_t* src1 = buffers[static_cast<std::size_t>(op.in1)];
         const std::int64_t in1_n = sizes[static_cast<std::size_t>(op.in1)];

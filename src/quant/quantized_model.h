@@ -14,6 +14,7 @@
 //   [QatConv2d|QatDepthwiseConv2d] (+ Relu|Relu6)? + ActFakeQuant
 //   [QatDense] + ActFakeQuant
 //   [MaxPool2d|AvgPool2d|GlobalAvgPool|Flatten]    (scale preserving)
+//   [Sigmoid|HardSigmoid|LeakyRelu] + ActFakeQuant -> QLut
 //   [Residual] (+ Relu)? + ActFakeQuant            -> QAdd
 //   [DenseBranch] + ActFakeQuant                   -> QConcat
 #pragma once
@@ -49,13 +50,16 @@ struct QOp {
     kAdd,
     kConcat,
     kRequantize,
+    // LUT-lowered pointwise activation (sigmoid / hard-sigmoid /
+    // leaky-relu). Appended last so serialized op kinds stay stable.
+    kLut,
   };
 
   Kind kind;
   int in0 = -1, in1 = -1;  // input slot ids (in1 only for kAdd/kConcat)
   int out = -1;
 
-  // Conv / dense payload.
+  // Conv / dense payload. kLut reuses `weights` for its 256-entry table.
   ConvGeom geom;
   std::int64_t out_c = 0;
   std::vector<std::int8_t> weights;  // conv: [OC,IC,K,K]; dense: [out][in]

@@ -7,8 +7,15 @@
 //   flags    unset/empty/"0" -> false, anything else -> true
 //   numbers  unset/empty/unparseable -> fallback
 //   strings  unset -> fallback (empty string is a valid override)
+//
+// Size/count knobs (worker counts, probe rows, backlogs, batch windows)
+// must never go zero or negative from a typo'd override: read them
+// through env_int_positive / env_int_nonneg, which clamp out-of-range
+// values back to the fallback with a stderr warning instead of feeding
+// them into allocation sizes and loop bounds.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -40,6 +47,33 @@ inline double env_double(const char* name, double fallback) {
   char* end = nullptr;
   const double parsed = std::strtod(v, &end);
   return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// Count knob that must be >= 1 (worker counts, shard sizes, probe row
+/// caps, ...). Parsed values below 1 are rejected with a stderr warning
+/// and the fallback is used instead. The fallback itself is trusted.
+inline long long env_int_positive(const char* name, long long fallback) {
+  const long long v = env_int(name, fallback);
+  if (v < 1) {
+    std::fprintf(stderr,
+                 "[diva] %s=%lld is not a positive count; using %lld\n", name,
+                 v, fallback);
+    return fallback;
+  }
+  return v;
+}
+
+/// Count knob that must be >= 0 (durations, windows, backlogs where 0
+/// means "off"). Negative parsed values are rejected with a stderr
+/// warning and the fallback is used instead.
+inline long long env_int_nonneg(const char* name, long long fallback) {
+  const long long v = env_int(name, fallback);
+  if (v < 0) {
+    std::fprintf(stderr, "[diva] %s=%lld is negative; using %lld\n", name, v,
+                 fallback);
+    return fallback;
+  }
+  return v;
 }
 
 /// String knob; empty string is a valid override, only unset falls back.

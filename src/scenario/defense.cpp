@@ -1,0 +1,139 @@
+#include "scenario/defense.h"
+
+#include <cstring>
+#include <limits>
+
+#include "telemetry/telemetry.h"
+
+namespace diva::scenario {
+
+namespace {
+
+/// Copies the selected rows of a [N, ...] batch into a fresh [K, ...]
+/// batch with the same per-row shape.
+Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& rows) {
+  const std::int64_t per = x.numel() / x.dim(0);
+  std::vector<std::int64_t> dims = x.shape().dims();
+  dims[0] = static_cast<std::int64_t>(rows.size());
+  Tensor out{Shape(std::move(dims))};
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    std::memcpy(out.raw() + static_cast<std::int64_t>(k) * per,
+                x.raw() + rows[k] * per,
+                sizeof(float) * static_cast<std::size_t>(per));
+  }
+  return out;
+}
+
+void scatter_rows(const Tensor& src, const std::vector<std::int64_t>& rows,
+                  Tensor* dst) {
+  const std::int64_t per = dst->numel() / dst->dim(0);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    std::memcpy(dst->raw() + rows[k] * per,
+                src.raw() + static_cast<std::int64_t>(k) * per,
+                sizeof(float) * static_cast<std::size_t>(per));
+  }
+}
+
+std::int64_t logits_width(const QuantizedModel& m) {
+  return m.output_slot().shape.numel();
+}
+
+}  // namespace
+
+MovingTargetModel::MovingTargetModel(
+    std::vector<const QuantizedModel*> members, std::uint64_t seed)
+    : members_(std::move(members)), seed_(seed) {
+  DIVA_CHECK(!members_.empty(), "moving-target pool needs at least one member");
+  for (const QuantizedModel* m : members_) {
+    DIVA_CHECK(m != nullptr, "moving-target pool member is null");
+    DIVA_CHECK(logits_width(*m) == logits_width(*members_[0]),
+               "moving-target pool members disagree on logits width");
+  }
+}
+
+std::size_t MovingTargetModel::member_for(const float* row,
+                                          std::int64_t numel) const {
+  // FNV-1a over the row's float bits. Pure in content: the same image
+  // hits the same member whatever batch or shard it arrives in.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed_;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(row);
+  const std::size_t n = static_cast<std::size_t>(numel) * sizeof(float);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h % members_.size());
+}
+
+Tensor MovingTargetModel::forward(const Tensor& x) const {
+  DIVA_CHECK(x.rank() == 4, "MovingTargetModel::forward expects NCHW");
+  const std::int64_t n = x.dim(0);
+  const std::int64_t per = x.numel() / n;
+  DIVA_TELEM_COUNT("defense.mtd.rows", static_cast<std::uint64_t>(n));
+
+  std::vector<std::vector<std::int64_t>> by_member(members_.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    by_member[member_for(x.raw() + i * per, per)].push_back(i);
+  }
+
+  const std::int64_t classes = logits_width(*members_[0]);
+  Tensor out(Shape{n, classes});
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    const std::vector<std::int64_t>& rows = by_member[m];
+    if (rows.empty()) continue;
+    telemetry::counter("defense.mtd.member." + std::to_string(m))
+        .add(static_cast<std::uint64_t>(rows.size()));
+    const Tensor logits = members_[m]->forward(gather_rows(x, rows));
+    scatter_rows(logits, rows, &out);
+  }
+  return out;
+}
+
+EarlyExitModel::EarlyExitModel(const QuantizedModel* early,
+                               const QuantizedModel* full, float margin)
+    : early_(early), full_(full), margin_(margin) {
+  DIVA_CHECK(early_ != nullptr && full_ != nullptr,
+             "early-exit model needs both the early head and the full model");
+  DIVA_CHECK(logits_width(*early_) == logits_width(*full_),
+             "early head and full model disagree on logits width");
+  DIVA_CHECK(margin_ >= 0.0f, "early-exit margin must be non-negative");
+}
+
+bool EarlyExitModel::exits_early(const float* early_logits,
+                                 std::int64_t classes) const {
+  float top1 = early_logits[0], top2 = -std::numeric_limits<float>::infinity();
+  for (std::int64_t c = 1; c < classes; ++c) {
+    const float v = early_logits[c];
+    if (v > top1) {
+      top2 = top1;
+      top1 = v;
+    } else if (v > top2) {
+      top2 = v;
+    }
+  }
+  return top1 - top2 >= margin_;
+}
+
+Tensor EarlyExitModel::forward(const Tensor& x) const {
+  DIVA_CHECK(x.rank() == 4, "EarlyExitModel::forward expects NCHW");
+  const std::int64_t n = x.dim(0);
+  DIVA_TELEM_COUNT("defense.ee.rows", static_cast<std::uint64_t>(n));
+
+  Tensor out = early_->forward(x);
+  const std::int64_t classes = out.numel() / n;
+  std::vector<std::int64_t> deep;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!exits_early(out.raw() + i * classes, classes)) deep.push_back(i);
+  }
+  DIVA_TELEM_COUNT("defense.ee.early_rows",
+                   static_cast<std::uint64_t>(n) - deep.size());
+  DIVA_TELEM_COUNT("defense.ee.full_rows",
+                   static_cast<std::uint64_t>(deep.size()));
+  if (!deep.empty()) {
+    const Tensor full_logits = full_->forward(gather_rows(x, deep));
+    scatter_rows(full_logits, deep, &out);
+  }
+  return out;
+}
+
+}  // namespace diva::scenario

@@ -1,0 +1,84 @@
+// Defended / dynamic deployed artifacts for the scenario matrix.
+//
+// The paper scores evasion against one static int8 artifact; real edge
+// deployments increasingly are neither static nor singular. Two defense
+// shapes from the related work become first-class deployed models here:
+//
+//   MovingTargetModel — EI-MTD-style moving-target defense: the serving
+//     artifact is drawn per query from a pool of differently-quantized
+//     twins, so an attacker's probes see a shifting target. Member
+//     selection is a pure content hash of the query row (FNV-1a over
+//     the row's float bits mixed with a seed): a given image always
+//     lands on the same member — re-sampling "per query" in the
+//     deployment sense — while staying bit-deterministic under any
+//     batch composition or engine shard geometry.
+//
+//   EarlyExitModel — early-exit dynamic DNN ("Mind Your Heart" shape):
+//     a cheap early head answers confident queries and only uncertain
+//     rows continue to the full artifact. The exit taken is input-
+//     dependent (top-2 logit margin of the early head vs a threshold),
+//     again a pure per-row function.
+//
+// Both wrap QuantizedModel forwards, so deployed-query telemetry
+// (quant.forward.rows) keeps pricing every probe; the wrappers add
+// per-member / per-exit counters on top:
+//   defense.mtd.rows, defense.mtd.member.<i>
+//   defense.ee.rows, defense.ee.early_rows, defense.ee.full_rows
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quantized_model.h"
+
+namespace diva::scenario {
+
+class MovingTargetModel {
+ public:
+  /// `members` are non-owning and must outlive the wrapper; at least
+  /// one, all with the same logits width.
+  explicit MovingTargetModel(std::vector<const QuantizedModel*> members,
+                             std::uint64_t seed = 0xE17D5EEDULL);
+
+  /// NCHW batch in, [N, classes] float logits out. Each row is served
+  /// by member_for(row); rows are grouped per member so pool twins
+  /// still run batched.
+  Tensor forward(const Tensor& x) const;
+
+  /// Pool member that serves a query with this content: FNV-1a over the
+  /// row's float bits, mixed with the pool seed. Deterministic in
+  /// content alone — shard geometry and batch order cannot change it.
+  std::size_t member_for(const float* row, std::int64_t numel) const;
+
+  std::size_t num_members() const { return members_.size(); }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::vector<const QuantizedModel*> members_;
+  std::uint64_t seed_;
+};
+
+class EarlyExitModel {
+ public:
+  /// `early` and `full` are non-owning, must outlive the wrapper, and
+  /// must agree on logits width. A row exits at the early head when its
+  /// top-2 logit margin reaches `margin`.
+  EarlyExitModel(const QuantizedModel* early, const QuantizedModel* full,
+                 float margin = 1.0f);
+
+  /// NCHW batch in, [N, classes] float logits out: early-head logits
+  /// for confident rows, full-model logits for the rest.
+  Tensor forward(const Tensor& x) const;
+
+  /// Exit decision for one early-head logits row (top1 - top2 >= margin).
+  bool exits_early(const float* early_logits, std::int64_t classes) const;
+
+  float margin() const { return margin_; }
+
+ private:
+  const QuantizedModel* early_;
+  const QuantizedModel* full_;
+  float margin_;
+};
+
+}  // namespace diva::scenario

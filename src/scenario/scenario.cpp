@@ -70,6 +70,8 @@ const char* to_string(AdaptedKind kind) {
     case AdaptedKind::kInt8FdSparse: return "int8-fd-sparse";
     case AdaptedKind::kInt8FdBatch: return "int8-fd-batch";
     case AdaptedKind::kInt8Batched: return "int8-batched";
+    case AdaptedKind::kInt8Mtd: return "int8-mtd";
+    case AdaptedKind::kInt8EarlyExit: return "int8-ee";
   }
   return "?";
 }
@@ -90,7 +92,8 @@ bool parse_adapted_kind(const std::string& name, AdaptedKind* out) {
        {AdaptedKind::kFloat, AdaptedKind::kQat, AdaptedKind::kInt8Ste,
         AdaptedKind::kInt8Fd, AdaptedKind::kInt8FdSub,
         AdaptedKind::kInt8FdSparse, AdaptedKind::kInt8FdBatch,
-        AdaptedKind::kInt8Batched}) {
+        AdaptedKind::kInt8Batched, AdaptedKind::kInt8Mtd,
+        AdaptedKind::kInt8EarlyExit}) {
     if (name == to_string(kind)) {
       *out = kind;
       return true;
@@ -110,7 +113,8 @@ const std::vector<AdaptedKind>& all_adapted_kinds() {
       AdaptedKind::kFloat,        AdaptedKind::kQat,
       AdaptedKind::kInt8Ste,      AdaptedKind::kInt8Fd,
       AdaptedKind::kInt8FdSub,    AdaptedKind::kInt8FdSparse,
-      AdaptedKind::kInt8FdBatch,  AdaptedKind::kInt8Batched};
+      AdaptedKind::kInt8FdBatch,  AdaptedKind::kInt8Batched,
+      AdaptedKind::kInt8Mtd,      AdaptedKind::kInt8EarlyExit};
   return kinds;
 }
 
@@ -174,6 +178,16 @@ std::string pool_missing_reason(const ModelPool& pool, OriginalKind original,
         return "model pool lacks the quantized artifact";
       }
       break;
+    case AdaptedKind::kInt8Mtd:
+      if (pool.mtd == nullptr) {
+        return "model pool lacks a moving-target twin pool (EI-MTD row)";
+      }
+      break;
+    case AdaptedKind::kInt8EarlyExit:
+      if (pool.early_exit == nullptr) {
+        return "model pool lacks an early-exit dynamic model";
+      }
+      break;
   }
   return "";
 }
@@ -224,6 +238,17 @@ std::shared_ptr<GradSource> make_adapted_source(const ModelPool& pool,
     case AdaptedKind::kInt8FdBatch:
     case AdaptedKind::kInt8Batched:
       return fd_source(*pool.quantized, resolved_fd_for(kind, fd));
+    // Defense columns: the deployed artifact is the defended wrapper
+    // itself, probed derivative-free — there is no single float twin to
+    // backprop through a moving or dynamic target.
+    case AdaptedKind::kInt8Mtd:
+      return fd_source(
+          [m = pool.mtd](const Tensor& x) { return m->forward(x); },
+          resolved_fd_for(kind, fd), "mtd");
+    case AdaptedKind::kInt8EarlyExit:
+      return fd_source(
+          [m = pool.early_exit](const Tensor& x) { return m->forward(x); },
+          resolved_fd_for(kind, fd), "ee");
   }
   return nullptr;
 }
@@ -239,6 +264,10 @@ ModelFn deployed_model_fn(const ModelPool& pool, AdaptedKind kind) {
     case AdaptedKind::kInt8FdBatch:
     case AdaptedKind::kInt8Batched:
       return [q = pool.quantized](const Tensor& x) { return q->forward(x); };
+    case AdaptedKind::kInt8Mtd:
+      return [m = pool.mtd](const Tensor& x) { return m->forward(x); };
+    case AdaptedKind::kInt8EarlyExit:
+      return [m = pool.early_exit](const Tensor& x) { return m->forward(x); };
   }
   return {};
 }
@@ -373,6 +402,19 @@ CellResult ScenarioMatrix::run_cell(const CellSpec& cell,
   r.probe_rows = counter_of(telem, "attack.fd.spsa_probes") +
                  counter_of(telem, "attack.fd.coordinate_probes");
   r.probe_forwards = counter_of(telem, "attack.fd.probe_forwards");
+  // Defense-row accounting: per-member query split of the moving-target
+  // pool, and the exit split of the early-exit model.
+  if (cell.adapted == AdaptedKind::kInt8Mtd && pool_.mtd != nullptr) {
+    r.mtd_member_queries.resize(pool_.mtd->num_members(), 0);
+    for (std::size_t m = 0; m < r.mtd_member_queries.size(); ++m) {
+      r.mtd_member_queries[m] = counter_of(
+          telem, ("defense.mtd.member." + std::to_string(m)).c_str());
+    }
+  }
+  if (cell.adapted == AdaptedKind::kInt8EarlyExit) {
+    r.ee_early_rows = counter_of(telem, "defense.ee.early_rows");
+    r.ee_full_rows = counter_of(telem, "defense.ee.full_rows");
+  }
   const std::int64_t n = eval.images.dim(0);
   r.images_per_sec =
       r.seconds > 0.0 ? static_cast<double>(n) / r.seconds : 0.0;
@@ -469,6 +511,18 @@ std::string to_json(const CellResult& r, const RunnerConfig& cfg) {
   s += ",\"deployed_queries\":" + std::to_string(r.deployed_queries);
   s += ",\"probe_rows\":" + std::to_string(r.probe_rows);
   s += ",\"probe_forwards\":" + std::to_string(r.probe_forwards);
+  if (r.cell.adapted == AdaptedKind::kInt8Mtd) {
+    s += ",\"mtd_member_queries\":[";
+    for (std::size_t m = 0; m < r.mtd_member_queries.size(); ++m) {
+      if (m) s += ",";
+      s += std::to_string(r.mtd_member_queries[m]);
+    }
+    s += "]";
+  }
+  if (r.cell.adapted == AdaptedKind::kInt8EarlyExit) {
+    s += ",\"ee_early_rows\":" + std::to_string(r.ee_early_rows);
+    s += ",\"ee_full_rows\":" + std::to_string(r.ee_full_rows);
+  }
   s += ",\"queries_per_fooled\":" + num(r.queries_per_fooled, "%.1f");
   s += ",\"seconds\":" + num(r.seconds, "%.4f");
   s += ",\"images_per_sec\":" + num(r.images_per_sec, "%.2f");

@@ -34,6 +34,13 @@
 //   int8-batched  same derivative-free artifact target, executed
 //                 through the AttackEngine (N-wide batched int8
 //                 executor sharded across worker threads).
+//   int8-mtd      EI-MTD moving-target defense: the deployed artifact
+//                 is drawn per query (content hash) from a pool of
+//                 differently-quantized twins; attacks probe the pool
+//                 derivative-free. Telemetry counts per-member queries.
+//   int8-ee       early-exit dynamic model: a cheap early head answers
+//                 confident queries, uncertain rows continue to the
+//                 full artifact — the exit taken is input-dependent.
 //
 // Scoring is constant across the row: the *true* original (never the
 // surrogate) and the deployed artifact of the column — so a surrogate
@@ -49,6 +56,7 @@
 #include "attack/engine.h"
 #include "attack/registry.h"
 #include "core/evaluation.h"
+#include "scenario/defense.h"
 
 namespace diva::scenario {
 
@@ -66,6 +74,8 @@ enum class AdaptedKind {
   kInt8FdSparse,
   kInt8FdBatch,
   kInt8Batched,
+  kInt8Mtd,
+  kInt8EarlyExit,
 };
 
 const char* to_string(OriginalKind kind);
@@ -90,6 +100,10 @@ struct ModelPool {
   Module* adapted_float = nullptr;  // full-precision adapted model
   Module* adapted_qat = nullptr;    // QAT twin: qat source + STE shadow
   const QuantizedModel* quantized = nullptr;  // deployed int8 artifact
+  // Defended / dynamic deployed artifacts (scenario/defense.h); only the
+  // defense columns need them.
+  const MovingTargetModel* mtd = nullptr;     // EI-MTD twin pool
+  const EarlyExitModel* early_exit = nullptr; // early-exit dynamic model
 };
 
 /// One cell of the matrix: a registry attack kind plus the model pair
@@ -194,6 +208,14 @@ struct CellResult {
   /// deployed_queries / adapted_fooled; -1 when nothing was fooled or
   /// telemetry was off.
   double queries_per_fooled = -1.0;
+
+  // Defense-row accounting (telemetry deltas of the timed run; empty /
+  // zero for non-defense columns or with telemetry disabled).
+  /// Per-member query rows of the int8-mtd column, index = pool member.
+  std::vector<std::uint64_t> mtd_member_queries;
+  /// Early-exit row split of the int8-ee column.
+  std::uint64_t ee_early_rows = 0;
+  std::uint64_t ee_full_rows = 0;
 };
 
 class ScenarioMatrix {

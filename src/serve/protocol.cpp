@@ -133,7 +133,7 @@ scenario::OriginalKind read_original_kind(WireReader& r) {
 scenario::AdaptedKind read_adapted_kind(WireReader& r) {
   const std::uint8_t raw = r.u8();
   DIVA_CHECK(raw <= static_cast<std::uint8_t>(
-                        scenario::AdaptedKind::kInt8Batched),
+                        scenario::AdaptedKind::kInt8EarlyExit),
              "bad adapted-kind byte " << static_cast<int>(raw));
   return static_cast<scenario::AdaptedKind>(raw);
 }

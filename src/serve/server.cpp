@@ -425,6 +425,11 @@ void AttackServer::stop() {
   pending_.clear();
 }
 
+std::size_t AttackServer::live_conns() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
 std::vector<pid_t> AttackServer::worker_pids() const {
   std::lock_guard<std::mutex> lock(workers_mu_);
   std::vector<pid_t> pids;
@@ -665,22 +670,88 @@ void AttackServer::send_frame_to(const std::shared_ptr<ClientConn>& conn,
   }
 }
 
+namespace {
+
+/// accept(2) errnos that mean pressure (fd exhaustion, dropped
+/// handshakes, momentary kernel memory shortage) rather than a broken
+/// listener. These must never kill the accept thread: the listener fd
+/// is still valid and the condition clears on its own.
+bool accept_errno_is_transient(int err) {
+  switch (err) {
+    case ECONNABORTED:  // client gave up between connect and accept
+    case EMFILE:        // process fd table full
+    case ENFILE:        // system fd table full
+    case EAGAIN:        // spurious wakeup on a (non)blocking listener
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ENOBUFS:
+    case ENOMEM:
+#ifdef EPROTO
+    case EPROTO:
+#endif
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 void AttackServer::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listener shut down
+      if (!running_.load()) return;  // stop() shut the listener down
+      if (accept_errno_is_transient(errno)) {
+        DIVA_TELEM_COUNT("serve.accept.transient_errors", 1);
+        std::fprintf(stderr, "[serve] accept: %s; retrying\n",
+                     std::strerror(errno));
+        // Reap first: finished connections are the likeliest source of
+        // the fds this error is starving for.
+        reap_dead_conns();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      std::fprintf(stderr, "[serve] accept failed: %s; listener down\n",
+                   std::strerror(errno));
+      return;
     }
     if (!running_.load()) {
       ::close(fd);
       return;
     }
+    reap_dead_conns();
     auto conn = std::make_shared<ClientConn>();
     conn->fd = fd;
     conn->reader = std::thread([this, conn] { client_loop(conn); });
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.push_back(conn);
+  }
+}
+
+void AttackServer::reap_dead_conns() {
+  // A connection is reclaimable once its reader has exited AND nothing
+  // else holds a reference (no pending request, no in-flight send) —
+  // use_count()==1 means the reader lambda's copy is gone, so join()
+  // returns immediately and closing the fd can't race a writer.
+  std::vector<std::shared_ptr<ClientConn>> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto keep = conns_.begin();
+    for (auto& conn : conns_) {
+      if (conn->dead.load() && conn.use_count() == 1) {
+        done.push_back(std::move(conn));
+      } else {
+        *keep++ = std::move(conn);
+      }
+    }
+    conns_.erase(keep, conns_.end());
+  }
+  for (auto& conn : done) {
+    if (conn->reader.joinable()) conn->reader.join();
+    close_fd(conn->fd);
   }
 }
 

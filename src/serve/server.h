@@ -105,6 +105,10 @@ class AttackServer {
   /// Live worker process ids (test hook for the kill/requeue path).
   std::vector<pid_t> worker_pids() const;
 
+  /// Connections the front-end currently tracks, dead or alive (test
+  /// hook for the dead-connection reaper: churn must not accumulate).
+  std::size_t live_conns() const;
+
   /// Request validation exactly as the front-end applies it: "" when
   /// servable, otherwise the rejection message a client would receive
   /// (registry error shapes for unknown kinds / trait mismatches,
@@ -153,6 +157,10 @@ class AttackServer {
   };
 
   void accept_loop();
+  /// Joins reader threads and closes fds of connections whose client
+  /// has gone away (runs on the accept thread between accepts, so a
+  /// connect/disconnect churn can't leak threads until stop()).
+  void reap_dead_conns();
   void client_loop(const std::shared_ptr<ClientConn>& conn);
   void handle_request(const std::shared_ptr<ClientConn>& conn,
                       AttackRequest&& req);
@@ -185,7 +193,7 @@ class AttackServer {
   std::mutex pending_mu_;
   std::map<std::uint64_t, PendingRequest> pending_;
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<ClientConn>> conns_;
   std::thread accept_thread_;
 };

@@ -9,6 +9,7 @@
 
 #include "kernels/gemm.h"
 #include "kernels/igemm.h"
+#include "kernels/kernel_dispatch.h"
 #include "kernels/workspace.h"
 #include "nn/conv.h"
 #include "nn/dense.h"
@@ -340,6 +341,139 @@ TEST(Igemm, ActivationClampIsHonored) {
   for (const std::int8_t v : out) {
     EXPECT_GE(v, 3);
     EXPECT_LE(v, 40);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise / pooling quantized op catalog: bit-exact pins.
+// ---------------------------------------------------------------------------
+
+/// Restores the startup-resolved ISA tier when a per-tier test ends.
+class TierGuard {
+ public:
+  TierGuard() : orig_(active_isa_tier()) {}
+  ~TierGuard() { force_isa_tier(orig_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  IsaTier orig_;
+};
+
+QuantParams random_qparams(std::uint64_t seed) {
+  Rng rng(seed);
+  return {rng.uniform(0.005f, 0.08f),
+          static_cast<std::int32_t>(std::lround(rng.uniform(-30.f, 30.f)))};
+}
+
+TEST(QuantOps, QlutBitExactVsFloatReferenceAtEveryIsaTier) {
+  // Every representable int8 input once (exhaustive: the table has no
+  // untested entries), then a fuzz buffer, for each activation kind and
+  // each runnable tier. The reference recomputes per element through
+  // float math, so this pins table construction AND application.
+  std::vector<std::int8_t> exhaustive(256);
+  for (int q = kQmin; q <= kQmax; ++q) {
+    exhaustive[static_cast<std::size_t>(q - kQmin)] =
+        static_cast<std::int8_t>(q);
+  }
+  const LutKind kinds[] = {LutKind::kSigmoid, LutKind::kHardSigmoid,
+                           LutKind::kLeakyRelu};
+  TierGuard guard;
+  for (const IsaTier tier : available_isa_tiers()) {
+    force_isa_tier(tier);
+    int idx = 0;
+    for (const LutKind kind : kinds) {
+      ++idx;
+      const QuantParams qp_in = random_qparams(3000u + idx);
+      const QuantParams qp_out = kind == LutKind::kLeakyRelu
+                                     ? random_qparams(3100u + idx)
+                                     : QuantParams{1.0f / 256.0f, -128};
+      const float slope = 0.1f;
+      const auto lut = build_activation_lut(kind, qp_in, qp_out, slope);
+      ASSERT_EQ(lut.size(), 256u);
+
+      for (const std::int64_t n : {std::int64_t{256}, std::int64_t{1000}}) {
+        const std::vector<std::int8_t> in =
+            n == 256 ? exhaustive : random_int8(n, 3200u + idx);
+        std::vector<std::int8_t> got(in.size()), want(in.size());
+        qlut({in.data(), in.size()}, {lut.data(), lut.size()},
+             {got.data(), got.size()});
+        qlut_reference({in.data(), in.size()}, kind, qp_in, qp_out, slope,
+                       {want.data(), want.size()});
+        EXPECT_EQ(got, want) << "qlut kind " << idx << " n=" << n << " tier "
+                             << isa_tier_name(tier);
+      }
+    }
+  }
+}
+
+TEST(QuantOps, QaddDoubleRescaleStaysWithinOneLsbOfFloatMath) {
+  // qadd's TFLite double-rescale (shift-by-20 then fixed-point
+  // multiply) must agree with exact float addition to one output LSB
+  // for every operand combination — fuzzed over mismatched input grids.
+  for (int round = 0; round < 4; ++round) {
+    const QuantParams qp_a = random_qparams(4000u + round);
+    const QuantParams qp_b = random_qparams(4100u + round);
+    const QuantParams qp_out = random_qparams(4200u + round);
+    const auto a = random_int8(512, 4300u + round);
+    const auto b = random_int8(512, 4400u + round);
+    std::vector<std::int8_t> out(a.size());
+    qadd({a.data(), a.size()}, qp_a, {b.data(), b.size()}, qp_b, qp_out,
+         kQmin, kQmax, {out.data(), out.size()});
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const float real = qp_a.dequantize(a[i]) + qp_b.dequantize(b[i]);
+      const std::int8_t want = qp_out.quantize(real);
+      ASSERT_NEAR(static_cast<int>(out[i]), static_cast<int>(want), 1)
+          << "qadd round " << round << " element " << i;
+    }
+  }
+}
+
+TEST(QuantOps, ElementwiseOpsBitIdenticalAcrossIsaTiers) {
+  // qadd / qavgpool2d / qglobal_avgpool / qlut are part of the executor
+  // op catalog: whatever tier dispatch resolves, their output bytes
+  // must match the scalar tier's. (They are scalar today, so this pins
+  // the policy any future vectorization must keep.)
+  const ConvGeom pool_g{6, 12, 12, 2, 2, 2, 0};
+  const auto in = random_int8(pool_g.in_c * pool_g.in_h * pool_g.in_w, 5000);
+  const auto b = random_int8(in.size(), 5001);
+  const QuantParams qp_a = random_qparams(5002);
+  const QuantParams qp_b = random_qparams(5003);
+  const QuantParams qp_out = random_qparams(5004);
+  const auto lut =
+      build_activation_lut(LutKind::kSigmoid, qp_a, {1.0f / 256.0f, -128});
+  const std::int64_t pooled =
+      pool_g.in_c * pool_g.out_h() * pool_g.out_w();
+
+  struct Baselines {
+    std::vector<std::int8_t> add, avg, gavg, lut;
+  };
+  const auto run_all = [&](Baselines* r) {
+    r->add.resize(in.size());
+    qadd({in.data(), in.size()}, qp_a, {b.data(), b.size()}, qp_b, qp_out,
+         kQmin, kQmax, {r->add.data(), r->add.size()});
+    r->avg.resize(static_cast<std::size_t>(pooled));
+    qavgpool2d(in.data(), pool_g, r->avg.data());
+    r->gavg.resize(static_cast<std::size_t>(pool_g.in_c));
+    qglobal_avgpool(in.data(), pool_g.in_c, pool_g.in_h * pool_g.in_w,
+                    r->gavg.data());
+    r->lut.resize(in.size());
+    qlut({in.data(), in.size()}, {lut.data(), lut.size()},
+         {r->lut.data(), r->lut.size()});
+  };
+
+  TierGuard guard;
+  force_isa_tier(IsaTier::kScalar);
+  Baselines scalar;
+  run_all(&scalar);
+  for (const IsaTier tier : available_isa_tiers()) {
+    force_isa_tier(tier);
+    Baselines got;
+    run_all(&got);
+    EXPECT_EQ(got.add, scalar.add) << isa_tier_name(tier);
+    EXPECT_EQ(got.avg, scalar.avg) << isa_tier_name(tier);
+    EXPECT_EQ(got.gavg, scalar.gavg) << isa_tier_name(tier);
+    EXPECT_EQ(got.lut, scalar.lut) << isa_tier_name(tier);
   }
 }
 

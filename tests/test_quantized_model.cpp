@@ -58,6 +58,61 @@ TEST(QuantizedModel, DenseNetGraphContainsConcatOps) {
   EXPECT_TRUE(has_op(m, QOp::Kind::kAvgPool));
 }
 
+TEST(QuantizedModel, EdgeResidualGraphLowersLutAddAndAvgPool) {
+  auto qat = make_edge_residual_net(10, NetMode::kQat);
+  init_parameters(*qat, 20);
+  calibrate(*qat, {random_tensor(Shape{6, 1, 28, 28}, 21, 0.0f, 1.0f)});
+  const QuantizedModel m = QuantizedModel::compile(*qat, Shape{1, 28, 28});
+
+  // The fixture exists to exercise the extended op catalog end to end.
+  EXPECT_TRUE(has_op(m, QOp::Kind::kLut)) << "LUT activations missing";
+  EXPECT_TRUE(has_op(m, QOp::Kind::kAvgPool));
+  EXPECT_TRUE(has_op(m, QOp::Kind::kAdd)) << "residual add missing";
+  EXPECT_TRUE(has_op(m, QOp::Kind::kDepthwiseConv));
+
+  // Three LUT activation kinds in the graph (stem hard-sigmoid, two
+  // leaky-relus, head sigmoid), each carrying a complete 256-entry
+  // table in its weights payload.
+  int luts = 0;
+  for (const QOp& op : m.ops()) {
+    if (op.kind != QOp::Kind::kLut) continue;
+    ++luts;
+    EXPECT_EQ(op.weights.size(), 256u);
+  }
+  EXPECT_GE(luts, 4);
+
+  // The executor runs it: batch forward consistent with per-image int8.
+  const Tensor x = random_tensor(Shape{3, 1, 28, 28}, 22, 0.0f, 1.0f);
+  const Tensor logits = m.forward(x);
+  ASSERT_EQ(logits.dim(0), 3);
+  ASSERT_EQ(logits.dim(1), 10);
+  const QuantParams out_qp = m.output_slot().qp;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    const auto q = m.forward_single_int8(x.raw() + i * 28 * 28);
+    for (std::int64_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(logits.at(i, j),
+                out_qp.dequantize(q[static_cast<std::size_t>(j)]));
+    }
+  }
+}
+
+TEST(QuantizedModelIo, EdgeResidualLutGraphRoundTripsBitIdentical) {
+  // kLut was appended to the serialized op-kind enum; the artifact
+  // format must carry its table and replay bit-identically.
+  auto qat = make_edge_residual_net(10, NetMode::kQat);
+  init_parameters(*qat, 23);
+  calibrate(*qat, {random_tensor(Shape{6, 1, 28, 28}, 24, 0.0f, 1.0f)});
+  const QuantizedModel m = QuantizedModel::compile(*qat, Shape{1, 28, 28});
+
+  std::stringstream ss;
+  save_quantized_model(m, ss);
+  const QuantizedModel loaded = load_quantized_model(ss);
+  EXPECT_EQ(loaded.num_ops(), m.num_ops());
+
+  const Tensor x = random_tensor(Shape{4, 1, 28, 28}, 25, 0.0f, 1.0f);
+  EXPECT_EQ(max_abs(sub(m.forward(x), loaded.forward(x))), 0.0f);
+}
+
 TEST(QuantizedModel, EveryOpReferencesValidSlots) {
   auto qat = calibrated_qat(Arch::kResNet, 4);
   const QuantizedModel m = QuantizedModel::compile(*qat, Shape{3, 32, 32});

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <set>
 #include <string>
@@ -24,6 +25,8 @@
 #include "quant/qat.h"
 #include "quant/quantized_model.h"
 #include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
+#include "tensor/tensor_ops.h"
 #include "test_helpers.h"
 
 namespace diva {
@@ -43,6 +46,10 @@ struct MatrixFixture {
   std::unique_ptr<Sequential> qat;
   std::unique_ptr<QuantizedModel> quantized;
   std::unique_ptr<Sequential> surrogate;
+  std::unique_ptr<Sequential> qat_twin;
+  std::unique_ptr<QuantizedModel> quantized_twin;
+  std::unique_ptr<MovingTargetModel> mtd;
+  std::unique_ptr<EarlyExitModel> early_exit;
 
   MatrixFixture() {
     SynthDigits gen(77);
@@ -90,6 +97,29 @@ struct MatrixFixture {
     const QuantizedModel& q = *quantized;
     distill(*surrogate, [&q](const Tensor& x) { return q.forward(x); },
             disjoint.images, dcfg);
+
+    // EI-MTD twin: same original, re-calibrated and re-finetuned on the
+    // disjoint pool so the moving-target members genuinely differ.
+    qat_twin = make_digit_net(NetMode::kQat);
+    fold_batchnorm_into(*original, *qat_twin);
+    calibrate(*qat_twin, {disjoint.images});
+    TrainConfig tcfg;
+    tcfg.epochs = 2;
+    tcfg.lr = 0.01f;
+    tcfg.seed = 16;
+    train_classifier(*qat_twin, disjoint, tcfg);
+    quantized_twin = std::make_unique<QuantizedModel>(QuantizedModel::compile(
+        *qat_twin, Shape{SynthDigits::kChannels, SynthDigits::kHeight,
+                         SynthDigits::kWidth}));
+
+    mtd = std::make_unique<MovingTargetModel>(
+        std::vector<const QuantizedModel*>{quantized.get(),
+                                           quantized_twin.get()});
+    // Early-exit head: the twin answers confident rows, the primary
+    // artifact finishes the uncertain ones. Low margin so both paths
+    // actually run on digit-scale logits.
+    early_exit = std::make_unique<EarlyExitModel>(quantized_twin.get(),
+                                                  quantized.get(), 0.5f);
   }
 
   ModelPool pool() {
@@ -99,6 +129,8 @@ struct MatrixFixture {
     p.adapted_float = adapted_float.get();
     p.adapted_qat = qat.get();
     p.quantized = quantized.get();
+    p.mtd = mtd.get();
+    p.early_exit = early_exit.get();
     return p;
   }
 };
@@ -137,8 +169,8 @@ Dataset small_eval(int n) {
 TEST(ScenarioMatrix, EnumeratesEveryBuiltinCell) {
   const ScenarioMatrix matrix(fixture().pool(), quick_config());
   const auto cells = matrix.enumerate();
-  // 6 builtin attacks x 3 original rows x 8 adapted columns.
-  EXPECT_EQ(cells.size(), 6u * 3u * 8u);
+  // 6 builtin attacks x 3 original rows x 10 adapted columns.
+  EXPECT_EQ(cells.size(), 6u * 3u * 10u);
   std::set<std::string> keys;
   for (const CellSpec& c : cells) {
     keys.insert(c.attack + "|" + to_string(c.original) + "|" +
@@ -151,6 +183,9 @@ TEST(ScenarioMatrix, EnumeratesEveryBuiltinCell) {
   EXPECT_TRUE(keys.count("diva|float|int8-fd-sub"));
   EXPECT_TRUE(keys.count("pgd|none|int8-fd-sparse"));
   EXPECT_TRUE(keys.count("diva|surrogate|int8-fd-batch"));
+  // So are the deployed-defense columns.
+  EXPECT_TRUE(keys.count("pgd|none|int8-mtd"));
+  EXPECT_TRUE(keys.count("diva|surrogate|int8-ee"));
 }
 
 TEST(ScenarioMatrix, RunAllEmitsOneRecordPerCellWithRowTraitSkips) {
@@ -179,8 +214,8 @@ TEST(ScenarioMatrix, RunAllEmitsOneRecordPerCellWithRowTraitSkips) {
     }
   }
   // Runnable cells: 4 single-model attacks on the 'none' row + 2 pair
-  // attacks on the float and surrogate rows, times 8 columns each.
-  EXPECT_EQ(ran, (4 + 2 * 2) * 8);
+  // attacks on the float and surrogate rows, times 10 columns each.
+  EXPECT_EQ(ran, (4 + 2 * 2) * 10);
   EXPECT_EQ(skipped, static_cast<int>(results.size()) - ran);
 }
 
@@ -276,6 +311,137 @@ TEST(ScenarioMatrix, BatchedCellIsEngineWidthInvariant) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Deployed-defense rows (EI-MTD moving target, early-exit dynamic).
+// ---------------------------------------------------------------------------
+
+TEST(DefenseModels, MovingTargetForwardIsBatchCompositionInvariant) {
+  auto& f = fixture();
+  const MovingTargetModel& mtd = *f.mtd;
+  const Tensor& x = f.val.images;
+  const Tensor whole = mtd.forward(x);
+  const std::int64_t per = x.numel() / x.dim(0);
+
+  // Row-wise forwards (the worst-case shard geometry) must reproduce
+  // the whole-batch bytes: member choice is a pure content hash.
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    Tensor row(Shape{1, x.dim(1), x.dim(2), x.dim(3)});
+    std::memcpy(row.raw(), x.raw() + i * per,
+                sizeof(float) * static_cast<std::size_t>(per));
+    const Tensor one = mtd.forward(row);
+    for (std::int64_t j = 0; j < whole.dim(1); ++j) {
+      ASSERT_EQ(whole.at(i, j), one.at(0, j)) << "row " << i;
+    }
+    const std::size_t m = mtd.member_for(x.raw() + i * per, per);
+    EXPECT_LT(m, mtd.num_members());
+    EXPECT_EQ(m, mtd.member_for(row.raw(), per));
+  }
+
+  // The hash must actually spread traffic — a pool where one member
+  // serves everything is not a moving target.
+  std::set<std::size_t> used;
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    used.insert(mtd.member_for(x.raw() + i * per, per));
+  }
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(DefenseModels, EarlyExitRoutesPerRowDeterministically) {
+  auto& f = fixture();
+  const EarlyExitModel& ee = *f.early_exit;
+  const Tensor& x = f.val.images;
+  const Tensor whole = ee.forward(x);
+  EXPECT_EQ(max_abs(sub(whole, ee.forward(x))), 0.0f);
+
+  // Each row's logits come from exactly the head exits_early() names:
+  // the early twin when its top-2 margin clears the threshold, the full
+  // artifact otherwise.
+  const Tensor early_logits = f.quantized_twin->forward(x);
+  const Tensor full_logits = f.quantized->forward(x);
+  const std::int64_t classes = whole.dim(1);
+  int early_rows = 0;
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    const bool early =
+        ee.exits_early(early_logits.raw() + i * classes, classes);
+    early_rows += early ? 1 : 0;
+    const Tensor& want = early ? early_logits : full_logits;
+    for (std::int64_t j = 0; j < classes; ++j) {
+      ASSERT_EQ(whole.at(i, j), want.at(i, j))
+          << "row " << i << (early ? " (early)" : " (full)");
+    }
+  }
+  // The margin is tuned so the exit is genuinely input-dependent on
+  // this fixture: neither path should swallow the whole batch.
+  EXPECT_GT(early_rows, 0);
+  EXPECT_LT(early_rows, static_cast<int>(x.dim(0)));
+}
+
+TEST(ScenarioMatrix, DefenseCellsRunDeterministicallyWithQueryAccounting) {
+  const ScenarioMatrix matrix(fixture().pool(), quick_config());
+  const Dataset eval = small_eval(4);
+  for (const AdaptedKind adapted :
+       {AdaptedKind::kInt8Mtd, AdaptedKind::kInt8EarlyExit}) {
+    const CellResult a =
+        matrix.run_cell({"pgd", OriginalKind::kNone, adapted}, eval);
+    const CellResult b =
+        matrix.run_cell({"pgd", OriginalKind::kNone, adapted}, eval);
+    ASSERT_TRUE(a.ran) << to_string(adapted) << ": " << a.skip_reason;
+    EXPECT_EQ(a.total, 4);
+    EXPECT_LE(a.linf, matrix.config().spec.cfg.epsilon + 1e-5f);
+    EXPECT_EQ(a.evasion_top1_pct, b.evasion_top1_pct) << to_string(adapted);
+    EXPECT_EQ(a.adapted_fooled_pct, b.adapted_fooled_pct)
+        << to_string(adapted);
+    EXPECT_EQ(a.orig_preserved_pct, b.orig_preserved_pct)
+        << to_string(adapted);
+    EXPECT_EQ(a.linf, b.linf) << to_string(adapted);
+    EXPECT_EQ(a.mean_l2, b.mean_l2) << to_string(adapted);
+
+    if (!telemetry::kCompiledIn) continue;
+    EXPECT_GT(a.deployed_queries, 0u) << to_string(adapted);
+    if (adapted == AdaptedKind::kInt8Mtd) {
+      // Per-member query accounting: every member's share is recorded
+      // and the split is reproducible.
+      ASSERT_EQ(a.mtd_member_queries.size(), fixture().mtd->num_members());
+      std::uint64_t sum = 0;
+      for (const std::uint64_t q : a.mtd_member_queries) sum += q;
+      EXPECT_GT(sum, 0u);
+      EXPECT_EQ(b.mtd_member_queries, a.mtd_member_queries);
+    } else {
+      EXPECT_GT(a.ee_early_rows + a.ee_full_rows, 0u);
+      EXPECT_EQ(a.ee_early_rows, b.ee_early_rows);
+      EXPECT_EQ(a.ee_full_rows, b.ee_full_rows);
+    }
+  }
+}
+
+TEST(ScenarioMatrix, DefenseCellsAreEngineGeometryInvariant) {
+  // Engine-geometry knobs (batched worker threads, shard size) must not
+  // change defense-row results: member choice and exit routing are
+  // per-row content functions.
+  const Dataset eval = small_eval(4);
+  RunnerConfig narrow = quick_config();
+  narrow.batched_threads = 1;
+  narrow.shard_size = 1;
+  RunnerConfig wide = quick_config();
+  wide.batched_threads = 4;
+  wide.shard_size = 4;
+  for (const AdaptedKind adapted :
+       {AdaptedKind::kInt8Mtd, AdaptedKind::kInt8EarlyExit}) {
+    const CellResult a = ScenarioMatrix(fixture().pool(), narrow)
+                             .run_cell({"pgd", OriginalKind::kNone, adapted},
+                                       eval);
+    const CellResult b = ScenarioMatrix(fixture().pool(), wide)
+                             .run_cell({"pgd", OriginalKind::kNone, adapted},
+                                       eval);
+    ASSERT_TRUE(a.ran) << a.skip_reason;
+    EXPECT_EQ(a.evasion_top1_pct, b.evasion_top1_pct) << to_string(adapted);
+    EXPECT_EQ(a.adapted_fooled_pct, b.adapted_fooled_pct)
+        << to_string(adapted);
+    EXPECT_EQ(a.linf, b.linf) << to_string(adapted);
+    EXPECT_EQ(a.mean_l2, b.mean_l2) << to_string(adapted);
+  }
+}
+
 TEST(ScenarioMatrix, CompressedColumnsResolveLeversAndCountQueries) {
   // Column -> lever resolution: each compressed column switches exactly
   // its lever on (with the documented default strength) and leaves the
@@ -332,6 +498,21 @@ TEST(ScenarioMatrix, MissingPoolModelsProduceSkipReasons) {
         << to_string(adapted);
   }
 
+  // Defense columns need their wrappers, not the bare artifact.
+  ModelPool no_defense = fixture().pool();
+  no_defense.mtd = nullptr;
+  no_defense.early_exit = nullptr;
+  const ScenarioMatrix undefended(no_defense, quick_config());
+  const CellResult mtd_skip = undefended.run_cell(
+      {"pgd", OriginalKind::kNone, AdaptedKind::kInt8Mtd}, small_eval(2));
+  EXPECT_FALSE(mtd_skip.ran);
+  EXPECT_NE(mtd_skip.skip_reason.find("moving-target"), std::string::npos);
+  const CellResult ee_skip = undefended.run_cell(
+      {"pgd", OriginalKind::kNone, AdaptedKind::kInt8EarlyExit},
+      small_eval(2));
+  EXPECT_FALSE(ee_skip.ran);
+  EXPECT_NE(ee_skip.skip_reason.find("early-exit"), std::string::npos);
+
   // A pool with no true original cannot score anything.
   ModelPool no_orig = fixture().pool();
   no_orig.original = nullptr;
@@ -377,7 +558,7 @@ TEST(ScenarioMatrix, FactoryRejectionBecomesASkipRecordNotAnAbort) {
   EXPECT_TRUE(ok.ran) << ok.skip_reason;
   // The whole-grid sweep must also complete rather than abort.
   const auto all = matrix.run_all(small_eval(2));
-  EXPECT_EQ(all.size(), 1u * 3u * 8u);  // sweep completed, no abort
+  EXPECT_EQ(all.size(), 1u * 3u * 10u);  // sweep completed, no abort
 }
 
 TEST(ScenarioMatrix, UnknownAttackKindThrowsNotSkips) {
@@ -468,6 +649,23 @@ TEST(ScenarioMatrix, JsonRecordCarriesTheSchema) {
         "\"threads\":1"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+
+  // Defense cells append their accounting fields to the record.
+  const CellResult mtd_cell = matrix.run_cell(
+      {"pgd", OriginalKind::kNone, AdaptedKind::kInt8Mtd}, small_eval(3));
+  ASSERT_TRUE(mtd_cell.ran) << mtd_cell.skip_reason;
+  const std::string mjson = to_json(mtd_cell, cfg);
+  EXPECT_NE(mjson.find("\"adapted\":\"int8-mtd\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"mtd_member_queries\":["), std::string::npos);
+
+  const CellResult ee_cell = matrix.run_cell(
+      {"pgd", OriginalKind::kNone, AdaptedKind::kInt8EarlyExit},
+      small_eval(3));
+  ASSERT_TRUE(ee_cell.ran) << ee_cell.skip_reason;
+  const std::string ejson = to_json(ee_cell, cfg);
+  EXPECT_NE(ejson.find("\"adapted\":\"int8-ee\""), std::string::npos);
+  EXPECT_NE(ejson.find("\"ee_early_rows\":"), std::string::npos);
+  EXPECT_NE(ejson.find("\"ee_full_rows\":"), std::string::npos);
 
   const CellResult skip = matrix.run_cell(
       {"diva", OriginalKind::kNone, AdaptedKind::kQat}, small_eval(3));

@@ -6,10 +6,15 @@
 // consistency, failure paths — is independent of model accuracy, and
 // an untrained pool keeps the suite seconds-fast.
 #include <signal.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -281,6 +286,95 @@ TEST_F(ServeE2eTest, MalformedRequestsAreRejectedWithoutCrashingWorkers) {
   }
   const auto pids = server.worker_pids();
   EXPECT_EQ(pids.size(), 2u);  // nobody crashed
+  server.stop();
+}
+
+TEST_F(ServeE2eTest, AcceptLoopSurvivesFdExhaustion) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  AttackServer server(pool_, config("emfile", 1));
+  server.start();
+
+  // The front-end runs in this process, so its transient-error counter
+  // is readable straight from process-global telemetry.
+  const auto transient_errors = [] {
+    const telemetry::Snapshot s = telemetry::snapshot();
+    const auto it = s.counters.find("serve.accept.transient_errors");
+    return it == s.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  const std::uint64_t before = transient_errors();
+
+  // Pre-open the client socket, then exhaust the fd table (under a
+  // lowered RLIMIT_NOFILE so the fill is bounded). connect() needs no
+  // new fd, so the handshake sits in the listen backlog while every
+  // accept() in the server fails with EMFILE.
+  const int cfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(cfd, 0);
+  rlimit orig{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &orig), 0);
+  rlimit low = orig;
+  low.rlim_cur = 128;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &low), 0);
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = ::dup(cfd);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server.config().socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(
+      ::connect(cfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // The accept loop must be counting transient failures and retrying,
+  // not exiting (the pre-fix behaviour killed the listener thread here).
+  bool bumped = false;
+  for (int i = 0; i < 500 && !bumped; ++i) {
+    bumped = transient_errors() > before;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &orig), 0);
+  EXPECT_TRUE(bumped) << "accept() never reported a transient error";
+
+  // Pressure gone: the backlogged connection gets accepted and served.
+  write_frame(cfd, encode_stats_request());
+  MsgType type;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(read_frame(cfd, &type, &payload));
+  EXPECT_EQ(type, MsgType::kStatsReply);
+  ::close(cfd);
+
+  // Fresh connections work too — the listener survived the storm.
+  {
+    AttackClient client(server.config().socket_path);
+    const ServedResult ok = client.run(request());
+    EXPECT_EQ(ok.verdicts.size(), labels_.size());
+  }
+  EXPECT_TRUE(server.running());
+  server.stop();
+}
+
+TEST_F(ServeE2eTest, ConnectionChurnDoesNotAccumulateDeadReaders) {
+  // Short-lived clients leave dead ClientConn records behind; the
+  // accept thread must reap them (join reader, close fd) instead of
+  // holding every thread until stop(). The sanitize CI job runs this
+  // under ASan, which turns any join/close race into a hard failure.
+  AttackServer server(pool_, config("churn", 1));
+  server.start();
+  for (int i = 0; i < 24; ++i) {
+    AttackClient client(server.config().socket_path);
+    (void)client.stats();
+  }
+  // Give the readers a beat to observe the disconnects...
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    // ...then one more accept reaps them before tracking the new conn.
+    AttackClient client(server.config().socket_path);
+    (void)client.stats();
+    EXPECT_LE(server.live_conns(), 2u);
+  }
   server.stop();
 }
 

@@ -482,5 +482,26 @@ TEST(EnvHelpers, FlagIntStringSemantics) {
   EXPECT_EQ(env_string("DIVA_TEST_STR", "fallback"), "fallback");
 }
 
+TEST(EnvHelpers, ClampedCountKnobsRejectOutOfRangeOverrides) {
+  // Size/count knobs read through the clamped helpers: a typo'd
+  // negative or zero override must fall back, never flow into an
+  // allocation size or loop bound.
+  ::setenv("DIVA_TEST_INT", "3", 1);
+  EXPECT_EQ(env_int_positive("DIVA_TEST_INT", 7), 3);
+  EXPECT_EQ(env_int_nonneg("DIVA_TEST_INT", 7), 3);
+
+  ::setenv("DIVA_TEST_INT", "0", 1);
+  EXPECT_EQ(env_int_positive("DIVA_TEST_INT", 7), 7);  // counts need >= 1
+  EXPECT_EQ(env_int_nonneg("DIVA_TEST_INT", 7), 0);    // 0 = "off" is valid
+
+  ::setenv("DIVA_TEST_INT", "-5", 1);
+  EXPECT_EQ(env_int_positive("DIVA_TEST_INT", 7), 7);
+  EXPECT_EQ(env_int_nonneg("DIVA_TEST_INT", 7), 7);
+
+  ::unsetenv("DIVA_TEST_INT");
+  EXPECT_EQ(env_int_positive("DIVA_TEST_INT", 7), 7);
+  EXPECT_EQ(env_int_nonneg("DIVA_TEST_INT", 7), 7);
+}
+
 }  // namespace
 }  // namespace diva::serve

@@ -35,21 +35,22 @@
 namespace {
 
 using diva::env_flag;
-using diva::env_int;
+using diva::env_int_nonneg;
+using diva::env_int_positive;
 using diva::env_string;
 
 struct Options {
   std::string socket = env_string("DIVA_SERVE_SOCKET", "/tmp/diva_serve.sock");
   std::string track = env_string("DIVA_SERVE_TRACK", "digit");
   unsigned workers =
-      static_cast<unsigned>(env_int("DIVA_SERVE_WORKERS", 2));
+      static_cast<unsigned>(env_int_positive("DIVA_SERVE_WORKERS", 2));
   unsigned worker_threads =
-      static_cast<unsigned>(env_int("DIVA_SERVE_WORKER_THREADS", 2));
-  std::int64_t shard_size = env_int("DIVA_SERVE_SHARD", 8);
-  std::int64_t max_jobs = env_int("DIVA_SERVE_MAX_JOBS", 8);
-  std::int64_t window_us = env_int("DIVA_SERVE_WINDOW_US", 2000);
+      static_cast<unsigned>(env_int_positive("DIVA_SERVE_WORKER_THREADS", 2));
+  std::int64_t shard_size = env_int_positive("DIVA_SERVE_SHARD", 8);
+  std::int64_t max_jobs = env_int_positive("DIVA_SERVE_MAX_JOBS", 8);
+  std::int64_t window_us = env_int_nonneg("DIVA_SERVE_WINDOW_US", 2000);
   bool pin = env_flag("DIVA_SERVE_PIN", false);
-  std::int64_t stats_sec = env_int("DIVA_SERVE_STATS_SEC", 0);
+  std::int64_t stats_sec = env_int_nonneg("DIVA_SERVE_STATS_SEC", 0);
 };
 
 void usage(const char* argv0) {
